@@ -1,0 +1,51 @@
+//! # ligra-apps
+//!
+//! The applications evaluated in the Ligra paper (PPoPP 2013), implemented
+//! on the `ligra` framework exactly as the paper's pseudocode describes,
+//! plus sequential reference implementations used for validation and for
+//! the single-thread baselines of Table 2.
+//!
+//! | Paper application | Module |
+//! |---|---|
+//! | Breadth-first search | [`bfs`] |
+//! | Betweenness centrality (Brandes, unweighted) | [`bc`] |
+//! | Graph radii estimation (64-way multi-BFS) | [`radii`] |
+//! | Connected components (label propagation) | [`cc`] |
+//! | PageRank and PageRank-Delta | [`pagerank`] |
+//! | Bellman–Ford shortest paths | [`bellman_ford`] |
+//!
+//! Every module exposes a `*_traced` variant that records per-round
+//! [`ligra::TraversalStats`], which the benchmark harness uses to
+//! regenerate the paper's frontier-dynamics figure.
+//!
+//! Beyond the paper's six applications, the modules [`kcore`], [`mis`]
+//! and [`triangle`] reproduce the extra applications shipped with the
+//! original Ligra source release (KCore.C, MIS.C, Triangle.C).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod bc;
+pub mod bellman_ford;
+pub mod bfs;
+pub mod cc;
+pub mod cc_ldd;
+pub mod eccentricity;
+pub mod kcore;
+pub mod mis;
+pub mod pagerank;
+pub mod radii;
+pub mod seq;
+pub mod triangle;
+
+pub use bc::{BcResult, bc, bc_traced};
+pub use bellman_ford::{BellmanFordResult, INFINITE_DISTANCE, bellman_ford, bellman_ford_traced};
+pub use bfs::{BfsResult, UNREACHED, bfs, bfs_traced, bfs_with};
+pub use cc::{CcResult, cc, cc_traced};
+pub use cc_ldd::{cc_ldd, ldd};
+pub use eccentricity::{k_bfs_two_pass, two_approx};
+pub use kcore::{KCoreResult, kcore, kcore_traced};
+pub use mis::{MisResult, mis, mis_traced};
+pub use pagerank::{PageRankResult, pagerank, pagerank_delta, pagerank_traced};
+pub use radii::{RadiiResult, radii, radii_from_sample, radii_traced};
+pub use triangle::{TriangleResult, triangle_count};

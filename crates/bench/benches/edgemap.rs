@@ -1,0 +1,61 @@
+//! Criterion microbenches for `edgeMap` — the sparse/dense/dense-forward
+//! traversals on frontiers of varying density, plus the A2 dedup ablation.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use ligra::{EdgeMapOptions, Traversal, VertexSubset, edge_fn, edge_map_with};
+use ligra_graph::Graph;
+use ligra_graph::generators::rmat::{RmatOptions, rmat};
+use std::hint::black_box;
+
+fn frontier_of_density(g: &Graph, one_in: u32) -> Vec<u32> {
+    (0..g.num_vertices() as u32).filter(|v| v % one_in == 0).collect()
+}
+
+fn bench_traversals(c: &mut Criterion) {
+    let g = rmat(&RmatOptions::paper(14));
+    let mut group = c.benchmark_group("edgemap");
+    group.sample_size(10);
+
+    for (label, one_in) in [("dense_frontier", 2u32), ("mid_frontier", 64), ("tiny_frontier", 4096)]
+    {
+        let members = frontier_of_density(&g, one_in);
+        for t in [Traversal::Sparse, Traversal::Dense, Traversal::DenseForward, Traversal::Auto] {
+            group.bench_function(format!("{label}/{t:?}"), |b| {
+                b.iter(|| {
+                    let f = edge_fn(|_s, _d, _w: ()| true, |_| true);
+                    let mut fr =
+                        VertexSubset::from_sparse(g.num_vertices(), members.clone());
+                    let out =
+                        edge_map_with(&g, &mut fr, &f, EdgeMapOptions::new().traversal(t));
+                    black_box(out.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    // A2: cost of duplicate removal on a sparse traversal whose edge
+    // function claims every target (worst-case duplicate volume).
+    let g = rmat(&RmatOptions::paper(14));
+    let members = frontier_of_density(&g, 64);
+    let mut group = c.benchmark_group("edgemap_dedup");
+    group.sample_size(10);
+    for (label, dedup) in [("without", false), ("with", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let f = edge_fn(|_s, _d, _w: ()| true, |_| true);
+                let mut fr = VertexSubset::from_sparse(g.num_vertices(), members.clone());
+                let opts = EdgeMapOptions::new()
+                    .traversal(Traversal::Sparse)
+                    .deduplicate(dedup);
+                black_box(edge_map_with(&g, &mut fr, &f, opts).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_traversals, bench_dedup);
+criterion_main!(benches);

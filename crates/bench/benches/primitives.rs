@@ -1,0 +1,91 @@
+//! Criterion benches for the parallel-primitives substrate (the pieces
+//! the sparse `edgeMap` hot path is built from: scan, pack, histogram,
+//! reduce, priority update).
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use ligra_parallel::atomics::{as_atomic_u32, priority_min, write_min_u32};
+use ligra_parallel::hash::hash32;
+use ligra_parallel::histogram::histogram_u32;
+use ligra_parallel::pack::{filter, pack_index};
+use ligra_parallel::reduce::sum_u64;
+use ligra_parallel::scan::{prefix_sums, scan_inplace_exclusive};
+use rayon::prelude::*;
+use std::hint::black_box;
+
+const N: usize = 1 << 20;
+
+fn bench_scan(c: &mut Criterion) {
+    let xs: Vec<u64> = (0..N as u32).map(|i| (hash32(i) % 16) as u64).collect();
+    let mut group = c.benchmark_group("scan");
+    group.sample_size(20);
+    group.bench_function("prefix_sums_1M", |b| b.iter(|| black_box(prefix_sums(&xs))));
+    group.bench_function("scan_inplace_1M", |b| {
+        b.iter(|| {
+            let mut ys = xs.clone();
+            black_box(scan_inplace_exclusive(&mut ys, 0u64, |a, b| a + b))
+        })
+    });
+    group.finish();
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let xs: Vec<u32> = (0..N as u32).map(hash32).collect();
+    let flags: Vec<bool> = xs.iter().map(|&x| x % 3 == 0).collect();
+    let mut group = c.benchmark_group("pack");
+    group.sample_size(20);
+    group.bench_function("filter_1M", |b| {
+        b.iter(|| black_box(filter(&xs, |&x| x % 3 == 0).len()))
+    });
+    group.bench_function("pack_index_1M", |b| b.iter(|| black_box(pack_index(&flags).len())));
+    group.finish();
+}
+
+fn bench_histogram_reduce(c: &mut Criterion) {
+    let keys: Vec<u32> = (0..N as u32).map(|i| hash32(i) % 4096).collect();
+    let xs: Vec<u64> = (0..N as u32).map(|i| hash32(i) as u64).collect();
+    let mut group = c.benchmark_group("histogram_reduce");
+    group.sample_size(20);
+    group.bench_function("histogram_1M_4k_keys", |b| {
+        b.iter(|| black_box(histogram_u32(&keys, 4096)))
+    });
+    group.bench_function("sum_1M", |b| b.iter(|| black_box(sum_u64(&xs))));
+    group.finish();
+}
+
+fn bench_priority_update(c: &mut Criterion) {
+    // A4: fetch_min-based writeMin vs the CAS-loop priority update, all
+    // threads hammering one location (the SPAA'13 contention scenario).
+    let vals: Vec<u32> = (0..(1 << 16) as u32).map(hash32).collect();
+    let mut group = c.benchmark_group("priority_update");
+    group.sample_size(20);
+    group.bench_function("fetch_min_contended", |b| {
+        b.iter(|| {
+            let mut cell = vec![u32::MAX];
+            let a = &as_atomic_u32(&mut cell)[0];
+            vals.par_iter().for_each(|&v| {
+                write_min_u32(a, v);
+            });
+            black_box(cell[0])
+        })
+    });
+    group.bench_function("cas_loop_contended", |b| {
+        b.iter(|| {
+            let mut cell = vec![u32::MAX];
+            let a = &as_atomic_u32(&mut cell)[0];
+            vals.par_iter().for_each(|&v| {
+                priority_min(a, v);
+            });
+            black_box(cell[0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scan,
+    bench_pack,
+    bench_histogram_reduce,
+    bench_priority_update
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! **Figure F1** — frontier dynamics.
+//!
+//! Per `edgeMap` round: frontier size in vertices, frontier size in
+//! out-edges, the traversal direction the heuristic chose, and the output
+//! size. The paper's figure shows rMat frontiers exploding within a few
+//! rounds (where the framework flips to the dense/pull direction) and
+//! collapsing at the end; the 3d-grid stays small and sparse throughout.
+
+use ligra::{EdgeMapOptions, TraversalStats};
+use ligra_apps as apps;
+use ligra_bench::{Scale, inputs};
+
+fn print_trace(label: &str, m: usize, stats: &TraversalStats) {
+    println!("\n{label} (m = {m}, dense threshold = m/20 = {})", m / 20);
+    println!(
+        "{:>6} {:>12} {:>14} {:>11} {:>10}",
+        "round", "vertices", "out-edges", "mode", "output"
+    );
+    for (i, r) in stats.rounds.iter().enumerate() {
+        println!(
+            "{:>6} {:>12} {:>14} {:>11} {:>10}",
+            i + 1,
+            r.frontier_vertices,
+            r.frontier_out_edges,
+            r.mode.to_string(),
+            r.output_vertices
+        );
+    }
+    let (s, d, f) = stats.mode_counts();
+    println!("mode counts: sparse={s} dense={d} dense-fwd={f}");
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Figure F1: per-round frontier sizes and traversal modes (scale = {scale:?})");
+    for input in inputs(scale) {
+        let g = &input.graph;
+        let mut stats = TraversalStats::new();
+        let _ = apps::bfs_traced(g, input.source, EdgeMapOptions::default(), &mut stats);
+        print_trace(&format!("BFS on {}", input.name), g.num_edges(), &stats);
+
+        if g.is_symmetric() {
+            let mut stats = TraversalStats::new();
+            let _ = apps::cc_traced(g, EdgeMapOptions::default(), &mut stats);
+            print_trace(
+                &format!("Components on {}", input.name),
+                g.num_edges(),
+                &stats,
+            );
+        }
+
+        let mut stats = TraversalStats::new();
+        let _ = apps::bc_traced(g, input.source, EdgeMapOptions::default(), &mut stats);
+        print_trace(
+            &format!("BC (fwd+back) on {}", input.name),
+            g.num_edges(),
+            &stats,
+        );
+    }
+}

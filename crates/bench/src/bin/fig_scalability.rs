@@ -1,0 +1,84 @@
+//! **Figure F4** — thread scalability.
+//!
+//! Running time of every application as a function of the worker-thread
+//! count (1, 2, 4, … up to the host's logical cores). The paper's figure
+//! shows near-linear self-relative speedup to 40 cores with an extra
+//! bump from hyper-threading. On a single-core host this collapses to one
+//! column; the harness still runs every pool size requested so the
+//! machinery is exercised.
+
+use ligra_apps as apps;
+use ligra_bench::{Scale, fmt_secs, inputs, time_best};
+use ligra_graph::generators::random_weights;
+use ligra_parallel::utils::with_threads;
+
+fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut counts = vec![1usize];
+    while *counts.last().unwrap() * 2 <= max {
+        counts.push(counts.last().unwrap() * 2);
+    }
+    if *counts.last().unwrap() != max {
+        counts.push(max);
+    }
+    counts
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let counts = thread_counts();
+    // The paper uses its rMat graph for the scalability plot.
+    let suite = inputs(scale);
+    let input = suite.into_iter().find(|i| i.name == "rMat").expect("rMat input");
+    let g = &input.graph;
+    let src = input.source;
+    let wg = random_weights(g, 100, 7);
+
+    println!(
+        "Figure F4: time vs threads on rMat (n = {}, m = {}, scale = {scale:?})",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    print!("{:<14}", "application");
+    for &t in &counts {
+        print!(" {:>9}", format!("T={t}"));
+    }
+    println!(" {:>9}", "speedup");
+
+    type AppFn<'a> = Box<dyn Fn() + Sync + 'a>;
+    let apps_list: Vec<(&str, AppFn)> = vec![
+        ("BFS", Box::new(|| {
+            std::hint::black_box(apps::bfs(g, src));
+        })),
+        ("BC", Box::new(|| {
+            std::hint::black_box(apps::bc(g, src));
+        })),
+        ("Radii", Box::new(|| {
+            std::hint::black_box(apps::radii(g, 1));
+        })),
+        ("Components", Box::new(|| {
+            std::hint::black_box(apps::cc(g));
+        })),
+        ("PageRank(1)", Box::new(|| {
+            std::hint::black_box(apps::pagerank(g, 0.85, 0.0, 1));
+        })),
+        ("Bellman-Ford", Box::new(|| {
+            std::hint::black_box(apps::bellman_ford(&wg, src));
+        })),
+    ];
+
+    for (name, f) in &apps_list {
+        print!("{name:<14}");
+        let mut first = f64::NAN;
+        let mut last = f64::NAN;
+        for &t in &counts {
+            let secs = with_threads(t, || time_best(3, || f()));
+            if t == 1 {
+                first = secs;
+            }
+            last = secs;
+            print!(" {:>9}", fmt_secs(secs));
+        }
+        println!(" {:>8.2}x", first / last);
+    }
+}

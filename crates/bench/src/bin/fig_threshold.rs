@@ -1,0 +1,41 @@
+//! **Figure F3** — sensitivity to the direction-switch threshold.
+//!
+//! BFS running time as the sparse/dense switching threshold sweeps from
+//! `m/2` down to `m/2¹⁰`, plus the pure-sparse and pure-dense endpoints.
+//! The paper's shape: a wide flat plateau around the default `m/20`
+//! (the heuristic is robust), rising at both extremes where the traversal
+//! degenerates into sparse-only or dense-only.
+
+use ligra::{EdgeMapOptions, Traversal};
+use ligra_apps as apps;
+use ligra_bench::{Scale, fmt_secs, inputs, time_best};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Figure F3: BFS time vs direction-switch threshold (scale = {scale:?})");
+    for input in inputs(scale) {
+        let g = &input.graph;
+        let m = g.num_edges() as u64;
+        println!("\n{} (m = {m}):", input.name);
+        println!("{:>14} {:>12}", "threshold", "BFS time");
+
+        let sparse = time_best(3, || {
+            apps::bfs_with(g, input.source, EdgeMapOptions::new().traversal(Traversal::Sparse))
+        });
+        println!("{:>14} {:>12}", "sparse-only", fmt_secs(sparse));
+
+        for k in 1..=10u32 {
+            let threshold = m >> k;
+            let opts = EdgeMapOptions::new().threshold(threshold);
+            let secs = time_best(3, || apps::bfs_with(g, input.source, opts));
+            let marker = if k == 4 || k == 5 { "  <- around default m/20" } else { "" };
+            println!("{:>11}m/2^{k:<2} {:>12}{marker}", "", fmt_secs(secs));
+        }
+
+        let dense = time_best(3, || {
+            apps::bfs_with(g, input.source, EdgeMapOptions::new().traversal(Traversal::Dense))
+        });
+        println!("{:>14} {:>12}", "dense-only", fmt_secs(dense));
+    }
+    println!("\nexpected shape: flat plateau in the middle, degrading toward both endpoints.");
+}

@@ -1,0 +1,22 @@
+//! **Table 1** — input graph statistics.
+//!
+//! Paper columns: input name, number of vertices, number of directed
+//! edges. We add degree statistics and the paper counterpart each family
+//! substitutes for. Run with `LIGRA_SCALE={tiny,default,large}`.
+
+use ligra_bench::{Scale, inputs, print_graph_row};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table 1: input graphs (scale = {scale:?})");
+    println!(
+        "{:<14} {:>10} {:>12} {:>10} {:>8} {:>9} {}",
+        "input", "vertices", "edges", "max-deg", "avg-deg", "isolated", "kind"
+    );
+    for input in inputs(scale) {
+        print_graph_row(input.name, &input.graph);
+    }
+    println!();
+    println!("paper counterparts: 3d-grid -> 3d-grid(1e7), random-local -> randLocal(1e7),");
+    println!("rMat -> rMat24/27, rMat-sk -> Twitter/Yahoo (real graphs; see DESIGN.md section 2)");
+}

@@ -1,0 +1,92 @@
+//! **Table 2** — per-application running times.
+//!
+//! Paper columns per (graph, application): single-thread time of a plain
+//! sequential implementation, parallel time on all cores
+//! (hyper-threaded 40-core in the paper; whatever this host has here),
+//! and the self-relative speedup. The *shape* to check: the parallel
+//! framework is within a small factor of sequential on one thread and
+//! scales with cores; on a 1-core host expect speedup ≈ 1 or slightly
+//! below (framework overhead), as recorded in EXPERIMENTS.md.
+
+use ligra_apps as apps;
+use ligra_bench::{Input, Scale, fmt_secs, inputs, time_best};
+use ligra_graph::generators::random_weights;
+
+const PAGERANK_ITERS: usize = 1; // the paper times one PageRank iteration
+
+fn bench_app(input: &Input, app: &str) -> (f64, f64) {
+    let g = &input.graph;
+    let src = input.source;
+    let reps = 3;
+    match app {
+        "BFS" => {
+            let seq = time_best(reps, || apps::seq::seq_bfs(g, src));
+            let par = time_best(reps, || apps::bfs(g, src));
+            (seq, par)
+        }
+        "BC" => {
+            let seq = time_best(reps, || apps::seq::seq_brandes(g, src));
+            let par = time_best(reps, || apps::bc(g, src));
+            (seq, par)
+        }
+        "Radii" => {
+            // Sequential reference: the same 64 BFS runs, one at a time.
+            let sample = apps::radii::pick_sample(g, 1);
+            let seq = time_best(1, || {
+                for &s in &sample {
+                    std::hint::black_box(apps::seq::seq_bfs(g, s));
+                }
+            });
+            let par = time_best(reps, || apps::radii(g, 1));
+            (seq, par)
+        }
+        "Components" => {
+            if !g.is_symmetric() {
+                return (f64::NAN, f64::NAN); // CC needs symmetric input
+            }
+            let seq = time_best(reps, || apps::seq::seq_cc(g));
+            let par = time_best(reps, || apps::cc(g));
+            (seq, par)
+        }
+        "PageRank" => {
+            let seq = time_best(reps, || apps::seq::seq_pagerank(g, 0.85, 0.0, PAGERANK_ITERS));
+            let par = time_best(reps, || apps::pagerank(g, 0.85, 0.0, PAGERANK_ITERS));
+            (seq, par)
+        }
+        "Bellman-Ford" => {
+            let wg = random_weights(g, 100, 7);
+            let seq = time_best(1, || apps::seq::seq_bellman_ford(&wg, src));
+            let par = time_best(reps, || apps::bellman_ford(&wg, src));
+            (seq, par)
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let nthreads = rayon::current_num_threads();
+    println!("Table 2: running times (scale = {scale:?}, {nthreads} thread(s))");
+    println!(
+        "{:<14} {:<13} {:>12} {:>12} {:>9}",
+        "input", "application", "sequential", "parallel", "speedup"
+    );
+    let suite = inputs(scale);
+    for input in &suite {
+        for app in ["BFS", "BC", "Radii", "Components", "PageRank", "Bellman-Ford"] {
+            let (seq, par) = bench_app(input, app);
+            if seq.is_nan() {
+                println!("{:<14} {:<13} {:>12} {:>12} {:>9}", input.name, app, "-", "-", "n/a");
+                continue;
+            }
+            println!(
+                "{:<14} {:<13} {:>12} {:>12} {:>8.2}x",
+                input.name,
+                app,
+                fmt_secs(seq),
+                fmt_secs(par),
+                seq / par
+            );
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Variable-length byte codes (the "byte" codes of Ligra+).
+//!
+//! Unsigned integers are split into 7-bit groups, least significant
+//! first; the high bit of each byte marks continuation. Signed values
+//! (the first-neighbor offset `ngh₀ − v` can be negative) are zigzag
+//! mapped first. These are exactly the codes Ligra+ reports as the best
+//! time/space tradeoff (its nibble and run-length codes trade a little
+//! more space for decode speed; byte codes are its default).
+
+/// Appends the byte code of `v` to `out`; returns the encoded length.
+#[inline]
+pub fn encode_u64(mut v: u64, out: &mut Vec<u8>) -> usize {
+    let mut len = 0;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        len += 1;
+        if v == 0 {
+            out.push(byte);
+            return len;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes a byte code starting at `data[pos]`; returns `(value, new_pos)`.
+///
+/// # Panics
+/// Panics (by slice indexing) if the code runs past the end of `data`.
+#[inline]
+pub fn decode_u64(data: &[u8], mut pos: usize) -> (u64, usize) {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = data[pos];
+        pos += 1;
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return (v, pos);
+        }
+        shift += 7;
+        debug_assert!(shift < 64, "varint longer than 64 bits");
+    }
+}
+
+/// Zigzag map: interleaves signed values onto the unsigned line
+/// (0, -1, 1, -2, 2, …) so small magnitudes get short codes.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends the zigzag byte code of a signed value.
+#[inline]
+pub fn encode_i64(v: i64, out: &mut Vec<u8>) -> usize {
+    encode_u64(zigzag(v), out)
+}
+
+/// Decodes a zigzag byte code.
+#[inline]
+pub fn decode_i64(data: &[u8], pos: usize) -> (i64, usize) {
+    let (u, pos) = decode_u64(data, pos);
+    (unzigzag(u), pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 255, 16383, 16384, u32::MAX as u64, u64::MAX];
+        let mut lens = Vec::new();
+        for &v in &values {
+            lens.push(encode_u64(v, &mut buf));
+        }
+        let mut pos = 0;
+        for (i, &v) in values.iter().enumerate() {
+            let (got, next) = decode_u64(&buf, pos);
+            assert_eq!(got, v);
+            assert_eq!(next - pos, lens[i]);
+            pos = next;
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn code_lengths_are_minimal() {
+        let mut buf = Vec::new();
+        assert_eq!(encode_u64(0, &mut buf), 1);
+        assert_eq!(encode_u64(127, &mut buf), 1);
+        assert_eq!(encode_u64(128, &mut buf), 2);
+        assert_eq!(encode_u64(16383, &mut buf), 2);
+        assert_eq!(encode_u64(16384, &mut buf), 3);
+        assert_eq!(encode_u64(u64::MAX, &mut buf), 10);
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection_on_small_values() {
+        for v in -1000i64..=1000 {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+        assert_eq!(unzigzag(zigzag(i64::MAX)), i64::MAX);
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0i64, -1, 1, -64, 63, -65, 64, i32::MIN as i64, i64::MAX];
+        for &v in &values {
+            encode_i64(v, &mut buf);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            let (got, next) = decode_i64(&buf, pos);
+            assert_eq!(got, v);
+            pos = next;
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn truncated_code_panics() {
+        let mut buf = Vec::new();
+        encode_u64(1 << 20, &mut buf);
+        buf.pop();
+        let _ = decode_u64(&buf, 0);
+    }
+}

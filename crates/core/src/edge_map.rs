@@ -1,0 +1,512 @@
+//! `edgeMap` — Ligra's central primitive, with automatic direction
+//! optimization.
+//!
+//! `edge_map(G, U, F)` applies `F` to every edge `(u, v)` with `u ∈ U` and
+//! `C(v)`, returning the subset of targets for which `F` returned `true`.
+//! Three concrete traversals implement it:
+//!
+//! * [`edge_map_sparse`] (push): parallel over the frontier's vertices,
+//!   writing winners into a scan-allocated output array. O(|U| + Σ deg⁺(u))
+//!   work — cheap for small frontiers.
+//! * [`edge_map_dense`] (pull): parallel over *all* vertices, scanning each
+//!   unclaimed target's in-edges sequentially with an early exit as soon as
+//!   `cond` turns false. O(n + m) worst case, but for huge frontiers the
+//!   early exit reads only a small fraction of edges, and no atomics are
+//!   needed because each target has one owner thread.
+//! * [`edge_map_dense_forward`] (push over dense frontier): the paper's
+//!   write-based dense variant — walks every frontier vertex's out-edges,
+//!   needing no transpose but atomic updates and no early exit.
+//!
+//! The direction heuristic (the paper's `|U| + Σ deg⁺(u) > m/20`) picks
+//! pull for large frontiers and push for small ones, generalizing Beamer
+//! et al.'s direction-optimizing BFS to every frontier algorithm.
+
+use crate::options::{EdgeMapOptions, Traversal};
+use crate::stats::{Mode, RoundStat, TraversalStats};
+use crate::traits::EdgeMapFn;
+use crate::vertex_subset::VertexSubset;
+use ligra_graph::{Graph, VertexId};
+use ligra_parallel::atomics::{as_atomic_bool, as_atomic_u32};
+use ligra_parallel::bitvec::AtomicBitVec;
+use ligra_parallel::pack::filter;
+use ligra_parallel::scan::prefix_sums;
+use rayon::prelude::*;
+use std::sync::atomic::Ordering;
+
+/// Sentinel marking an empty slot in the sparse output array.
+const NONE_SLOT: u32 = u32::MAX;
+
+/// Out-degree above which a single frontier vertex's edges are processed
+/// with nested parallelism (power-law hubs would otherwise serialize a
+/// whole round on one thread).
+const HUB_DEGREE: usize = 1 << 13;
+
+/// Edge weight for position `j` of a weight slice; `()` graphs carry no
+/// weight memory, so zero-sized `W` short-circuits to the default.
+#[inline(always)]
+fn wt<W: Copy + Default>(ws: &[W], j: usize) -> W {
+    if std::mem::size_of::<W>() == 0 { W::default() } else { ws[j] }
+}
+
+/// `edgeMap` with default options (auto direction, `m/20` threshold).
+///
+/// The input subset may be converted between representations in place —
+/// that is the conversion caching the original system performs.
+pub fn edge_map<W, F>(g: &Graph<W>, frontier: &mut VertexSubset, f: &F) -> VertexSubset
+where
+    W: Copy + Send + Sync + Default,
+    F: EdgeMapFn<W>,
+{
+    edge_map_with(g, frontier, f, EdgeMapOptions::default())
+}
+
+/// `edgeMap` with explicit [`EdgeMapOptions`].
+pub fn edge_map_with<W, F>(
+    g: &Graph<W>,
+    frontier: &mut VertexSubset,
+    f: &F,
+    opts: EdgeMapOptions,
+) -> VertexSubset
+where
+    W: Copy + Send + Sync + Default,
+    F: EdgeMapFn<W>,
+{
+    edge_map_impl(g, frontier, f, opts, None)
+}
+
+/// `edgeMap` recording one [`RoundStat`] into `stats`.
+pub fn edge_map_traced<W, F>(
+    g: &Graph<W>,
+    frontier: &mut VertexSubset,
+    f: &F,
+    opts: EdgeMapOptions,
+    stats: &mut TraversalStats,
+) -> VertexSubset
+where
+    W: Copy + Send + Sync + Default,
+    F: EdgeMapFn<W>,
+{
+    edge_map_impl(g, frontier, f, opts, Some(stats))
+}
+
+fn edge_map_impl<W, F>(
+    g: &Graph<W>,
+    frontier: &mut VertexSubset,
+    f: &F,
+    opts: EdgeMapOptions,
+    stats: Option<&mut TraversalStats>,
+) -> VertexSubset
+where
+    W: Copy + Send + Sync + Default,
+    F: EdgeMapFn<W>,
+{
+    let n = g.num_vertices();
+    assert_eq!(
+        frontier.num_vertices(),
+        n,
+        "frontier universe does not match the graph"
+    );
+
+    let frontier_vertices = frontier.len() as u64;
+    let out_edges = frontier_degree_sum(g, frontier);
+    let work = frontier_vertices + out_edges;
+
+    let mode = match opts.traversal {
+        Traversal::Sparse => Mode::Sparse,
+        Traversal::Dense => Mode::Dense,
+        Traversal::DenseForward => Mode::DenseForward,
+        Traversal::Auto => {
+            if work > opts.effective_threshold(g.num_edges()) {
+                Mode::Dense
+            } else {
+                Mode::Sparse
+            }
+        }
+    };
+
+    let result = if frontier.is_empty() {
+        VertexSubset::empty(n)
+    } else {
+        match mode {
+            Mode::Sparse => {
+                let vs = frontier.as_slice();
+                edge_map_sparse(g, vs, f, opts.deduplicate, opts.output)
+            }
+            Mode::Dense => edge_map_dense(g, frontier.as_bools(), f, opts.output),
+            Mode::DenseForward => edge_map_dense_forward(g, frontier.as_bools(), f, opts.output),
+        }
+    };
+
+    if let Some(stats) = stats {
+        stats.rounds.push(RoundStat {
+            frontier_vertices,
+            frontier_out_edges: out_edges,
+            mode,
+            output_vertices: result.len() as u64,
+        });
+    }
+    result
+}
+
+/// `|U|`'s incident out-edge count, from whichever representation the
+/// frontier currently has (no conversion).
+fn frontier_degree_sum<W: Copy + Send + Sync>(g: &Graph<W>, frontier: &VertexSubset) -> u64 {
+    if let Some(vs) = frontier.sparse() {
+        g.out_degree_sum(vs)
+    } else if let Some(flags) = frontier.dense() {
+        flags
+            .par_iter()
+            .enumerate()
+            .filter(|&(_, &b)| b)
+            .map(|(v, _)| g.out_degree(v as VertexId) as u64)
+            .sum()
+    } else {
+        unreachable!()
+    }
+}
+
+/// Push traversal over a sparse frontier. Public for the ablation benches;
+/// use [`edge_map_with`] with [`Traversal::Sparse`] in normal code.
+pub fn edge_map_sparse<W, F>(
+    g: &Graph<W>,
+    vs: &[VertexId],
+    f: &F,
+    deduplicate: bool,
+    output: bool,
+) -> VertexSubset
+where
+    W: Copy + Send + Sync + Default,
+    F: EdgeMapFn<W>,
+{
+    let n = g.num_vertices();
+    if !output {
+        // Side-effect-only pass: no scan, no output array.
+        vs.par_iter().for_each(|&u| {
+            let ns = g.out_neighbors(u);
+            let ws = g.out_weights(u);
+            let body = |j: usize| {
+                let v = ns[j];
+                if f.cond(v) {
+                    f.update_atomic(u, v, wt(ws, j));
+                }
+            };
+            if ns.len() >= HUB_DEGREE {
+                (0..ns.len()).into_par_iter().for_each(body);
+            } else {
+                (0..ns.len()).for_each(body);
+            }
+        });
+        return VertexSubset::empty(n);
+    }
+
+    // Offsets of each source's slice of the output array.
+    let degrees: Vec<u64> = vs.par_iter().map(|&u| g.out_degree(u) as u64).collect();
+    let (offsets, total) = prefix_sums(&degrees);
+
+    let mut out: Vec<u32> = vec![NONE_SLOT; total as usize];
+    {
+        let aout = as_atomic_u32(&mut out);
+        vs.par_iter().enumerate().for_each(|(i, &u)| {
+            let base = offsets[i] as usize;
+            let ns = g.out_neighbors(u);
+            let ws = g.out_weights(u);
+            let body = |j: usize| {
+                let v = ns[j];
+                if f.cond(v) && f.update_atomic(u, v, wt(ws, j)) {
+                    aout[base + j].store(v, Ordering::Relaxed);
+                }
+            };
+            if ns.len() >= HUB_DEGREE {
+                (0..ns.len()).into_par_iter().for_each(body);
+            } else {
+                (0..ns.len()).for_each(body);
+            }
+        });
+    }
+
+    let mut next = filter(&out, |&x| x != NONE_SLOT);
+    if deduplicate && !next.is_empty() {
+        let seen = AtomicBitVec::new(n);
+        next = filter(&next, |&v| seen.set(v as usize));
+    }
+    VertexSubset::from_sparse(n, next)
+}
+
+/// Pull traversal over all vertices. Each target is owned by one thread,
+/// so the non-atomic [`EdgeMapFn::update`] is used and the in-edge scan
+/// stops as soon as `cond` fails (BFS: parent found).
+pub fn edge_map_dense<W, F>(g: &Graph<W>, flags: &[bool], f: &F, output: bool) -> VertexSubset
+where
+    W: Copy + Send + Sync + Default,
+    F: EdgeMapFn<W>,
+{
+    let n = g.num_vertices();
+    debug_assert_eq!(flags.len(), n);
+    let mut next = vec![false; n];
+    next.par_iter_mut().enumerate().for_each(|(v, slot)| {
+        let v = v as VertexId;
+        if f.cond(v) {
+            let ns = g.in_neighbors(v);
+            let ws = g.in_weights(v);
+            for j in 0..ns.len() {
+                let u = ns[j];
+                if flags[u as usize] && f.update(u, v, wt(ws, j)) && output {
+                    *slot = true;
+                }
+                if !f.cond(v) {
+                    break;
+                }
+            }
+        }
+    });
+    if output {
+        VertexSubset::from_dense(n, next)
+    } else {
+        VertexSubset::empty(n)
+    }
+}
+
+/// Write-based dense traversal: walk the out-edges of every frontier
+/// vertex using the dense representation. No transpose required, but
+/// updates race (atomic variant used) and there is no early exit.
+pub fn edge_map_dense_forward<W, F>(
+    g: &Graph<W>,
+    flags: &[bool],
+    f: &F,
+    output: bool,
+) -> VertexSubset
+where
+    W: Copy + Send + Sync + Default,
+    F: EdgeMapFn<W>,
+{
+    let n = g.num_vertices();
+    debug_assert_eq!(flags.len(), n);
+    let mut next = vec![false; n];
+    {
+        let anext = as_atomic_bool(&mut next);
+        (0..n).into_par_iter().for_each(|u| {
+            if flags[u] {
+                let u = u as VertexId;
+                let ns = g.out_neighbors(u);
+                let ws = g.out_weights(u);
+                for j in 0..ns.len() {
+                    let v = ns[j];
+                    if f.cond(v) && f.update_atomic(u, v, wt(ws, j)) && output {
+                        anext[v as usize].store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+        });
+    }
+    if output {
+        VertexSubset::from_dense(n, next)
+    } else {
+        VertexSubset::empty(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::edge_fn;
+    use ligra_graph::generators::{erdos_renyi, star};
+    use ligra_graph::{BuildOptions, build_graph};
+
+    /// Frontier's neighborhood, computed three ways, must agree.
+    fn neighborhood_via(g: &Graph, frontier: &[u32], traversal: Traversal) -> Vec<u32> {
+        let f = edge_fn(|_s: u32, _d: u32, _w: ()| true, |_| true);
+        let mut fr = VertexSubset::from_sparse(g.num_vertices(), frontier.to_vec());
+        let opts = EdgeMapOptions::new().traversal(traversal).deduplicate(true);
+        edge_map_with(g, &mut fr, &f, opts).to_vec_sorted()
+    }
+
+    fn reference_neighborhood(g: &Graph, frontier: &[u32]) -> Vec<u32> {
+        let mut out: Vec<u32> = frontier
+            .iter()
+            .flat_map(|&u| g.out_neighbors(u).iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn all_traversals_agree_on_neighborhood() {
+        let g = erdos_renyi(500, 4000, 7, true);
+        let frontier: Vec<u32> = (0..500u32).filter(|v| v % 13 == 0).collect();
+        let expect = reference_neighborhood(&g, &frontier);
+        for t in [Traversal::Sparse, Traversal::Dense, Traversal::DenseForward, Traversal::Auto] {
+            assert_eq!(neighborhood_via(&g, &frontier, t), expect, "traversal {t:?}");
+        }
+    }
+
+    #[test]
+    fn directed_graph_traversals_agree() {
+        let g = erdos_renyi(300, 2500, 3, false);
+        let frontier: Vec<u32> = (0..300u32).filter(|v| v % 7 == 0).collect();
+        let expect = reference_neighborhood(&g, &frontier);
+        for t in [Traversal::Sparse, Traversal::Dense, Traversal::DenseForward] {
+            assert_eq!(neighborhood_via(&g, &frontier, t), expect, "traversal {t:?}");
+        }
+    }
+
+    #[test]
+    fn empty_frontier_yields_empty_output() {
+        let g = star(10);
+        let f = edge_fn(|_, _, _: ()| true, |_| true);
+        let mut fr = VertexSubset::empty(10);
+        let out = edge_map(&g, &mut fr, &f);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cond_filters_targets() {
+        // Star: frontier {0}, cond rejects odd vertices.
+        let g = star(8);
+        let f = edge_fn(|_, _, _: ()| true, |d: u32| d % 2 == 0);
+        let mut fr = VertexSubset::single(8, 0);
+        for t in [Traversal::Sparse, Traversal::Dense, Traversal::DenseForward] {
+            let out = edge_map_with(&g, &mut fr, &f, EdgeMapOptions::new().traversal(t));
+            assert_eq!(out.to_vec_sorted(), vec![2, 4, 6], "traversal {t:?}");
+        }
+    }
+
+    #[test]
+    fn update_return_controls_membership() {
+        // Keep only targets > 4.
+        let g = star(8);
+        let f = edge_fn(|_, d: u32, _: ()| d > 4, |_| true);
+        let mut fr = VertexSubset::single(8, 0);
+        let out = edge_map(&g, &mut fr, &f);
+        assert_eq!(out.to_vec_sorted(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn auto_picks_sparse_for_tiny_frontier_and_dense_for_huge() {
+        let g = erdos_renyi(2000, 40_000, 1, true);
+        let f = edge_fn(|_, _, _: ()| true, |_| true);
+        let mut stats = TraversalStats::new();
+
+        let mut tiny = VertexSubset::single(2000, 0);
+        let _ = edge_map_traced(&g, &mut tiny, &f, EdgeMapOptions::new(), &mut stats);
+        assert_eq!(stats.rounds[0].mode, Mode::Sparse);
+
+        let mut huge = VertexSubset::all(2000);
+        let _ = edge_map_traced(&g, &mut huge, &f, EdgeMapOptions::new(), &mut stats);
+        assert_eq!(stats.rounds[1].mode, Mode::Dense);
+    }
+
+    #[test]
+    fn threshold_override_flips_direction() {
+        let g = erdos_renyi(1000, 10_000, 2, true);
+        let f = edge_fn(|_, _, _: ()| true, |_| true);
+        let mut stats = TraversalStats::new();
+        let mut fr = VertexSubset::single(1000, 0);
+        // Threshold 0: any nonempty frontier exceeds it -> dense.
+        let _ = edge_map_traced(&g, &mut fr, &f, EdgeMapOptions::new().threshold(0), &mut stats);
+        assert_eq!(stats.rounds[0].mode, Mode::Dense);
+        // Huge threshold -> sparse even for the full set.
+        let mut all = VertexSubset::all(1000);
+        let _ = edge_map_traced(
+            &g,
+            &mut all,
+            &f,
+            EdgeMapOptions::new().threshold(u64::MAX),
+            &mut stats,
+        );
+        assert_eq!(stats.rounds[1].mode, Mode::Sparse);
+    }
+
+    #[test]
+    fn sparse_without_dedup_repeats_targets() {
+        // Two sources both point at vertex 2.
+        let g = build_graph(3, &[(0, 2), (1, 2)], BuildOptions::directed());
+        let f = edge_fn(|_, _, _: ()| true, |_| true);
+        let mut fr = VertexSubset::from_sparse(3, vec![0, 1]);
+        let out = edge_map_with(
+            &g,
+            &mut fr,
+            &f,
+            EdgeMapOptions::new().traversal(Traversal::Sparse),
+        );
+        assert_eq!(out.to_vec_sorted(), vec![2, 2]);
+        let deduped = edge_map_with(
+            &g,
+            &mut fr,
+            &f,
+            EdgeMapOptions::new().traversal(Traversal::Sparse).deduplicate(true),
+        );
+        assert_eq!(deduped.to_vec_sorted(), vec![2]);
+    }
+
+    #[test]
+    fn no_output_returns_empty_but_applies_updates() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let g = star(50);
+        let hits = AtomicUsize::new(0);
+        let f = edge_fn(
+            |_, _, _: ()| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                true
+            },
+            |_| true,
+        );
+        let mut fr = VertexSubset::single(50, 0);
+        for t in [Traversal::Sparse, Traversal::Dense, Traversal::DenseForward] {
+            hits.store(0, Ordering::Relaxed);
+            let out =
+                edge_map_with(&g, &mut fr, &f, EdgeMapOptions::new().traversal(t).no_output());
+            assert!(out.is_empty(), "traversal {t:?}");
+            assert_eq!(hits.load(Ordering::Relaxed), 49, "traversal {t:?}");
+        }
+    }
+
+    #[test]
+    fn dense_early_exit_stops_scanning() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Complete-ish graph: vertex v has many in-neighbors; cond turns
+        // false after the first update, so each target sees ~1 call.
+        let g = ligra_graph::generators::complete(64);
+        let calls = AtomicUsize::new(0);
+        let done = AtomicBitVec::new(64);
+        let f = edge_fn(
+            |_, d: u32, _: ()| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                done.set(d as usize);
+                true
+            },
+            |d: u32| !done.get(d as usize),
+        );
+        let mut fr = VertexSubset::all(64);
+        let _ = edge_map_with(&g, &mut fr, &f, EdgeMapOptions::new().traversal(Traversal::Dense));
+        let c = calls.load(Ordering::Relaxed);
+        assert!(c <= 64 + 63, "early exit failed: {c} calls for 64 targets");
+    }
+
+    #[test]
+    fn weighted_edge_map_passes_weights() {
+        use ligra_graph::build_weighted_graph;
+        let g = build_weighted_graph(
+            3,
+            &[(0, 1), (0, 2)],
+            &[10, 20],
+            BuildOptions::directed(),
+        );
+        // Keep targets whose incoming weight is 20.
+        let f = edge_fn(|_, _, w: i32| w == 20, |_| true);
+        let mut fr = VertexSubset::single(3, 0);
+        for t in [Traversal::Sparse, Traversal::Dense, Traversal::DenseForward] {
+            let out = edge_map_with(&g, &mut fr, &f, EdgeMapOptions::new().traversal(t));
+            assert_eq!(out.to_vec_sorted(), vec![2], "traversal {t:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "universe does not match")]
+    fn mismatched_universe_panics() {
+        let g = star(5);
+        let f = edge_fn(|_, _, _: ()| true, |_| true);
+        let mut fr = VertexSubset::single(6, 0);
+        let _ = edge_map(&g, &mut fr, &f);
+    }
+}

@@ -1,0 +1,109 @@
+//! `edgeMap` tuning knobs.
+
+/// Which traversal `edgeMap` should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Traversal {
+    /// The paper's direction heuristic: dense when
+    /// `|U| + Σ deg⁺(u) > threshold`, sparse otherwise.
+    Auto,
+    /// Always push along out-edges of the frontier (sparse representation).
+    Sparse,
+    /// Always pull along in-edges of all vertices (dense representation,
+    /// early exit via `cond`).
+    Dense,
+    /// Always push along out-edges of *all* vertices whose dense flag is
+    /// set — the paper's "dense forward" variant, which avoids reading the
+    /// transpose at the cost of atomic updates and no early exit.
+    DenseForward,
+}
+
+/// Options for [`crate::edge_map_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeMapOptions {
+    /// Direction-switch threshold; `None` means the paper's default
+    /// `m / 20`.
+    pub threshold: Option<u64>,
+    /// Remove duplicate vertices from the sparse output. Needed only when
+    /// the user's `update_atomic` may return `true` more than once for the
+    /// same target in one round (e.g. Bellman–Ford, where a vertex's
+    /// distance can improve repeatedly); BFS-style CAS functions guarantee
+    /// a single winner and can skip the extra pass.
+    pub deduplicate: bool,
+    /// Traversal selection.
+    pub traversal: Traversal,
+    /// When `false`, skip materializing the output subset (Ligra's
+    /// `no_output` flag) — used by PageRank, whose next frontier is
+    /// computed by a separate `vertexFilter`.
+    pub output: bool,
+}
+
+impl Default for EdgeMapOptions {
+    fn default() -> Self {
+        EdgeMapOptions {
+            threshold: None,
+            deduplicate: false,
+            traversal: Traversal::Auto,
+            output: true,
+        }
+    }
+}
+
+impl EdgeMapOptions {
+    /// Default options (auto direction, `m/20` threshold, no dedup).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets an explicit direction-switch threshold.
+    pub fn threshold(mut self, t: u64) -> Self {
+        self.threshold = Some(t);
+        self
+    }
+
+    /// Enables duplicate removal on the sparse output.
+    pub fn deduplicate(mut self, on: bool) -> Self {
+        self.deduplicate = on;
+        self
+    }
+
+    /// Forces a traversal strategy.
+    pub fn traversal(mut self, t: Traversal) -> Self {
+        self.traversal = t;
+        self
+    }
+
+    /// Disables output-subset construction.
+    pub fn no_output(mut self) -> Self {
+        self.output = false;
+        self
+    }
+
+    /// The effective threshold for a graph with `m` edges.
+    #[inline]
+    pub fn effective_threshold(&self, m: usize) -> u64 {
+        self.threshold.unwrap_or(m as u64 / 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_threshold_is_m_over_20() {
+        let o = EdgeMapOptions::new();
+        assert_eq!(o.effective_threshold(2000), 100);
+        assert_eq!(o.threshold(7).effective_threshold(2000), 7);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let o = EdgeMapOptions::new()
+            .deduplicate(true)
+            .traversal(Traversal::Sparse)
+            .no_output();
+        assert!(o.deduplicate);
+        assert_eq!(o.traversal, Traversal::Sparse);
+        assert!(!o.output);
+    }
+}

@@ -1,0 +1,108 @@
+//! Traversal instrumentation.
+//!
+//! The paper's frontier-dynamics figure plots, per `edgeMap` round, the
+//! frontier size (vertices and out-edges) and which direction the
+//! heuristic chose. [`TraversalStats`] records exactly those rows when
+//! passed to [`crate::edge_map_traced`].
+
+/// Which concrete traversal `edgeMap` executed for one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Push over the sparse frontier.
+    Sparse,
+    /// Pull over all vertices (read in-edges, early exit).
+    Dense,
+    /// Push over the dense frontier (no transpose needed).
+    DenseForward,
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mode::Sparse => write!(f, "sparse"),
+            Mode::Dense => write!(f, "dense"),
+            Mode::DenseForward => write!(f, "dense-fwd"),
+        }
+    }
+}
+
+/// One `edgeMap` round's record.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundStat {
+    /// `|U|` — number of vertices in the input frontier.
+    pub frontier_vertices: u64,
+    /// `Σ_{u∈U} deg⁺(u)` — out-edges incident to the frontier.
+    pub frontier_out_edges: u64,
+    /// Traversal the framework executed.
+    pub mode: Mode,
+    /// Number of vertices in the output subset (0 when output is skipped).
+    pub output_vertices: u64,
+}
+
+/// Per-round trace of a frontier-based computation.
+#[derive(Debug, Clone, Default)]
+pub struct TraversalStats {
+    /// One entry per `edgeMap` call, in execution order.
+    pub rounds: Vec<RoundStat>,
+}
+
+impl TraversalStats {
+    /// Fresh, empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded rounds.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Rounds that ran in each mode: `(sparse, dense, dense_forward)`.
+    pub fn mode_counts(&self) -> (usize, usize, usize) {
+        let mut s = 0;
+        let mut d = 0;
+        let mut f = 0;
+        for r in &self.rounds {
+            match r.mode {
+                Mode::Sparse => s += 1,
+                Mode::Dense => d += 1,
+                Mode::DenseForward => f += 1,
+            }
+        }
+        (s, d, f)
+    }
+
+    /// Total edges incident to all frontiers (the work the traversal
+    /// touched, modulo early exit).
+    pub fn total_frontier_edges(&self) -> u64 {
+        self.rounds.iter().map(|r| r.frontier_out_edges).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_counting() {
+        let mut t = TraversalStats::new();
+        for (mode, out) in [(Mode::Sparse, 2), (Mode::Dense, 100), (Mode::Sparse, 1)] {
+            t.rounds.push(RoundStat {
+                frontier_vertices: 1,
+                frontier_out_edges: 10,
+                mode,
+                output_vertices: out,
+            });
+        }
+        assert_eq!(t.num_rounds(), 3);
+        assert_eq!(t.mode_counts(), (2, 1, 0));
+        assert_eq!(t.total_frontier_edges(), 30);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Mode::Sparse.to_string(), "sparse");
+        assert_eq!(Mode::Dense.to_string(), "dense");
+        assert_eq!(Mode::DenseForward.to_string(), "dense-fwd");
+    }
+}

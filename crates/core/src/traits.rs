@@ -1,0 +1,126 @@
+//! The user-function interface of `edgeMap`.
+//!
+//! Ligra's `EDGEMAP(G, U, F, C)` takes two user callbacks:
+//!
+//! * `F(u, v) -> bool` — process edge `(u, v)`; return `true` to put `v`
+//!   in the output subset. The framework calls one of two variants:
+//!   [`EdgeMapFn::update`] when it can guarantee `v` is touched by a
+//!   single thread (the dense/pull traversal, where one thread owns each
+//!   target), and [`EdgeMapFn::update_atomic`] when multiple sources may
+//!   race on `v` (the sparse/push and dense-forward traversals).
+//! * `C(v) -> bool` — "is `v` still worth updating?" The dense traversal
+//!   breaks out of a target's in-edge scan as soon as `C(v)` turns false
+//!   (e.g. BFS stops reading in-edges once a parent is found), which is
+//!   where the pull direction's big constant-factor win comes from.
+
+use ligra_graph::VertexId;
+
+/// User function for [`crate::edge_map`] over graphs with edge data `W`
+/// (`()` for unweighted graphs).
+pub trait EdgeMapFn<W = ()>: Sync {
+    /// Processes edge `(src, dst)`; single-threaded access to `dst`.
+    ///
+    /// Returns `true` to add `dst` to the output subset.
+    fn update(&self, src: VertexId, dst: VertexId, w: W) -> bool;
+
+    /// Processes edge `(src, dst)` when `dst` may be updated concurrently;
+    /// must synchronize through atomics.
+    ///
+    /// Returns `true` to add `dst` to the output subset; for correctness
+    /// under races it must return `true` for **at most one** concurrent
+    /// update of the same `dst` per "win" (the CAS/priority-update idiom).
+    fn update_atomic(&self, src: VertexId, dst: VertexId, w: W) -> bool;
+
+    /// Whether `dst` should still be updated. Targets failing `cond` are
+    /// skipped entirely, and the dense traversal stops scanning a target's
+    /// in-edges once this turns false.
+    fn cond(&self, dst: VertexId) -> bool {
+        let _ = dst;
+        true
+    }
+}
+
+/// Adapter: a single atomic-safe closure used for both `update` variants,
+/// plus an optional `cond`.
+///
+/// Most applications write their update once with atomics (it is then
+/// trivially safe in the single-writer dense case too); this mirrors how
+/// the Ligra paper presents BFS before introducing the optimized
+/// non-atomic dense variants.
+pub struct ClosureEdgeMap<FU, FC> {
+    update: FU,
+    cond: FC,
+}
+
+impl<FU, FC> ClosureEdgeMap<FU, FC> {
+    /// Creates the adapter from an atomic-safe update and a cond.
+    pub fn new(update: FU, cond: FC) -> Self {
+        ClosureEdgeMap { update, cond }
+    }
+}
+
+impl<W, FU, FC> EdgeMapFn<W> for ClosureEdgeMap<FU, FC>
+where
+    W: Copy,
+    FU: Fn(VertexId, VertexId, W) -> bool + Sync,
+    FC: Fn(VertexId) -> bool + Sync,
+{
+    #[inline]
+    fn update(&self, src: VertexId, dst: VertexId, w: W) -> bool {
+        (self.update)(src, dst, w)
+    }
+
+    #[inline]
+    fn update_atomic(&self, src: VertexId, dst: VertexId, w: W) -> bool {
+        (self.update)(src, dst, w)
+    }
+
+    #[inline]
+    fn cond(&self, dst: VertexId) -> bool {
+        (self.cond)(dst)
+    }
+}
+
+/// Builds an [`EdgeMapFn`] from one atomic-safe closure and a cond closure.
+pub fn edge_fn<W, FU, FC>(update: FU, cond: FC) -> ClosureEdgeMap<FU, FC>
+where
+    W: Copy,
+    FU: Fn(VertexId, VertexId, W) -> bool + Sync,
+    FC: Fn(VertexId) -> bool + Sync,
+{
+    ClosureEdgeMap::new(update, cond)
+}
+
+/// The always-true cond (`C_true` in the paper).
+#[inline]
+pub fn cond_true(_: VertexId) -> bool {
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_adapter_dispatches_both_variants() {
+        let f = ClosureEdgeMap::new(|s: u32, d: u32, _w: ()| s < d, |d: u32| d != 3);
+        assert!(EdgeMapFn::update(&f, 1, 2, ()));
+        assert!(!EdgeMapFn::update_atomic(&f, 2, 1, ()));
+        assert!(f.cond(2));
+        assert!(!f.cond(3));
+    }
+
+    #[test]
+    fn default_cond_is_true() {
+        struct Always;
+        impl EdgeMapFn for Always {
+            fn update(&self, _: u32, _: u32, _: ()) -> bool {
+                true
+            }
+            fn update_atomic(&self, _: u32, _: u32, _: ()) -> bool {
+                true
+            }
+        }
+        assert!(Always.cond(123));
+    }
+}

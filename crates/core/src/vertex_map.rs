@@ -1,0 +1,118 @@
+//! `vertexMap` and `vertexFilter`.
+
+use crate::vertex_subset::VertexSubset;
+use ligra_graph::VertexId;
+use rayon::prelude::*;
+
+/// Applies `f` to every member of `subset` in parallel.
+///
+/// Works on whichever representation the subset currently has (no
+/// conversion): sparse iterates the member list, dense iterates all
+/// vertices and skips non-members.
+pub fn vertex_map(subset: &VertexSubset, f: impl Fn(VertexId) + Sync) {
+    if let Some(vs) = subset.sparse() {
+        vs.par_iter().for_each(|&v| f(v));
+    } else if let Some(flags) = subset.dense() {
+        flags.par_iter().enumerate().for_each(|(v, &b)| {
+            if b {
+                f(v as VertexId);
+            }
+        });
+    }
+}
+
+/// Returns the members of `subset` for which `f` returns `true`, applying
+/// `f` exactly once per member. Preserves the input's representation.
+pub fn vertex_filter(subset: &VertexSubset, f: impl Fn(VertexId) -> bool + Sync) -> VertexSubset {
+    let n = subset.num_vertices();
+    if let Some(vs) = subset.sparse() {
+        let kept = ligra_parallel::pack::filter(vs, |&v| f(v));
+        VertexSubset::from_sparse(n, kept)
+    } else if let Some(flags) = subset.dense() {
+        let out: Vec<bool> = flags
+            .par_iter()
+            .enumerate()
+            .map(|(v, &b)| b && f(v as VertexId))
+            .collect();
+        VertexSubset::from_dense(n, out)
+    } else {
+        unreachable!()
+    }
+}
+
+/// Sums `f(v)` over the members of `subset` (a common reduction in the
+/// applications, e.g. PageRank's dangling-mass and error terms).
+pub fn vertex_map_reduce_f64(subset: &VertexSubset, f: impl Fn(VertexId) -> f64 + Sync) -> f64 {
+    if let Some(vs) = subset.sparse() {
+        vs.par_iter().map(|&v| f(v)).sum()
+    } else if let Some(flags) = subset.dense() {
+        flags
+            .par_iter()
+            .enumerate()
+            .map(|(v, &b)| if b { f(v as VertexId) } else { 0.0 })
+            .sum()
+    } else {
+        unreachable!()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn map_visits_each_member_once_sparse() {
+        let hits: Vec<AtomicU32> = (0..10).map(|_| AtomicU32::new(0)).collect();
+        let s = VertexSubset::from_sparse(10, vec![1, 3, 5]);
+        vertex_map(&s, |v| {
+            hits[v as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        let counts: Vec<u32> = hits.iter().map(|h| h.load(Ordering::Relaxed)).collect();
+        assert_eq!(counts, vec![0, 1, 0, 1, 0, 1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn map_visits_each_member_once_dense() {
+        let hits: Vec<AtomicU32> = (0..8).map(|_| AtomicU32::new(0)).collect();
+        let mut s = VertexSubset::from_sparse(8, vec![0, 7]);
+        s.to_dense();
+        vertex_map(&s, |v| {
+            hits[v as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits[0].load(Ordering::Relaxed), 1);
+        assert_eq!(hits[7].load(Ordering::Relaxed), 1);
+        assert_eq!(hits[3].load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn filter_preserves_representation() {
+        let sparse = VertexSubset::from_sparse(10, vec![1, 2, 3, 4]);
+        let out = vertex_filter(&sparse, |v| v % 2 == 0);
+        assert!(out.is_sparse());
+        assert_eq!(out.to_vec_sorted(), vec![2, 4]);
+
+        let mut dense = VertexSubset::from_sparse(10, vec![1, 2, 3, 4]);
+        dense.to_dense();
+        let out = vertex_filter(&dense, |v| v % 2 == 1);
+        assert!(!out.is_sparse());
+        assert_eq!(out.to_vec_sorted(), vec![1, 3]);
+    }
+
+    #[test]
+    fn filter_empty() {
+        let s = VertexSubset::empty(5);
+        let out = vertex_filter(&s, |_| true);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn reduce_sums_members_only() {
+        let s = VertexSubset::from_sparse(10, vec![2, 4]);
+        let sum = vertex_map_reduce_f64(&s, |v| v as f64);
+        assert_eq!(sum, 6.0);
+        let mut d = s.clone();
+        d.to_dense();
+        assert_eq!(vertex_map_reduce_f64(&d, |v| v as f64), 6.0);
+    }
+}

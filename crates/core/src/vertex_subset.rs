@@ -1,0 +1,257 @@
+//! `vertexSubset` — Ligra's frontier abstraction.
+//!
+//! A subset `U ⊆ V` with two interchangeable representations:
+//!
+//! * **Sparse** — an array of the member vertex IDs. Cheap to iterate when
+//!   `|U| ≪ n`; the representation sparse `edgeMap` consumes and produces.
+//! * **Dense** — a boolean array of length `n`. O(1) membership tests; the
+//!   representation the dense (pull) traversal consumes and produces.
+//!
+//! Conversions run in parallel (`pack_index` one way, a scatter the other)
+//! and are performed lazily by `edgeMap` when the direction heuristic picks
+//! the representation it doesn't have — precisely the behaviour of the
+//! original system's `vertexSubset::toSparse`/`toDense`.
+
+use ligra_graph::VertexId;
+use ligra_parallel::pack::pack_index;
+use rayon::prelude::*;
+
+/// The two frontier representations.
+#[derive(Debug, Clone)]
+enum Repr {
+    Sparse(Vec<VertexId>),
+    Dense(Vec<bool>),
+}
+
+/// A subset of the vertices `0..n`.
+#[derive(Debug, Clone)]
+pub struct VertexSubset {
+    n: usize,
+    len: usize,
+    repr: Repr,
+}
+
+impl VertexSubset {
+    /// The empty subset of a graph with `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        VertexSubset { n, len: 0, repr: Repr::Sparse(Vec::new()) }
+    }
+
+    /// The singleton `{v}`.
+    ///
+    /// # Panics
+    /// Panics if `v >= n`.
+    pub fn single(n: usize, v: VertexId) -> Self {
+        assert!((v as usize) < n, "vertex {v} out of range (n = {n})");
+        VertexSubset { n, len: 1, repr: Repr::Sparse(vec![v]) }
+    }
+
+    /// The full vertex set `0..n` (dense).
+    pub fn all(n: usize) -> Self {
+        VertexSubset { n, len: n, repr: Repr::Dense(vec![true; n]) }
+    }
+
+    /// Builds a sparse subset from a list of member IDs.
+    ///
+    /// Callers must not pass duplicates — `len()` counts entries. (Debug
+    /// builds verify membership range; duplicates are the caller's
+    /// contract, as in the original system.)
+    pub fn from_sparse(n: usize, mut vs: Vec<VertexId>) -> Self {
+        debug_assert!(vs.iter().all(|&v| (v as usize) < n));
+        vs.shrink_to_fit();
+        let len = vs.len();
+        VertexSubset { n, len, repr: Repr::Sparse(vs) }
+    }
+
+    /// Builds a dense subset from a boolean membership array.
+    ///
+    /// # Panics
+    /// Panics if `flags.len() != n`.
+    pub fn from_dense(n: usize, flags: Vec<bool>) -> Self {
+        assert_eq!(flags.len(), n, "dense representation must have length n");
+        let len = flags.par_iter().filter(|&&b| b).count();
+        VertexSubset { n, len, repr: Repr::Dense(flags) }
+    }
+
+    /// Builds the subset `{ v : pred(v) }` in parallel.
+    pub fn from_fn(n: usize, pred: impl Fn(VertexId) -> bool + Sync) -> Self {
+        let flags: Vec<bool> = (0..n).into_par_iter().map(|v| pred(v as VertexId)).collect();
+        VertexSubset::from_dense(n, flags)
+    }
+
+    /// Size of the universe `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of member vertices `|U|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the subset is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True iff the current representation is sparse.
+    #[inline]
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.repr, Repr::Sparse(_))
+    }
+
+    /// Membership test. O(1) dense, O(|U|) sparse.
+    pub fn contains(&self, v: VertexId) -> bool {
+        match &self.repr {
+            Repr::Sparse(vs) => vs.contains(&v),
+            Repr::Dense(flags) => flags[v as usize],
+        }
+    }
+
+    /// Converts to the sparse representation (no-op if already sparse).
+    pub fn to_sparse(&mut self) {
+        if let Repr::Dense(flags) = &self.repr {
+            let vs = pack_index(flags);
+            debug_assert_eq!(vs.len(), self.len);
+            self.repr = Repr::Sparse(vs);
+        }
+    }
+
+    /// Converts to the dense representation (no-op if already dense).
+    pub fn to_dense(&mut self) {
+        if let Repr::Sparse(vs) = &self.repr {
+            let mut flags = vec![false; self.n];
+            {
+                let aflags = ligra_parallel::atomics::as_atomic_bool(&mut flags);
+                vs.par_iter().for_each(|&v| {
+                    aflags[v as usize].store(true, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+            self.repr = Repr::Dense(flags);
+        }
+    }
+
+    /// The member IDs; converts to sparse first.
+    pub fn as_slice(&mut self) -> &[VertexId] {
+        self.to_sparse();
+        match &self.repr {
+            Repr::Sparse(vs) => vs,
+            Repr::Dense(_) => unreachable!(),
+        }
+    }
+
+    /// The membership flags; converts to dense first.
+    pub fn as_bools(&mut self) -> &[bool] {
+        self.to_dense();
+        match &self.repr {
+            Repr::Dense(flags) => flags,
+            Repr::Sparse(_) => unreachable!(),
+        }
+    }
+
+    /// The member IDs if currently sparse.
+    pub fn sparse(&self) -> Option<&[VertexId]> {
+        match &self.repr {
+            Repr::Sparse(vs) => Some(vs),
+            Repr::Dense(_) => None,
+        }
+    }
+
+    /// The membership flags if currently dense.
+    pub fn dense(&self) -> Option<&[bool]> {
+        match &self.repr {
+            Repr::Dense(flags) => Some(flags),
+            Repr::Sparse(_) => None,
+        }
+    }
+
+    /// Member IDs in ascending order (for tests/reporting; converts a copy).
+    pub fn to_vec_sorted(&self) -> Vec<VertexId> {
+        let mut vs = match &self.repr {
+            Repr::Sparse(vs) => vs.clone(),
+            Repr::Dense(flags) => pack_index(flags),
+        };
+        vs.sort_unstable();
+        vs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        let e = VertexSubset::empty(10);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let s = VertexSubset::single(10, 3);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn single_out_of_range_panics() {
+        let _ = VertexSubset::single(3, 3);
+    }
+
+    #[test]
+    fn all_contains_everything() {
+        let a = VertexSubset::all(5);
+        assert_eq!(a.len(), 5);
+        assert!((0..5u32).all(|v| a.contains(v)));
+    }
+
+    #[test]
+    fn dense_sparse_roundtrip() {
+        let n = 1000;
+        let mut s = VertexSubset::from_fn(n, |v| v % 7 == 0);
+        let expect: Vec<u32> = (0..n as u32).filter(|v| v % 7 == 0).collect();
+        assert_eq!(s.len(), expect.len());
+        assert_eq!(s.as_slice(), &expect[..]);
+        s.to_dense();
+        assert!(!s.is_sparse());
+        assert_eq!(s.len(), expect.len());
+        assert_eq!(s.to_vec_sorted(), expect);
+        s.to_sparse();
+        assert!(s.is_sparse());
+        assert_eq!(s.to_vec_sorted(), expect);
+    }
+
+    #[test]
+    fn from_dense_counts_members() {
+        let flags = vec![true, false, true, true];
+        let s = VertexSubset::from_dense(4, flags);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length n")]
+    fn from_dense_wrong_length_panics() {
+        let _ = VertexSubset::from_dense(3, vec![true]);
+    }
+
+    #[test]
+    fn conversions_preserve_len_on_large_random_sets() {
+        let n = 100_000;
+        let mut s = VertexSubset::from_fn(n, |v| ligra_parallel::hash32(v) % 3 == 0);
+        let len = s.len();
+        s.to_sparse();
+        assert_eq!(s.len(), len);
+        assert_eq!(s.as_slice().len(), len);
+        s.to_dense();
+        assert_eq!(s.len(), len);
+        assert_eq!(s.as_bools().iter().filter(|&&b| b).count(), len);
+    }
+
+    #[test]
+    fn as_bools_of_sparse() {
+        let mut s = VertexSubset::from_sparse(6, vec![1, 4]);
+        assert_eq!(s.as_bools(), &[false, true, false, false, true, false]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the framework core: on arbitrary graphs and
+//! frontiers, all three traversals of `edgeMap` must compute the same
+//! relation, and `vertexSubset` conversions must be lossless.
+
+use ligra::{
+    EdgeMapOptions, Traversal, VertexSubset, edge_fn, edge_map_with, vertex_filter, vertex_map,
+};
+use ligra_graph::{BuildOptions, build_graph};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn graph_and_frontier() -> impl Strategy<Value = (usize, Vec<(u32, u32)>, Vec<u32>)> {
+    (2u32..50).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..300);
+        let frontier = proptest::collection::btree_set(0..n, 0..n as usize)
+            .prop_map(|s| s.into_iter().collect::<Vec<u32>>());
+        (Just(n as usize), edges, frontier)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn traversals_compute_identical_neighborhoods(
+        (n, edges, frontier) in graph_and_frontier(),
+        symmetric in any::<bool>(),
+    ) {
+        let opts = if symmetric { BuildOptions::symmetric() } else { BuildOptions::directed() };
+        let g = build_graph(n, &edges, opts);
+        let mut expect: Vec<u32> = frontier
+            .iter()
+            .flat_map(|&u| g.out_neighbors(u).iter().copied())
+            .collect();
+        expect.sort_unstable();
+        expect.dedup();
+
+        for t in [Traversal::Sparse, Traversal::Dense, Traversal::DenseForward, Traversal::Auto] {
+            let f = edge_fn(|_s, _d, _w: ()| true, |_| true);
+            let mut fr = VertexSubset::from_sparse(n, frontier.clone());
+            let out = edge_map_with(
+                &g, &mut fr, &f,
+                EdgeMapOptions::new().traversal(t).deduplicate(true),
+            );
+            prop_assert_eq!(out.to_vec_sorted(), expect.clone(), "traversal {:?}", t);
+        }
+    }
+
+    #[test]
+    fn cond_restricts_targets_identically(
+        (n, edges, frontier) in graph_and_frontier(),
+        modulus in 1u32..5,
+    ) {
+        let g = build_graph(n, &edges, BuildOptions::directed());
+        let mut expect: Vec<u32> = frontier
+            .iter()
+            .flat_map(|&u| g.out_neighbors(u).iter().copied())
+            .filter(|&v| v % modulus == 0)
+            .collect();
+        expect.sort_unstable();
+        expect.dedup();
+
+        for t in [Traversal::Sparse, Traversal::Dense, Traversal::DenseForward] {
+            let f = edge_fn(|_s, _d, _w: ()| true, |d: u32| d % modulus == 0);
+            let mut fr = VertexSubset::from_sparse(n, frontier.clone());
+            let out = edge_map_with(
+                &g, &mut fr, &f,
+                EdgeMapOptions::new().traversal(t).deduplicate(true),
+            );
+            prop_assert_eq!(out.to_vec_sorted(), expect.clone(), "traversal {:?}", t);
+        }
+    }
+
+    #[test]
+    fn subset_conversions_are_lossless(
+        n in 1usize..2000,
+        seed in any::<u64>(),
+    ) {
+        let members: Vec<u32> = (0..n as u32)
+            .filter(|&v| ligra_parallel::hash64(seed ^ v as u64) % 3 == 0)
+            .collect();
+        let mut s = VertexSubset::from_sparse(n, members.clone());
+        for _ in 0..3 {
+            s.to_dense();
+            prop_assert_eq!(s.len(), members.len());
+            s.to_sparse();
+            prop_assert_eq!(s.as_slice().len(), members.len());
+        }
+        prop_assert_eq!(s.to_vec_sorted(), members);
+    }
+
+    #[test]
+    fn vertex_map_touches_each_member_exactly_once(
+        n in 1usize..500,
+        seed in any::<u64>(),
+        dense in any::<bool>(),
+    ) {
+        let members: Vec<u32> = (0..n as u32)
+            .filter(|&v| ligra_parallel::hash64(seed ^ v as u64) % 4 == 0)
+            .collect();
+        let mut s = VertexSubset::from_sparse(n, members.clone());
+        if dense {
+            s.to_dense();
+        }
+        let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        vertex_map(&s, |v| {
+            hits[v as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        for v in 0..n as u32 {
+            let expect = u32::from(members.contains(&v));
+            prop_assert_eq!(hits[v as usize].load(Ordering::Relaxed), expect, "vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn vertex_filter_equals_retain(
+        n in 1usize..500,
+        seed in any::<u64>(),
+        modulus in 1u32..5,
+    ) {
+        let members: Vec<u32> = (0..n as u32)
+            .filter(|&v| ligra_parallel::hash64(seed ^ v as u64) % 3 == 0)
+            .collect();
+        let s = VertexSubset::from_sparse(n, members.clone());
+        let out = vertex_filter(&s, |v| v % modulus == 0);
+        let expect: Vec<u32> = members.into_iter().filter(|&v| v % modulus == 0).collect();
+        prop_assert_eq!(out.to_vec_sorted(), expect);
+    }
+
+    #[test]
+    fn no_output_mode_agrees_with_output_mode_side_effects(
+        (n, edges, frontier) in graph_and_frontier(),
+    ) {
+        // Count edge-function invocations with and without output
+        // construction; they must agree (output is bookkeeping only).
+        let g = build_graph(n, &edges, BuildOptions::directed());
+        let count_with = |opts: EdgeMapOptions| {
+            let hits = AtomicU32::new(0);
+            let f = edge_fn(
+                |_s, _d, _w: ()| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    true
+                },
+                |_| true,
+            );
+            let mut fr = VertexSubset::from_sparse(n, frontier.clone());
+            let _ = edge_map_with(&g, &mut fr, &f, opts);
+            hits.load(Ordering::Relaxed)
+        };
+        let sparse = EdgeMapOptions::new().traversal(Traversal::Sparse);
+        prop_assert_eq!(count_with(sparse), count_with(sparse.no_output()));
+    }
+}

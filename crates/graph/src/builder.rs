@@ -1,0 +1,502 @@
+//! Parallel graph construction from edge lists.
+//!
+//! The builder follows the PBBS `graphIO`/`graphUtils` pipeline Ligra's
+//! inputs go through: count degrees (parallel histogram), prefix-sum the
+//! degrees into offsets, scatter targets with per-source atomic cursors,
+//! then sort each adjacency list so the result is independent of scatter
+//! order (determinism), with optional de-duplication and self-loop removal.
+
+use crate::csr::{Adjacency, Graph, VertexId};
+use ligra_parallel::atomics::as_atomic_u64;
+use ligra_parallel::histogram::histogram_u32;
+use ligra_parallel::scan::prefix_sums;
+use rayon::prelude::*;
+use std::sync::atomic::Ordering;
+
+/// Options controlling [`build_graph`].
+#[derive(Debug, Clone, Copy)]
+pub struct BuildOptions {
+    /// Add the reverse of every edge and mark the graph symmetric.
+    pub symmetrize: bool,
+    /// Drop `(u, u)` edges.
+    pub remove_self_loops: bool,
+    /// Drop repeated `(u, v)` pairs (keeps the first weight for weighted
+    /// graphs — after sorting, the smallest weight).
+    pub dedup: bool,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions { symmetrize: false, remove_self_loops: true, dedup: true }
+    }
+}
+
+impl BuildOptions {
+    /// Options producing a symmetric (undirected) graph.
+    pub fn symmetric() -> Self {
+        BuildOptions { symmetrize: true, ..Default::default() }
+    }
+
+    /// Options producing a directed graph (with transpose).
+    pub fn directed() -> Self {
+        BuildOptions::default()
+    }
+
+    /// Keep the edge list exactly as given (multi-edges and loops survive).
+    pub fn raw_directed() -> Self {
+        BuildOptions { symmetrize: false, remove_self_loops: false, dedup: false }
+    }
+}
+
+/// Builds an unweighted graph from `(source, target)` pairs.
+///
+/// Directed inputs get their transpose built automatically so the dense
+/// (pull) traversal has in-edges to walk.
+///
+/// # Panics
+/// Panics if any endpoint is `>= n`.
+pub fn build_graph(n: usize, edges: &[(VertexId, VertexId)], opts: BuildOptions) -> Graph {
+    let unit = vec![(); edges.len()];
+    build_generic(n, edges, &unit, opts)
+}
+
+/// Builds a weighted graph from `(source, target)` pairs plus one weight
+/// per edge.
+///
+/// # Panics
+/// Panics if `weights.len() != edges.len()` or any endpoint is `>= n`.
+pub fn build_weighted_graph(
+    n: usize,
+    edges: &[(VertexId, VertexId)],
+    weights: &[i32],
+    opts: BuildOptions,
+) -> Graph<i32> {
+    assert_eq!(edges.len(), weights.len(), "one weight per edge");
+    build_generic(n, edges, weights, opts)
+}
+
+fn build_generic<W: Copy + Send + Sync + Ord>(
+    n: usize,
+    edges: &[(VertexId, VertexId)],
+    weights: &[W],
+    opts: BuildOptions,
+) -> Graph<W> {
+    validate_endpoints(n, edges);
+
+    // Materialize the working arc list (applying symmetrize / loop removal).
+    let mut arcs: Vec<(VertexId, VertexId, W)> = Vec::with_capacity(
+        edges.len() * if opts.symmetrize { 2 } else { 1 },
+    );
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        if opts.remove_self_loops && u == v {
+            continue;
+        }
+        let w = weights[i];
+        arcs.push((u, v, w));
+        if opts.symmetrize && u != v {
+            arcs.push((v, u, w));
+        }
+    }
+
+    let out = csr_from_arcs(n, &arcs, opts.dedup, false);
+    if opts.symmetrize {
+        Graph::symmetric(out)
+    } else {
+        let incoming = csr_from_arcs(n, &arcs, opts.dedup, true);
+        // Dedup can drop different numbers of arcs per direction only if it
+        // dropped none overall; both directions see the same multiset.
+        Graph::directed(out, incoming)
+    }
+}
+
+fn validate_endpoints(n: usize, edges: &[(VertexId, VertexId)]) {
+    let bad = edges
+        .par_iter()
+        .find_any(|&&(u, v)| u as usize >= n || v as usize >= n);
+    assert!(bad.is_none(), "edge endpoint out of range (n = {n}): {:?}", bad);
+}
+
+/// Builds one CSR direction from an arc list.
+///
+/// `transposed = true` swaps the roles of source and target.
+fn csr_from_arcs<W: Copy + Send + Sync + Ord>(
+    n: usize,
+    arcs: &[(VertexId, VertexId, W)],
+    dedup: bool,
+    transposed: bool,
+) -> Adjacency<W> {
+    let src = |a: &(VertexId, VertexId, W)| if transposed { a.1 } else { a.0 };
+    let dst = |a: &(VertexId, VertexId, W)| if transposed { a.0 } else { a.1 };
+
+    // Degree histogram -> offsets.
+    let sources: Vec<u32> = arcs.par_iter().map(|a| src(a)).collect();
+    let degrees: Vec<u64> = histogram_u32(&sources, n).into_par_iter().map(u64::from).collect();
+    let (mut offsets, m) = prefix_sums(&degrees);
+    offsets.push(m);
+    debug_assert_eq!(m as usize, arcs.len());
+
+    // Scatter with per-source atomic cursors.
+    let mut cursors: Vec<u64> = offsets[..n].to_vec();
+    let mut targets: Vec<VertexId> = vec![0; arcs.len()];
+    let mut positions: Vec<u64> = vec![0; arcs.len()]; // where arc i landed
+    {
+        let cur = as_atomic_u64(&mut cursors);
+        // Write via atomic view of the target array to keep the scatter safe.
+        let tgt = ligra_parallel::atomics::as_atomic_u32(&mut targets);
+        let pos = as_atomic_u64(&mut positions);
+        arcs.par_iter().enumerate().for_each(|(i, a)| {
+            let s = src(a) as usize;
+            let slot = cur[s].fetch_add(1, Ordering::Relaxed) as usize;
+            tgt[slot].store(dst(a), Ordering::Relaxed);
+            pos[i].store(slot as u64, Ordering::Relaxed);
+        });
+    }
+
+    // Scatter weights to the recorded positions (separate pass so the hot
+    // unweighted path touches no weight memory).
+    let mut wts: Vec<W> = if std::mem::size_of::<W>() == 0 {
+        Vec::new()
+    } else {
+        let mut wts = Vec::with_capacity(arcs.len());
+        // Initialize by scattering through `positions`.
+        let spare = wts.spare_capacity_mut();
+        let ptr = SendPtr(spare.as_mut_ptr());
+        arcs.par_iter().enumerate().for_each(|(i, a)| {
+            let p = ptr;
+            // SAFETY: `positions` is a permutation of 0..len, so writes are
+            // disjoint and within capacity.
+            unsafe { (*p.0.add(positions[i] as usize)).write(a.2) };
+        });
+        // SAFETY: all len slots written (positions is a permutation).
+        unsafe { wts.set_len(arcs.len()) };
+        wts
+    };
+
+    // Sort each adjacency list (by target, then weight) for determinism.
+    sort_adjacency_lists(n, &offsets, &mut targets, &mut wts);
+
+    if dedup {
+        dedup_sorted(n, offsets, targets, wts)
+    } else {
+        Adjacency::new(offsets, targets, wts)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Sorts every vertex's neighbor range in place, carrying weights along.
+fn sort_adjacency_lists<W: Copy + Send + Sync + Ord>(
+    n: usize,
+    offsets: &[u64],
+    targets: &mut [VertexId],
+    weights: &mut [W],
+) {
+    if std::mem::size_of::<W>() == 0 {
+        // Unweighted: sort the target ranges directly.
+        let mut pieces: Vec<&mut [VertexId]> = Vec::with_capacity(n);
+        let mut rest = targets;
+        let mut prev = 0u64;
+        for v in 0..n {
+            let len = (offsets[v + 1] - prev) as usize;
+            let (head, tail) = rest.split_at_mut(len);
+            pieces.push(head);
+            rest = tail;
+            prev = offsets[v + 1];
+        }
+        pieces.into_par_iter().for_each(|p| p.sort_unstable());
+    } else {
+        // Weighted: sort (target, weight) pairs per range.
+        let mut tpieces: Vec<(&mut [VertexId], &mut [W])> = Vec::with_capacity(n);
+        let mut trest = targets;
+        let mut wrest = weights;
+        let mut prev = 0u64;
+        for v in 0..n {
+            let len = (offsets[v + 1] - prev) as usize;
+            let (th, tt) = trest.split_at_mut(len);
+            let (wh, wt) = wrest.split_at_mut(len);
+            tpieces.push((th, wh));
+            trest = tt;
+            wrest = wt;
+            prev = offsets[v + 1];
+        }
+        tpieces.into_par_iter().for_each(|(ts, ws)| {
+            let mut pairs: Vec<(VertexId, W)> =
+                ts.iter().copied().zip(ws.iter().copied()).collect();
+            pairs.sort_unstable();
+            for (i, (t, w)) in pairs.into_iter().enumerate() {
+                ts[i] = t;
+                ws[i] = w;
+            }
+        });
+    }
+}
+
+/// Removes duplicate `(source, target)` arcs from sorted adjacency lists.
+fn dedup_sorted<W: Copy + Send + Sync>(
+    n: usize,
+    offsets: Vec<u64>,
+    targets: Vec<VertexId>,
+    weights: Vec<W>,
+) -> Adjacency<W> {
+    let weighted = std::mem::size_of::<W>() != 0;
+    // Per-vertex surviving degree.
+    let new_degrees: Vec<u64> = (0..n)
+        .into_par_iter()
+        .map(|v| {
+            let r = offsets[v] as usize..offsets[v + 1] as usize;
+            let ts = &targets[r];
+            let mut d = 0u64;
+            let mut prev: Option<VertexId> = None;
+            for &t in ts {
+                if prev != Some(t) {
+                    d += 1;
+                    prev = Some(t);
+                }
+            }
+            d
+        })
+        .collect();
+    let (mut new_offsets, new_m) = prefix_sums(&new_degrees);
+    new_offsets.push(new_m);
+
+    let mut new_targets: Vec<VertexId> = vec![0; new_m as usize];
+    let mut new_weights: Vec<W> = if weighted {
+        Vec::with_capacity(new_m as usize)
+    } else {
+        Vec::new()
+    };
+    if weighted && new_m > 0 {
+        // Prefill so per-vertex slices can be carved out; every slot is
+        // overwritten with the first weight of its run below. (weights is
+        // nonempty here: new_m > 0 implies at least one surviving arc.)
+        new_weights.extend(std::iter::repeat(weights[0]).take(new_m as usize));
+    }
+
+    // Writable per-vertex destination slices.
+    let mut tpieces: Vec<&mut [VertexId]> = Vec::with_capacity(n);
+    {
+        let mut rest: &mut [VertexId] = &mut new_targets;
+        for v in 0..n {
+            let len = (new_offsets[v + 1] - new_offsets[v]) as usize;
+            let (head, tail) = rest.split_at_mut(len);
+            tpieces.push(head);
+            rest = tail;
+        }
+    }
+    let mut wpieces: Vec<&mut [W]> = Vec::with_capacity(if weighted { n } else { 0 });
+    if weighted {
+        let mut rest: &mut [W] = &mut new_weights;
+        for v in 0..n {
+            let len = (new_offsets[v + 1] - new_offsets[v]) as usize;
+            let (head, tail) = rest.split_at_mut(len);
+            wpieces.push(head);
+            rest = tail;
+        }
+    }
+
+    if weighted {
+        tpieces
+            .into_par_iter()
+            .zip(wpieces.into_par_iter())
+            .enumerate()
+            .for_each(|(v, (tdst, wdst))| {
+                let r = offsets[v] as usize..offsets[v + 1] as usize;
+                let ts = &targets[r.clone()];
+                let ws = &weights[r];
+                let mut o = 0usize;
+                let mut prev: Option<VertexId> = None;
+                for (i, &t) in ts.iter().enumerate() {
+                    if prev != Some(t) {
+                        tdst[o] = t;
+                        wdst[o] = ws[i];
+                        o += 1;
+                        prev = Some(t);
+                    }
+                }
+                debug_assert_eq!(o, tdst.len());
+            });
+    } else {
+        tpieces.into_par_iter().enumerate().for_each(|(v, tdst)| {
+            let r = offsets[v] as usize..offsets[v + 1] as usize;
+            let ts = &targets[r];
+            let mut o = 0usize;
+            let mut prev: Option<VertexId> = None;
+            for &t in ts {
+                if prev != Some(t) {
+                    tdst[o] = t;
+                    o += 1;
+                    prev = Some(t);
+                }
+            }
+            debug_assert_eq!(o, tdst.len());
+        });
+    }
+
+    Adjacency::new(new_offsets, new_targets, new_weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directed_triangle() {
+        let g = build_graph(3, &[(0, 1), (1, 2), (2, 0)], BuildOptions::directed());
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(!g.is_symmetric());
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.in_neighbors(0), &[2]);
+    }
+
+    #[test]
+    fn symmetrize_doubles_edges() {
+        let g = build_graph(3, &[(0, 1), (1, 2)], BuildOptions::symmetric());
+        assert!(g.is_symmetric());
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn self_loops_removed_by_default() {
+        let g = build_graph(2, &[(0, 0), (0, 1)], BuildOptions::directed());
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.out_neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn self_loops_kept_when_raw() {
+        let g = build_graph(2, &[(0, 0), (0, 1)], BuildOptions::raw_directed());
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[0, 1]);
+    }
+
+    #[test]
+    fn duplicates_removed() {
+        let g = build_graph(3, &[(0, 1), (0, 1), (0, 2)], BuildOptions::directed());
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn duplicates_kept_when_raw() {
+        let g = build_graph(3, &[(0, 1), (0, 1)], BuildOptions::raw_directed());
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1, 1]);
+        assert_eq!(g.in_neighbors(1), &[0, 0]);
+    }
+
+    #[test]
+    fn adjacency_lists_are_sorted() {
+        let edges = vec![(0u32, 3u32), (0, 1), (0, 2), (1, 0)];
+        let g = build_graph(4, &edges, BuildOptions::directed());
+        assert_eq!(g.out_neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn transpose_is_consistent() {
+        // Every out-arc must appear as an in-arc.
+        let edges: Vec<(u32, u32)> = (0..100u32)
+            .flat_map(|i| {
+                let u = ligra_parallel::hash32(i) % 50;
+                let v = ligra_parallel::hash32(i + 1000) % 50;
+                (u != v).then_some((u, v))
+            })
+            .collect();
+        let g = build_graph(50, &edges, BuildOptions::directed());
+        for u in 0..50u32 {
+            for &v in g.out_neighbors(u) {
+                assert!(g.in_neighbors(v).contains(&u), "missing transpose arc {u}->{v}");
+            }
+        }
+        let out_m: usize = (0..50u32).map(|v| g.out_degree(v)).sum();
+        let in_m: usize = (0..50u32).map(|v| g.in_degree(v)).sum();
+        assert_eq!(out_m, in_m);
+        assert_eq!(out_m, g.num_edges());
+    }
+
+    #[test]
+    fn weighted_build_keeps_weights_aligned() {
+        let edges = vec![(0u32, 2u32), (0, 1), (1, 2)];
+        let weights = vec![30, 10, 20];
+        let g = build_weighted_graph(3, &edges, &weights, BuildOptions::directed());
+        // Sorted by target: 0 -> [1 (w=10), 2 (w=30)]
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_weights(0), &[10, 30]);
+        assert_eq!(g.in_neighbors(2), &[0, 1]);
+        assert_eq!(g.in_weights(2), &[30, 20]);
+    }
+
+    #[test]
+    fn weighted_dedup_keeps_smallest_weight() {
+        let edges = vec![(0u32, 1u32), (0, 1)];
+        let weights = vec![7, 3];
+        let g = build_weighted_graph(2, &edges, &weights, BuildOptions::directed());
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.out_weights(0), &[3]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = build_graph(5, &[], BuildOptions::symmetric());
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        for v in 0..5 {
+            assert!(g.out_neighbors(v).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_endpoint_panics() {
+        let _ = build_graph(2, &[(0, 5)], BuildOptions::directed());
+    }
+
+    #[test]
+    fn empty_weighted_graph_builds() {
+        // Regression: dedup used to index weights[0] on zero-edge inputs.
+        let g = build_weighted_graph(21, &[], &[], BuildOptions::directed());
+        assert_eq!(g.num_edges(), 0);
+        let g = build_weighted_graph(3, &[(0, 0)], &[5], BuildOptions::directed());
+        assert_eq!(g.num_edges(), 0, "only edge was a removed self-loop");
+    }
+
+    #[test]
+    fn symmetric_self_loop_not_doubled_when_kept() {
+        let g = build_graph(
+            2,
+            &[(0, 0), (0, 1)],
+            BuildOptions { symmetrize: true, remove_self_loops: false, dedup: false },
+        );
+        // (0,0) once, (0,1) and (1,0): 3 arcs.
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_neighbors(0), &[0, 1]);
+    }
+
+    #[test]
+    fn larger_random_build_roundtrip() {
+        // Build from a pseudo-random edge list; verify degrees sum to m and
+        // each adjacency is sorted and in range.
+        let n = 1000usize;
+        let edges: Vec<(u32, u32)> = (0..20_000u32)
+            .map(|i| {
+                (
+                    ligra_parallel::hash32(i) % n as u32,
+                    ligra_parallel::hash32(i.wrapping_mul(2654435761)) % n as u32,
+                )
+            })
+            .collect();
+        let g = build_graph(n, &edges, BuildOptions::symmetric());
+        let deg_sum: usize = (0..n as u32).map(|v| g.out_degree(v)).sum();
+        assert_eq!(deg_sum, g.num_edges());
+        for v in 0..n as u32 {
+            let ns = g.out_neighbors(v);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "unsorted or dup at {v}");
+            assert!(ns.iter().all(|&t| (t as usize) < n));
+            assert!(!ns.contains(&v), "self loop survived at {v}");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Erdős–Rényi `G(n, m)` generator.
+//!
+//! Not one of the paper's inputs, but the natural null model for tests and
+//! property-based checks: `m` endpoint pairs chosen independently and
+//! uniformly at random (hash-based, so parallel and deterministic).
+
+use crate::builder::{BuildOptions, build_graph};
+use crate::csr::{Graph, VertexId};
+use ligra_parallel::hash::{hash_to_range, mix64};
+use rayon::prelude::*;
+
+/// Generates `m` uniform edge samples over `n` vertices.
+pub fn erdos_renyi_edges(n: usize, m: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
+    assert!(n >= 1 && n <= u32::MAX as usize);
+    (0..m as u64)
+        .into_par_iter()
+        .map(|i| {
+            let h = mix64(seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let u = hash_to_range(h, n as u64) as VertexId;
+            let v = hash_to_range(h ^ 0x5555_5555_5555_5555, n as u64) as VertexId;
+            (u, v)
+        })
+        .collect()
+}
+
+/// Generates a `G(n, m)` graph; `symmetric` controls undirected vs directed.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64, symmetric: bool) -> Graph {
+    let edges = erdos_renyi_edges(n, m, seed);
+    let opts = if symmetric { BuildOptions::symmetric() } else { BuildOptions::directed() };
+    build_graph(n, &edges, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_range() {
+        let edges = erdos_renyi_edges(100, 1000, 5);
+        assert_eq!(edges.len(), 1000);
+        assert!(edges.iter().all(|&(u, v)| u < 100 && v < 100));
+    }
+
+    #[test]
+    fn roughly_uniform_sources() {
+        let n = 64;
+        let edges = erdos_renyi_edges(n, 64_000, 11);
+        let mut counts = vec![0usize; n];
+        for (u, _) in edges {
+            counts[u as usize] += 1;
+        }
+        let expect = 1000;
+        assert!(counts.iter().all(|&c| c > expect / 2 && c < expect * 2));
+    }
+
+    #[test]
+    fn directed_graph_has_transpose() {
+        let g = erdos_renyi(50, 400, 3, false);
+        assert!(!g.is_symmetric());
+        crate::properties::assert_valid(&g);
+    }
+
+    #[test]
+    fn symmetric_graph_is_symmetric() {
+        let g = erdos_renyi(50, 400, 3, true);
+        assert!(crate::properties::is_symmetric(&g));
+    }
+}

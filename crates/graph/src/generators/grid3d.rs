@@ -1,0 +1,110 @@
+//! 3-D grid (torus) generator.
+//!
+//! The paper's `3d-grid` input: every vertex is connected to its six
+//! nearest neighbors in a cubic lattice. We wrap at the boundary (a torus)
+//! so every vertex has degree exactly six, as in the PBBS `gridGraph`
+//! generator. The defining property for the evaluation is the *diameter*:
+//! Θ(n^{1/3}) BFS rounds, which keeps every frontier sparse and makes the
+//! dense traversal useless — the opposite extreme from rMat.
+
+use crate::builder::{BuildOptions, build_graph};
+use crate::csr::{Graph, VertexId};
+use rayon::prelude::*;
+
+/// Generates a `side × side × side` torus with 6-neighbor connectivity.
+///
+/// The graph is symmetric with `6 · side³` directed arcs.
+///
+/// # Panics
+/// Panics if `side < 2` (wrap-around would create duplicate/self edges) or
+/// if `side³` overflows `u32`.
+pub fn grid3d(side: usize) -> Graph {
+    assert!(side >= 2, "grid3d needs side >= 2");
+    let n = side
+        .checked_mul(side)
+        .and_then(|s| s.checked_mul(side))
+        .expect("side^3 overflow");
+    assert!(n <= u32::MAX as usize, "too many vertices for u32 IDs");
+
+    let idx = |x: usize, y: usize, z: usize| -> VertexId {
+        ((x * side + y) * side + z) as VertexId
+    };
+
+    // Each vertex contributes its +1 neighbor in each dimension; the
+    // symmetrizing build adds the reverse arcs.
+    let edges: Vec<(VertexId, VertexId)> = (0..n)
+        .into_par_iter()
+        .flat_map_iter(|v| {
+            let z = v % side;
+            let y = (v / side) % side;
+            let x = v / (side * side);
+            let v = v as VertexId;
+            [
+                (v, idx((x + 1) % side, y, z)),
+                (v, idx(x, (y + 1) % side, z)),
+                (v, idx(x, y, (z + 1) % side)),
+            ]
+        })
+        .collect();
+
+    build_graph(n, &edges, BuildOptions::symmetric())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_degrees_are_six() {
+        let g = grid3d(5);
+        assert_eq!(g.num_vertices(), 125);
+        assert_eq!(g.num_edges(), 6 * 125);
+        for v in 0..125u32 {
+            assert_eq!(g.out_degree(v), 6, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn side_two_has_degree_three() {
+        // side=2: +1 and -1 wrap to the same neighbor, which dedups.
+        let g = grid3d(2);
+        assert_eq!(g.num_vertices(), 8);
+        for v in 0..8u32 {
+            assert_eq!(g.out_degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn is_symmetric_and_valid() {
+        let g = grid3d(4);
+        assert!(g.is_symmetric());
+        crate::properties::assert_valid(&g);
+        assert!(crate::properties::is_symmetric(&g));
+    }
+
+    #[test]
+    fn neighbors_differ_in_one_coordinate() {
+        let side = 4;
+        let g = grid3d(side);
+        let coord = |v: u32| {
+            let v = v as usize;
+            (v / (side * side), (v / side) % side, v % side)
+        };
+        for v in 0..g.num_vertices() as u32 {
+            let (x, y, z) = coord(v);
+            for &u in g.out_neighbors(v) {
+                let (a, b, c) = coord(u);
+                let dx = usize::from(a != x);
+                let dy = usize::from(b != y);
+                let dz = usize::from(c != z);
+                assert_eq!(dx + dy + dz, 1, "{v} -> {u} not an axis neighbor");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "side >= 2")]
+    fn tiny_side_panics() {
+        let _ = grid3d(1);
+    }
+}

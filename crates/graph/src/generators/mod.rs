@@ -1,0 +1,32 @@
+//! Graph generators reproducing the paper's input families.
+//!
+//! Table 1 of the paper uses three synthetic families from PBBS plus two
+//! real-world graphs:
+//!
+//! * **3d-grid** — every vertex connected to its six axis neighbors
+//!   (high diameter, constant degree) → [`grid3d`].
+//! * **random-local** (`randLocal`) — uniform-degree random graph whose
+//!   endpoints are biased to nearby IDs → [`random_local`].
+//! * **rMat** — Kronecker-style power-law graph (Chakrabarti et al.), the
+//!   paper's stand-in for social-network topology → [`rmat`].
+//! * Twitter / Yahoo real graphs → substituted by rMAT with the skewed
+//!   parameters (a=0.57, b=c=0.19) the Graph500 benchmark uses, see
+//!   [`rmat::RmatOptions::twitter_like`].
+//!
+//! All generators are deterministic in their seed (hash-based, not
+//! sequential RNG), so edges can be produced independently in parallel —
+//! the same property PBBS relies on.
+
+pub mod erdos_renyi;
+pub mod grid3d;
+pub mod random_local;
+pub mod rmat;
+pub mod simple;
+pub mod weights;
+
+pub use erdos_renyi::erdos_renyi;
+pub use grid3d::grid3d;
+pub use random_local::random_local;
+pub use rmat::{RmatOptions, rmat};
+pub use simple::{balanced_tree, complete, cycle, path, star};
+pub use weights::random_weights;

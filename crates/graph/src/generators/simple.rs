@@ -1,0 +1,112 @@
+//! Small deterministic graph families for tests and examples.
+
+use crate::builder::{BuildOptions, build_graph};
+use crate::csr::{Graph, VertexId};
+
+/// Path `0 - 1 - … - (n-1)` (symmetric). The worst case for
+/// direction-optimization: every frontier has one vertex.
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 1);
+    let edges: Vec<(VertexId, VertexId)> =
+        (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+    build_graph(n, &edges, BuildOptions::symmetric())
+}
+
+/// Cycle on `n` vertices (symmetric).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs n >= 3");
+    let edges: Vec<(VertexId, VertexId)> =
+        (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+    build_graph(n, &edges, BuildOptions::symmetric())
+}
+
+/// Star: vertex 0 connected to all others (symmetric). One BFS round
+/// reaches everything — the best case for the dense traversal.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2);
+    let edges: Vec<(VertexId, VertexId)> = (1..n as u32).map(|i| (0, i)).collect();
+    build_graph(n, &edges, BuildOptions::symmetric())
+}
+
+/// Complete graph `K_n` (symmetric).
+pub fn complete(n: usize) -> Graph {
+    assert!(n >= 2);
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            edges.push((u, v));
+        }
+    }
+    build_graph(n, &edges, BuildOptions::symmetric())
+}
+
+/// Complete binary tree with `n` vertices, edges parent→child plus the
+/// reverse (symmetric). Vertex 0 is the root; children of `i` are
+/// `2i + 1` and `2i + 2`.
+pub fn balanced_tree(n: usize) -> Graph {
+    assert!(n >= 1);
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for i in 1..n as u32 {
+        edges.push(((i - 1) / 2, i));
+    }
+    build_graph(n, &edges, BuildOptions::symmetric())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_degrees() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.out_degree(2), 2);
+        assert_eq!(g.out_degree(4), 1);
+    }
+
+    #[test]
+    fn singleton_path() {
+        let g = path(1);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_is_two_regular() {
+        let g = cycle(7);
+        assert_eq!(g.num_edges(), 14);
+        assert!((0..7u32).all(|v| g.out_degree(v) == 2));
+    }
+
+    #[test]
+    fn star_degrees() {
+        let g = star(10);
+        assert_eq!(g.out_degree(0), 9);
+        assert!((1..10u32).all(|v| g.out_degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 30);
+        assert!((0..6u32).all(|v| g.out_degree(v) == 5));
+    }
+
+    #[test]
+    fn tree_shape() {
+        let g = balanced_tree(7);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(3), &[1]);
+        assert_eq!(g.out_degree(1), 3); // parent 0 + children 3, 4
+    }
+
+    #[test]
+    fn all_families_are_valid_and_symmetric() {
+        for g in [path(10), cycle(10), star(10), complete(8), balanced_tree(15)] {
+            crate::properties::assert_valid(&g);
+            assert!(crate::properties::is_symmetric(&g));
+        }
+    }
+}

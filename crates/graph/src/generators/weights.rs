@@ -1,0 +1,107 @@
+//! Random edge weights.
+//!
+//! The paper's Bellman–Ford experiments use integer edge weights drawn
+//! uniformly at random. For symmetric graphs the weight must agree for the
+//! two directions of an edge; we achieve that by hashing the *unordered*
+//! endpoint pair rather than the arc.
+
+use crate::csr::{Graph, VertexId, WeightedGraph};
+use ligra_parallel::hash::{hash_to_range, mix64};
+use rayon::prelude::*;
+
+/// Deterministic weight for the unordered pair `{u, v}` in `[1, max_w]`.
+#[inline]
+pub fn pair_weight(u: VertexId, v: VertexId, max_w: i32, seed: u64) -> i32 {
+    let (lo, hi) = if u <= v { (u, v) } else { (v, u) };
+    let key = ((lo as u64) << 32) | hi as u64;
+    1 + hash_to_range(mix64(seed) ^ key, max_w as u64) as i32
+}
+
+/// Attaches random weights in `[1, max_w]` to every edge of `g`.
+///
+/// Symmetric graphs keep their symmetry: both directions of an undirected
+/// edge get the same weight.
+pub fn random_weights(g: &Graph, max_w: i32, seed: u64) -> WeightedGraph {
+    assert!(max_w >= 1);
+    let n = g.num_vertices();
+
+    let weigh = |adj: &crate::csr::Adjacency<()>, transposed: bool| {
+        let offsets = adj.offsets().to_vec();
+        let targets = adj.targets().to_vec();
+        let weights: Vec<i32> = (0..n)
+            .into_par_iter()
+            .flat_map_iter(|v| {
+                let v = v as VertexId;
+                adj.neighbors(v)
+                    .iter()
+                    .map(move |&t| {
+                        let (a, b) = if transposed { (t, v) } else { (v, t) };
+                        pair_weight(a, b, max_w, seed)
+                    })
+            })
+            .collect();
+        crate::csr::Adjacency::new(offsets, targets, weights)
+    };
+
+    if g.is_symmetric() {
+        WeightedGraph::symmetric(weigh(g.out_adj(), false))
+    } else {
+        WeightedGraph::directed(weigh(g.out_adj(), false), weigh(g.in_adj(), true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle, erdos_renyi};
+
+    #[test]
+    fn weights_in_range() {
+        let g = erdos_renyi(200, 2000, 1, true);
+        let wg = random_weights(&g, 100, 5);
+        for v in 0..wg.num_vertices() as u32 {
+            for &w in wg.out_weights(v) {
+                assert!((1..=100).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_weights_agree_across_directions() {
+        let g = erdos_renyi(100, 1000, 2, true);
+        let wg = random_weights(&g, 50, 9);
+        for u in 0..wg.num_vertices() as u32 {
+            let ns = wg.out_neighbors(u);
+            let ws = wg.out_weights(u);
+            for (i, &v) in ns.iter().enumerate() {
+                let j = wg.out_neighbors(v).iter().position(|&x| x == u).unwrap();
+                assert_eq!(ws[i], wg.out_weights(v)[j], "weight mismatch {u}<->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn directed_graph_in_weights_match_out_weights() {
+        let g = erdos_renyi(80, 600, 3, false);
+        let wg = random_weights(&g, 20, 4);
+        for u in 0..wg.num_vertices() as u32 {
+            let ns = wg.out_neighbors(u);
+            let ws = wg.out_weights(u);
+            for (i, &v) in ns.iter().enumerate() {
+                // Find arc u->v in v's in-list; weight must agree.
+                let pos = wg.in_neighbors(v).iter().position(|&x| x == u).unwrap();
+                assert_eq!(ws[i], wg.in_weights(v)[pos]);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = cycle(50);
+        let a = random_weights(&g, 10, 7);
+        let b = random_weights(&g, 10, 7);
+        for v in 0..50u32 {
+            assert_eq!(a.out_weights(v), b.out_weights(v));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Graph transformations: induced subgraphs, relabeling, and component
+//! extraction — the preprocessing steps the paper's evaluation pipeline
+//! applies to its inputs (e.g. extracting the giant component of a crawl,
+//! relabeling by degree for locality).
+
+use crate::builder::{BuildOptions, build_graph};
+use crate::csr::{Graph, VertexId};
+use rayon::prelude::*;
+
+/// The subgraph induced by `keep[v]`, with vertices renumbered densely in
+/// ascending original-ID order. Returns the graph and the mapping
+/// `new_id -> old_id`.
+///
+/// # Panics
+/// Panics if `keep.len() != g.num_vertices()`.
+pub fn induced_subgraph(g: &Graph, keep: &[bool]) -> (Graph, Vec<VertexId>) {
+    let n = g.num_vertices();
+    assert_eq!(keep.len(), n, "one flag per vertex");
+    let old_of_new = ligra_parallel::pack::pack_index(keep);
+    let mut new_of_old = vec![u32::MAX; n];
+    for (new, &old) in old_of_new.iter().enumerate() {
+        new_of_old[old as usize] = new as u32;
+    }
+
+    let edges: Vec<(VertexId, VertexId)> = old_of_new
+        .par_iter()
+        .flat_map_iter(|&old_u| {
+            let new_of_old = &new_of_old;
+            g.out_neighbors(old_u).iter().filter_map(move |&old_v| {
+                let new_v = new_of_old[old_v as usize];
+                (new_v != u32::MAX).then_some((new_of_old[old_u as usize], new_v))
+            })
+        })
+        .collect();
+
+    let opts = if g.is_symmetric() {
+        // Both directions are present in `edges` already; normalize.
+        BuildOptions::symmetric()
+    } else {
+        BuildOptions::directed()
+    };
+    (build_graph(old_of_new.len(), &edges, opts), old_of_new)
+}
+
+/// Relabels vertices by non-increasing out-degree (ties by original ID):
+/// hub vertices get the lowest IDs, which improves cache locality of
+/// frontier operations on power-law graphs. Returns the relabeled graph
+/// and the mapping `new_id -> old_id`.
+pub fn relabel_by_degree(g: &Graph) -> (Graph, Vec<VertexId>) {
+    let n = g.num_vertices();
+    let mut order: Vec<VertexId> = (0..n as u32).collect();
+    order.par_sort_unstable_by_key(|&v| (std::cmp::Reverse(g.out_degree(v)), v));
+    let mut new_of_old = vec![0u32; n];
+    for (new, &old) in order.iter().enumerate() {
+        new_of_old[old as usize] = new as u32;
+    }
+
+    let edges: Vec<(VertexId, VertexId)> = (0..n as u32)
+        .into_par_iter()
+        .flat_map_iter(|old_u| {
+            let new_of_old = &new_of_old;
+            g.out_neighbors(old_u)
+                .iter()
+                .map(move |&old_v| (new_of_old[old_u as usize], new_of_old[old_v as usize]))
+        })
+        .collect();
+
+    let opts = if g.is_symmetric() {
+        BuildOptions::symmetric()
+    } else {
+        BuildOptions::directed()
+    };
+    (build_graph(n, &edges, opts), order)
+}
+
+/// Extracts the largest connected component of a symmetric graph (by a
+/// sequential union-find pass — a preprocessing utility, not one of the
+/// parallel applications). Returns the component as a renumbered graph
+/// plus the `new_id -> old_id` mapping.
+///
+/// # Panics
+/// Panics if `g` is not symmetric or has no vertices.
+pub fn largest_component(g: &Graph) -> (Graph, Vec<VertexId>) {
+    assert!(g.is_symmetric(), "component extraction requires a symmetric graph");
+    let n = g.num_vertices();
+    assert!(n > 0);
+
+    let mut uf: Vec<u32> = (0..n as u32).collect();
+    fn find(uf: &mut [u32], mut x: u32) -> u32 {
+        while uf[x as usize] != x {
+            let gp = uf[uf[x as usize] as usize];
+            uf[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+    for u in 0..n as u32 {
+        for &v in g.out_neighbors(u) {
+            let (ru, rv) = (find(&mut uf, u), find(&mut uf, v));
+            if ru != rv {
+                if ru < rv {
+                    uf[rv as usize] = ru;
+                } else {
+                    uf[ru as usize] = rv;
+                }
+            }
+        }
+    }
+    let mut sizes = std::collections::HashMap::new();
+    for v in 0..n as u32 {
+        *sizes.entry(find(&mut uf, v)).or_insert(0usize) += 1;
+    }
+    let (&best, _) = sizes.iter().max_by_key(|&(&root, &size)| (size, std::cmp::Reverse(root))).unwrap();
+    let keep: Vec<bool> = (0..n as u32).map(|v| find(&mut uf, v) == best).collect();
+    induced_subgraph(g, &keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{erdos_renyi, path, star};
+
+    #[test]
+    fn induced_subgraph_of_path_middle() {
+        let g = path(5); // 0-1-2-3-4
+        let keep = vec![false, true, true, true, false];
+        let (sub, mapping) = induced_subgraph(&g, &keep);
+        assert_eq!(mapping, vec![1, 2, 3]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 4); // 1-2, 2-3 symmetric
+        assert_eq!(sub.out_neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_nothing_or_everything() {
+        let g = star(6);
+        let (empty, m) = induced_subgraph(&g, &[false; 6]);
+        assert_eq!(empty.num_vertices(), 0);
+        assert!(m.is_empty());
+        let (full, m) = induced_subgraph(&g, &[true; 6]);
+        assert_eq!(full.num_edges(), g.num_edges());
+        assert_eq!(m, (0..6u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn relabel_by_degree_puts_hub_first() {
+        let g = star(10);
+        let (relabeled, order) = relabel_by_degree(&g);
+        assert_eq!(order[0], 0, "hub must become vertex 0");
+        assert_eq!(relabeled.out_degree(0), 9);
+        assert!((1..10u32).all(|v| relabeled.out_degree(v) == 1));
+        assert_eq!(relabeled.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = erdos_renyi(200, 1500, 1, true);
+        let (r, order) = relabel_by_degree(&g);
+        assert_eq!(r.num_edges(), g.num_edges());
+        // Degrees are a permutation; new IDs are sorted by degree.
+        for w in 0..(r.num_vertices() - 1) as u32 {
+            assert!(r.out_degree(w) >= r.out_degree(w + 1));
+        }
+        // Edge (a, b) in new IDs corresponds to (order[a], order[b]) in old.
+        for a in 0..r.num_vertices() as u32 {
+            for &b in r.out_neighbors(a) {
+                assert!(
+                    g.out_neighbors(order[a as usize]).binary_search(&order[b as usize]).is_ok()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn largest_component_of_two_paths() {
+        // Components {0,1,2} and {3,4}.
+        let g = crate::build_graph(
+            5,
+            &[(0, 1), (1, 2), (3, 4)],
+            BuildOptions::symmetric(),
+        );
+        let (big, mapping) = largest_component(&g);
+        assert_eq!(big.num_vertices(), 3);
+        assert_eq!(mapping, vec![0, 1, 2]);
+        assert_eq!(big.num_edges(), 4);
+    }
+
+    #[test]
+    fn largest_component_of_connected_graph_is_identity() {
+        let g = path(10);
+        let (big, mapping) = largest_component(&g);
+        assert_eq!(big.num_vertices(), 10);
+        assert_eq!(mapping, (0..10u32).collect::<Vec<_>>());
+    }
+}

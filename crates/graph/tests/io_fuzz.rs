@@ -1,0 +1,87 @@
+//! Robustness of the AdjacencyGraph parser: arbitrary and corrupted
+//! inputs must produce `Err`, never a panic or an invalid graph.
+
+use ligra_graph::io::{read_adjacency_graph, write_adjacency_graph};
+use ligra_graph::{BuildOptions, build_graph};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Either parses (astronomically unlikely) or errors; must not panic.
+        let _ = read_adjacency_graph(&data[..], true);
+        let _ = read_adjacency_graph(&data[..], false);
+    }
+
+    #[test]
+    fn arbitrary_token_streams_never_panic(
+        tokens in proptest::collection::vec("[0-9]{1,6}", 0..64),
+        header in prop_oneof![Just("AdjacencyGraph"), Just("WeightedAdjacencyGraph"), Just("junk")],
+    ) {
+        let text = format!("{header}\n{}", tokens.join("\n"));
+        let _ = read_adjacency_graph(text.as_bytes(), true);
+    }
+
+    #[test]
+    fn truncations_of_a_valid_file_error_or_roundtrip(
+        nedges in 0usize..40,
+        cut in 0usize..200,
+    ) {
+        let edges: Vec<(u32, u32)> = (0..nedges as u32)
+            .map(|i| (ligra_parallel::hash32(i) % 10, ligra_parallel::hash32(i + 99) % 10))
+            .collect();
+        let g = build_graph(10, &edges, BuildOptions::symmetric());
+        let mut buf = Vec::new();
+        write_adjacency_graph(&g, &mut buf).unwrap();
+        let cut = cut.min(buf.len());
+        let truncated = &buf[..cut];
+        match read_adjacency_graph(truncated, true) {
+            Ok(g2) => {
+                // Acceptable only when every token survived (e.g. only
+                // trailing whitespace was cut): the graph must be intact.
+                prop_assert_eq!(g2.num_vertices(), g.num_vertices());
+                prop_assert_eq!(g2.num_edges(), g.num_edges());
+                for v in 0..g.num_vertices() as u32 {
+                    prop_assert_eq!(g2.out_neighbors(v), g.out_neighbors(v));
+                }
+            }
+            Err(_) => prop_assert!(cut < buf.len(), "full file failed to parse"),
+        }
+    }
+
+    #[test]
+    fn corrupting_one_digit_never_yields_invalid_graph(
+        nedges in 1usize..30,
+        pos in 0usize..400,
+        digit in 0u8..10,
+    ) {
+        let edges: Vec<(u32, u32)> = (0..nedges as u32)
+            .map(|i| (ligra_parallel::hash32(i) % 8, ligra_parallel::hash32(i + 7) % 8))
+            .collect();
+        let g = build_graph(8, &edges, BuildOptions::symmetric());
+        let mut buf = Vec::new();
+        write_adjacency_graph(&g, &mut buf).unwrap();
+        let pos = pos % buf.len();
+        if buf[pos].is_ascii_digit() {
+            buf[pos] = b'0' + digit;
+        }
+        // Whatever happens, a successfully parsed graph must satisfy the
+        // invariants the parser promises: monotone offsets and in-range
+        // targets with consistent counts. (Sortedness is a property of
+        // *builder*-produced graphs, not of arbitrary parseable files, so
+        // `assert_valid` does not apply here.)
+        if let Ok(g2) = read_adjacency_graph(&buf[..], true) {
+            let n = g2.num_vertices();
+            let mut arcs = 0usize;
+            for v in 0..n as u32 {
+                for &t in g2.out_neighbors(v) {
+                    prop_assert!((t as usize) < n, "target out of range after corruption");
+                }
+                arcs += g2.out_degree(v);
+            }
+            prop_assert_eq!(arcs, g2.num_edges());
+        }
+    }
+}

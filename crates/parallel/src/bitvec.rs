@@ -1,0 +1,164 @@
+//! A concurrently writable bit vector.
+//!
+//! Dense vertex subsets and visited flags are bit vectors in Ligra (one bit
+//! per vertex, set with `fetch_or`). Setting a bit returns whether this call
+//! flipped it, which gives the same "exactly one winner" guarantee as a CAS
+//! on a byte but with 8x less memory traffic.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed-size bit vector with atomic set/clear/test.
+#[derive(Debug)]
+pub struct AtomicBitVec {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitVec {
+    /// Creates a bit vector of `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        let nwords = len.div_ceil(64);
+        let words = (0..nwords).map(|_| AtomicU64::new(0)).collect();
+        AtomicBitVec { words, len }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let w = self.words[i / 64].load(Ordering::Acquire);
+        (w >> (i % 64)) & 1 != 0
+    }
+
+    /// Sets bit `i`; returns `true` iff this call flipped it from 0 to 1.
+    #[inline]
+    pub fn set(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        self.words[i / 64].fetch_or(mask, Ordering::AcqRel) & mask == 0
+    }
+
+    /// Clears bit `i`; returns `true` iff this call flipped it from 1 to 0.
+    #[inline]
+    pub fn clear(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        self.words[i / 64].fetch_and(!mask, Ordering::AcqRel) & mask != 0
+    }
+
+    /// Clears all bits.
+    pub fn clear_all(&self) {
+        self.words.par_iter().for_each(|w| w.store(0, Ordering::Relaxed));
+    }
+
+    /// Number of set bits (parallel popcount).
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .par_iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Converts to a `Vec<bool>` (one byte per bit).
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).into_par_iter().map(|i| self.get(i)).collect()
+    }
+
+    /// Builds from a boolean slice.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let bv = AtomicBitVec::new(bits.len());
+        bits.par_iter().enumerate().for_each(|(i, &b)| {
+            if b {
+                bv.set(i);
+            }
+        });
+        bv
+    }
+}
+
+impl Clone for AtomicBitVec {
+    fn clone(&self) -> Self {
+        let words = self
+            .words
+            .iter()
+            .map(|w| AtomicU64::new(w.load(Ordering::Relaxed)))
+            .collect();
+        AtomicBitVec { words, len: self.len }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash32;
+
+
+    #[test]
+    fn empty_bitvec() {
+        let bv = AtomicBitVec::new(0);
+        assert!(bv.is_empty());
+        assert_eq!(bv.count_ones(), 0);
+        assert!(bv.to_bools().is_empty());
+    }
+
+    #[test]
+    fn set_and_get_across_word_boundaries() {
+        let bv = AtomicBitVec::new(130);
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!bv.get(i));
+            assert!(bv.set(i), "first set of bit {i} must win");
+            assert!(bv.get(i));
+            assert!(!bv.set(i), "second set of bit {i} must lose");
+        }
+        assert_eq!(bv.count_ones(), 8);
+    }
+
+    #[test]
+    fn clear_flips_back() {
+        let bv = AtomicBitVec::new(100);
+        bv.set(42);
+        assert!(bv.clear(42));
+        assert!(!bv.clear(42));
+        assert!(!bv.get(42));
+    }
+
+    #[test]
+    fn exactly_one_winner_under_contention() {
+        let bv = AtomicBitVec::new(64);
+        let wins: u32 = (0..10_000)
+            .into_par_iter()
+            .map(|_| u32::from(bv.set(7)))
+            .sum();
+        assert_eq!(wins, 1);
+    }
+
+    #[test]
+    fn count_matches_bools_roundtrip() {
+        let bits: Vec<bool> = (0..10_000).map(|i| hash32(i) % 3 == 0).collect();
+        let bv = AtomicBitVec::from_bools(&bits);
+        assert_eq!(bv.count_ones(), bits.iter().filter(|&&b| b).count());
+        assert_eq!(bv.to_bools(), bits);
+    }
+
+    #[test]
+    fn clear_all_resets() {
+        let bits = vec![true; 1000];
+        let bv = AtomicBitVec::from_bools(&bits);
+        assert_eq!(bv.count_ones(), 1000);
+        bv.clear_all();
+        assert_eq!(bv.count_ones(), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Granularity control and thread-pool helpers.
+//!
+//! The paper's Cilk code relies on the scheduler to amortize spawn overhead;
+//! in rayon the analogous discipline is to stop subdividing work below a
+//! sequential grain size. Every parallel primitive in this crate falls back
+//! to its sequential implementation below [`GRANULARITY`] elements, which
+//! keeps the primitives fast on the small frontiers that dominate
+//! high-diameter graph traversals.
+
+use rayon::prelude::*;
+
+/// Sequential fall-back threshold for the parallel primitives.
+///
+/// Work on fewer than this many elements is done sequentially: at ~2k
+/// elements the cost of a fork/join round trip outweighs the work itself for
+/// the cheap per-element operations (copies, adds, compares) these
+/// primitives perform.
+pub const GRANULARITY: usize = 2048;
+
+/// Number of worker threads in the current rayon pool.
+#[inline]
+pub fn num_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+/// Picks a block count for a blocked parallel pass over `len` elements.
+///
+/// Aims for ~8 blocks per thread (for load balance under work stealing)
+/// while never making blocks smaller than the sequential grain.
+#[inline]
+pub fn num_blocks(len: usize, grain: usize) -> usize {
+    if len <= grain.max(1) {
+        1
+    } else {
+        let by_grain = len.div_ceil(grain.max(1));
+        let by_threads = 8 * num_threads();
+        by_grain.min(by_threads).max(1)
+    }
+}
+
+/// Splits `0..len` into `nblocks` contiguous ranges of near-equal size.
+///
+/// Block `i` is `block_range(len, nblocks, i)`. The first `len % nblocks`
+/// blocks get one extra element, so sizes differ by at most one.
+#[inline]
+pub fn block_range(len: usize, nblocks: usize, i: usize) -> std::ops::Range<usize> {
+    debug_assert!(i < nblocks);
+    let base = len / nblocks;
+    let extra = len % nblocks;
+    let start = i * base + i.min(extra);
+    let end = start + base + usize::from(i < extra);
+    start..end
+}
+
+/// Runs `body(block_index, range)` for every block of a blocked
+/// decomposition of `0..len`, in parallel.
+pub fn for_each_block<F>(len: usize, grain: usize, body: F)
+where
+    F: Fn(usize, std::ops::Range<usize>) + Sync,
+{
+    let nblocks = num_blocks(len, grain);
+    if nblocks == 1 {
+        body(0, 0..len);
+    } else {
+        (0..nblocks)
+            .into_par_iter()
+            .for_each(|i| body(i, block_range(len, nblocks, i)));
+    }
+}
+
+/// Runs `f` inside a dedicated rayon pool with exactly `n` threads.
+///
+/// Used by the scalability benchmarks (Figure F4) to sweep thread counts;
+/// the paper's equivalent is setting `CILK_NWORKERS`.
+pub fn with_threads<R: Send>(n: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .expect("failed to build rayon pool")
+        .install(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ranges_tile_exactly() {
+        for len in [0usize, 1, 7, 100, 1000, 2049] {
+            for nblocks in [1usize, 2, 3, 7, 16] {
+                let mut covered = 0usize;
+                let mut prev_end = 0usize;
+                for i in 0..nblocks {
+                    let r = block_range(len, nblocks, i);
+                    assert_eq!(r.start, prev_end, "len={len} nblocks={nblocks} i={i}");
+                    prev_end = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(prev_end, len);
+                assert_eq!(covered, len);
+            }
+        }
+    }
+
+    #[test]
+    fn block_sizes_differ_by_at_most_one() {
+        let len = 1003;
+        let nblocks = 16;
+        let sizes: Vec<usize> = (0..nblocks).map(|i| block_range(len, nblocks, i).len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn num_blocks_is_one_for_small_inputs() {
+        assert_eq!(num_blocks(0, GRANULARITY), 1);
+        assert_eq!(num_blocks(GRANULARITY, GRANULARITY), 1);
+        assert!(num_blocks(GRANULARITY * 64, GRANULARITY) > 1);
+    }
+
+    #[test]
+    fn for_each_block_visits_every_index_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let len = 10_000;
+        let hits: Vec<AtomicU32> = (0..len).map(|_| AtomicU32::new(0)).collect();
+        for_each_block(len, 128, |_, range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn with_threads_runs_in_sized_pool() {
+        let n = with_threads(2, num_threads);
+        assert_eq!(n, 2);
+    }
+}

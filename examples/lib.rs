@@ -1,0 +1,35 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each binary in this package is a self-contained demonstration of the
+//! Ligra public API on a realistic scenario:
+//!
+//! * `quickstart` — the smallest end-to-end program: build a graph, write
+//!   a BFS with `edge_map`, print the result.
+//! * `social_network` — influence analysis on a power-law (rMat) graph:
+//!   PageRank for importance, betweenness for brokerage, components for
+//!   reach, radii for the network's effective diameter.
+//! * `road_network` — route planning on a weighted grid: Bellman–Ford
+//!   distances, reachability, and the diameter of the road mesh.
+//! * `web_ranking` — PageRank convergence study on a directed crawl-like
+//!   graph, comparing exact iteration against the adaptive
+//!   PageRank-Delta approximation.
+
+/// Formats a float vector's top-k indices for display.
+pub fn top_k(values: &[f64], k: usize) -> Vec<(usize, f64)> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).unwrap());
+    idx.into_iter().take(k).map(|i| (i, values[i])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_descending() {
+        let vals = vec![0.1, 0.9, 0.5];
+        let top = top_k(&vals, 2);
+        assert_eq!(top[0].0, 1);
+        assert_eq!(top[1].0, 2);
+    }
+}

@@ -1,0 +1,60 @@
+//! Social-network analysis on a power-law graph — the workload family the
+//! paper's introduction motivates (studying social networks and the Web
+//! graph on a single shared-memory machine).
+//!
+//! Generates a Twitter-shaped rMAT graph and runs the full analysis
+//! pipeline: connectivity (is there a giant component?), PageRank
+//! (influence), single-source betweenness (brokerage through the top
+//! hub), and radii estimation (how small is this small world?).
+//!
+//! ```text
+//! cargo run -p ligra-examples --release --bin social_network
+//! ```
+
+use ligra_apps as apps;
+use ligra_examples::top_k;
+use ligra_graph::generators::rmat::{RmatOptions, rmat_edges};
+use ligra_graph::{BuildOptions, build_graph};
+
+fn main() {
+    // Twitter-like skew, symmetrized (friendship rather than follow).
+    let opts = RmatOptions { symmetric: true, ..RmatOptions::twitter_like(14) };
+    let edges = rmat_edges(&opts);
+    let g = build_graph(opts.num_vertices(), &edges, BuildOptions::symmetric());
+    let n = g.num_vertices();
+    println!("social graph: {} members, {} friendship arcs", n, g.num_edges());
+
+    // 1. Connectivity: size of the giant component.
+    let comps = apps::cc(&g);
+    let giant = comps.largest_component();
+    println!(
+        "components: {} total, giant component covers {:.1}% of members",
+        comps.num_components(),
+        100.0 * giant as f64 / n as f64
+    );
+
+    // 2. Influence: PageRank.
+    let pr = apps::pagerank(&g, 0.85, 1e-9, 100);
+    println!("pagerank converged in {} iterations", pr.iterations);
+    println!("top influencers (vertex, rank):");
+    for (v, r) in top_k(&pr.rank, 5) {
+        println!("  #{v:<8} rank {r:.6}  degree {}", g.out_degree(v as u32));
+    }
+
+    // 3. Brokerage: betweenness contributions through the top hub.
+    let (hub, hub_deg) = g.max_out_degree();
+    let bc = apps::bc(&g, hub);
+    println!("betweenness from hub {hub} (degree {hub_deg}):");
+    for (v, d) in top_k(&bc.dependencies, 5) {
+        println!("  #{v:<8} dependency {d:.1}");
+    }
+
+    // 4. Small world: sampled eccentricities.
+    let radii = apps::radii(&g, 42);
+    println!(
+        "estimated diameter: {} ({} multi-BFS rounds over {} samples)",
+        radii.estimated_diameter(),
+        radii.rounds,
+        radii.sample.len()
+    );
+}

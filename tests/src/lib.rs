@@ -1,0 +1,4 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The real content of this package lives in its `tests/` directory; this
+//! library only hosts utilities reused by several integration test files.

@@ -1,0 +1,134 @@
+//! Cross-crate integration: every parallel application must agree with
+//! its sequential reference on every generator family, across multiple
+//! seeds and sources.
+
+use ligra_apps as apps;
+use ligra_apps::seq;
+use ligra_graph::generators::rmat::RmatOptions;
+use ligra_graph::generators::*;
+use ligra_graph::Graph;
+
+fn suite(seed: u64) -> Vec<(&'static str, Graph)> {
+    vec![
+        ("grid3d", grid3d(6)),
+        ("random_local", random_local(2500, 5, seed)),
+        ("rmat", rmat(&RmatOptions { seed, ..RmatOptions::paper(10) })),
+        ("erdos_renyi", erdos_renyi(2000, 8000, seed, true)),
+        ("erdos_renyi_sparse", erdos_renyi(2000, 1200, seed, true)),
+        ("path", path(500)),
+        ("tree", balanced_tree(1023)),
+    ]
+}
+
+#[test]
+fn bfs_agrees_with_sequential_everywhere() {
+    for (name, g) in suite(1) {
+        for source in [0u32, (g.num_vertices() / 2) as u32] {
+            let par = apps::bfs(&g, source);
+            let (dist, _) = seq::seq_bfs(&g, source);
+            assert_eq!(par.dist, dist, "{name} from {source}");
+            par.validate(&g, source);
+        }
+    }
+}
+
+#[test]
+fn cc_agrees_with_union_find_everywhere() {
+    for (name, g) in suite(2) {
+        let par = apps::cc(&g);
+        assert_eq!(par.label, seq::seq_cc(&g), "{name}");
+    }
+}
+
+#[test]
+fn bc_agrees_with_brandes_everywhere() {
+    for (name, g) in suite(3) {
+        let par = apps::bc(&g, 0);
+        let reference = seq::seq_brandes(&g, 0);
+        for v in 0..g.num_vertices() {
+            assert!(
+                (par.dependencies[v] - reference[v]).abs() < 1e-8,
+                "{name} vertex {v}: {} vs {}",
+                par.dependencies[v],
+                reference[v]
+            );
+        }
+    }
+}
+
+#[test]
+fn bellman_ford_agrees_with_sequential_everywhere() {
+    for (name, g) in suite(4) {
+        let wg = random_weights(&g, 50, 9);
+        let par = apps::bellman_ford(&wg, 0);
+        let reference = seq::seq_bellman_ford(&wg, 0).expect("positive weights: no cycle");
+        assert_eq!(par.dist, reference, "{name}");
+        assert!(!par.negative_cycle);
+    }
+}
+
+#[test]
+fn pagerank_agrees_with_sequential_everywhere() {
+    for (name, g) in suite(5) {
+        let par = apps::pagerank(&g, 0.85, 1e-9, 200);
+        let (reference, _) = seq::seq_pagerank(&g, 0.85, 1e-9, 200);
+        let l1: f64 = par
+            .rank
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(l1 < 1e-6, "{name}: L1 divergence {l1}");
+    }
+}
+
+#[test]
+fn radii_agrees_with_multi_bfs_reference() {
+    for (name, g) in suite(6) {
+        let par = apps::radii(&g, 7);
+        // Reference: max BFS distance from each sample.
+        let n = g.num_vertices();
+        let mut expect = vec![u32::MAX; n];
+        for &s in &par.sample {
+            let (dist, _) = seq::seq_bfs(&g, s);
+            for v in 0..n {
+                if dist[v] != u32::MAX && (expect[v] == u32::MAX || dist[v] > expect[v]) {
+                    expect[v] = dist[v];
+                }
+            }
+        }
+        assert_eq!(par.radii, expect, "{name}");
+    }
+}
+
+#[test]
+fn bfs_dist_lower_bounds_weighted_dist() {
+    let g = rmat(&RmatOptions::paper(10));
+    let wg = random_weights(&g, 10, 3);
+    let hops = apps::bfs(&g, 0);
+    let sp = apps::bellman_ford(&wg, 0);
+    for v in 0..g.num_vertices() {
+        if hops.dist[v] == u32::MAX {
+            assert_eq!(sp.dist[v], apps::INFINITE_DISTANCE);
+        } else {
+            assert!(sp.dist[v] >= hops.dist[v] as i64);
+            assert!(sp.dist[v] <= hops.dist[v] as i64 * 10);
+        }
+    }
+}
+
+#[test]
+fn cc_is_consistent_with_bfs_reachability() {
+    // On a symmetric graph: same component <=> mutually reachable.
+    let g = erdos_renyi(1200, 800, 11, true);
+    let comps = apps::cc(&g);
+    let bfs = apps::bfs(&g, 0);
+    let c0 = comps.label[0];
+    for v in 0..g.num_vertices() {
+        assert_eq!(
+            comps.label[v] == c0,
+            bfs.dist[v] != u32::MAX,
+            "vertex {v}: component vs reachability mismatch"
+        );
+    }
+}

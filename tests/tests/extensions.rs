@@ -1,0 +1,96 @@
+//! Cross-crate integration tests for the extension reproductions: the
+//! extra Ligra-release applications (k-core, MIS, triangles) and the
+//! Ligra+ compressed representation.
+
+use ligra_apps as apps;
+use ligra_compress::CompressedGraph;
+use ligra_compress::apps as capps;
+use ligra_graph::generators::rmat::RmatOptions;
+use ligra_graph::generators::{erdos_renyi, grid3d, random_local, rmat};
+
+#[test]
+fn kcore_mis_triangle_consistency() {
+    // Structural relationships between the three on the same graph.
+    let g = rmat(&RmatOptions::paper(10));
+
+    let cores = apps::kcore(&g);
+    let tri = apps::triangle_count(&g);
+    let set = apps::mis(&g, 7);
+    set.validate(&g);
+
+    // A vertex in a triangle has coreness >= 2.
+    for v in 0..g.num_vertices() {
+        if tri.local[v] > 0 {
+            assert!(cores.coreness[v] >= 2, "vertex {v} in a triangle but coreness < 2");
+        }
+    }
+    // Degeneracy bounds the clique number - 1; any triangle implies
+    // max_core >= 2.
+    if tri.triangles > 0 {
+        assert!(cores.max_core >= 2);
+    }
+    // MIS size is at least n / (max_degree + 1).
+    let (_, dmax) = g.max_out_degree();
+    assert!(set.size() >= g.num_vertices() / (dmax + 1));
+}
+
+#[test]
+fn compressed_graph_runs_the_same_cc() {
+    for g in [grid3d(6), random_local(3000, 6, 5), erdos_renyi(2000, 3000, 9, true)] {
+        let cg: CompressedGraph = CompressedGraph::from_graph(&g);
+        assert_eq!(capps::cc(&cg), apps::cc(&g).label);
+    }
+}
+
+#[test]
+fn compressed_bfs_reaches_the_same_set_in_the_same_rounds() {
+    for g in [grid3d(6), rmat(&RmatOptions::paper(10))] {
+        let cg: CompressedGraph = CompressedGraph::from_graph(&g);
+        let unc = apps::bfs(&g, 0);
+        let (parent, rounds) = capps::bfs(&cg, 0);
+        assert_eq!(rounds, unc.rounds);
+        for v in 0..g.num_vertices() {
+            assert_eq!(
+                parent[v] == capps::UNREACHED,
+                unc.dist[v] == apps::UNREACHED,
+                "vertex {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn compressed_pagerank_matches_uncompressed() {
+    let g = rmat(&RmatOptions::paper(9));
+    let cg: CompressedGraph = CompressedGraph::from_graph(&g);
+    let unc = apps::pagerank(&g, 0.85, 1e-10, 150);
+    let (p, _) = capps::pagerank(&cg, 0.85, 1e-10, 150);
+    let l1: f64 = unc.rank.iter().zip(&p).map(|(a, b)| (a - b).abs()).sum();
+    assert!(l1 < 1e-8, "L1 divergence {l1}");
+}
+
+#[test]
+fn compression_saves_space_on_every_input_family() {
+    for (name, g) in [
+        ("grid", grid3d(10)),
+        ("local", random_local(20_000, 8, 1)),
+        ("rmat", rmat(&RmatOptions::paper(13))),
+    ] {
+        let cg: CompressedGraph = CompressedGraph::from_graph(&g);
+        let (compressed, csr, ratio) = cg.space_vs_csr();
+        assert!(
+            ratio < 1.0,
+            "{name}: compressed {compressed} not smaller than CSR {csr}"
+        );
+    }
+}
+
+#[test]
+fn kcore_of_compressed_families_matches_reference() {
+    // k-core only exists uncompressed; sanity-check it against the bucket
+    // reference on the benchmark families.
+    for g in [grid3d(5), random_local(1500, 5, 2), rmat(&RmatOptions::paper(9))] {
+        let par = apps::kcore(&g);
+        assert_eq!(par.coreness, apps::kcore::seq_kcore(&g));
+    }
+}
