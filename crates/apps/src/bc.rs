@@ -20,7 +20,8 @@
 //! paper (like most BC benchmarks) reports the time for one source.
 
 use ligra::{
-    EdgeMapFn, EdgeMapOptions, TraversalStats, VertexSubset, edge_map_traced, vertex_map,
+    edge_map_recorded, vertex_map_recorded, EdgeMapFn, EdgeMapOptions, NoopRecorder, Recorder,
+    VertexSubset,
 };
 use ligra_graph::{Graph, VertexId};
 use ligra_parallel::atomics::AtomicF64;
@@ -101,17 +102,16 @@ impl EdgeMapFn for BcBackwardF<'_> {
 
 /// Parallel single-source betweenness centrality with default options.
 pub fn bc(g: &Graph, source: VertexId) -> BcResult {
-    let mut stats = TraversalStats::new();
-    bc_traced(g, source, EdgeMapOptions::default(), &mut stats)
+    bc_traced(g, source, EdgeMapOptions::default(), &mut NoopRecorder)
 }
 
 /// Parallel single-source betweenness centrality recording per-round
 /// statistics (forward and backward rounds both append).
-pub fn bc_traced(
+pub fn bc_traced<R: Recorder>(
     g: &Graph,
     source: VertexId,
     opts: EdgeMapOptions,
-    stats: &mut TraversalStats,
+    stats: &mut R,
 ) -> BcResult {
     let n = g.num_vertices();
     assert!((source as usize) < n, "source out of range");
@@ -127,10 +127,14 @@ pub fn bc_traced(
         let f = BcForwardF { num_paths: &num_paths, visited: &visited };
         let mut frontier = levels[0].clone();
         while !frontier.is_empty() {
-            frontier = edge_map_traced(g, &mut frontier, &f, opts, stats);
-            vertex_map(&frontier, |v| {
-                visited.set(v as usize);
-            });
+            frontier = edge_map_recorded(g, &mut frontier, &f, opts, stats);
+            vertex_map_recorded(
+                &frontier,
+                |v| {
+                    visited.set(v as usize);
+                },
+                stats,
+            );
             if !frontier.is_empty() {
                 levels.push(frontier.clone());
             }
@@ -149,19 +153,22 @@ pub fn bc_traced(
         let back_opts = opts.no_output();
         for level in levels.iter_mut().rev() {
             // BC_Back_Vertex_F: mark processed and add the σ⁻¹ term.
-            vertex_map(level, |v| {
-                visited.set(v as usize);
-                let sigma = num_paths[v as usize].load(Ordering::Relaxed);
-                debug_assert!(sigma > 0.0);
-                x[v as usize].fetch_add(1.0 / sigma);
-            });
-            let _ = edge_map_traced(&rev, level, &back, back_opts, stats);
+            vertex_map_recorded(
+                level,
+                |v| {
+                    visited.set(v as usize);
+                    let sigma = num_paths[v as usize].load(Ordering::Relaxed);
+                    debug_assert!(sigma > 0.0);
+                    x[v as usize].fetch_add(1.0 / sigma);
+                },
+                stats,
+            );
+            let _ = edge_map_recorded(&rev, level, &back, back_opts, stats);
         }
     }
 
     // δ(v) = (X[v] − σ⁻¹) · σ; unreachable vertices get 0.
-    let num_paths_plain: Vec<f64> =
-        num_paths.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    let num_paths_plain: Vec<f64> = num_paths.iter().map(|c| c.load(Ordering::Relaxed)).collect();
     let dependencies: Vec<f64> = (0..n)
         .map(|v| {
             let sigma = num_paths_plain[v];
@@ -181,9 +188,10 @@ mod tests {
     use super::*;
     use crate::seq::seq_brandes;
     use ligra::Traversal;
+    use ligra::TraversalStats;
     use ligra_graph::generators::rmat::RmatOptions;
     use ligra_graph::generators::{cycle, grid3d, path, random_local, rmat, star};
-    use ligra_graph::{BuildOptions, build_graph};
+    use ligra_graph::{build_graph, BuildOptions};
 
     fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
         a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
@@ -208,7 +216,7 @@ mod tests {
     fn star_center_carries_all_paths() {
         let g = star(6);
         let r = bc(&g, 1); // a leaf
-        // From leaf 1: paths go through center 0 to the other 4 leaves.
+                           // From leaf 1: paths go through center 0 to the other 4 leaves.
         assert_eq!(r.dependencies[0], 4.0);
         assert_eq!(r.dependencies[2], 0.0);
         check(&g, 1);

@@ -8,7 +8,10 @@
 //! If relaxation is still producing changes after `n` rounds, a negative
 //! cycle is reachable.
 
-use ligra::{EdgeMapFn, EdgeMapOptions, TraversalStats, VertexSubset, edge_map_traced, vertex_map};
+use ligra::{
+    edge_map_recorded, vertex_map_recorded, EdgeMapFn, EdgeMapOptions, NoopRecorder, Recorder,
+    VertexSubset,
+};
 use ligra_graph::{VertexId, WeightedGraph};
 use ligra_parallel::atomics::write_min_i64;
 use ligra_parallel::bitvec::AtomicBitVec;
@@ -68,16 +71,15 @@ impl EdgeMapFn<i32> for BfF<'_> {
 
 /// Parallel Bellman–Ford from `source` with default options.
 pub fn bellman_ford(g: &WeightedGraph, source: VertexId) -> BellmanFordResult {
-    let mut stats = TraversalStats::new();
-    bellman_ford_traced(g, source, EdgeMapOptions::default(), &mut stats)
+    bellman_ford_traced(g, source, EdgeMapOptions::default(), &mut NoopRecorder)
 }
 
 /// Parallel Bellman–Ford recording per-round statistics.
-pub fn bellman_ford_traced(
+pub fn bellman_ford_traced<R: Recorder>(
     g: &WeightedGraph,
     source: VertexId,
     opts: EdgeMapOptions,
-    stats: &mut TraversalStats,
+    stats: &mut R,
 ) -> BellmanFordResult {
     let n = g.num_vertices();
     assert!((source as usize) < n, "source out of range");
@@ -97,12 +99,16 @@ pub fn bellman_ford_traced(
                 break;
             }
             rounds += 1;
-            frontier = edge_map_traced(g, &mut frontier, &f, opts, stats);
+            frontier = edge_map_recorded(g, &mut frontier, &f, opts, stats);
             // Reset the per-round visited bits of the new frontier (the
             // paper's BF_Vertex_F): cheaper than clearing the whole array.
-            vertex_map(&frontier, |v| {
-                visited.clear(v as usize);
-            });
+            vertex_map_recorded(
+                &frontier,
+                |v| {
+                    visited.clear(v as usize);
+                },
+                stats,
+            );
         }
     }
     BellmanFordResult { dist, rounds, negative_cycle }
@@ -113,9 +119,10 @@ mod tests {
     use super::*;
     use crate::seq::seq_bellman_ford;
     use ligra::Traversal;
+    use ligra::TraversalStats;
     use ligra_graph::generators::rmat::RmatOptions;
     use ligra_graph::generators::{grid3d, random_local, random_weights, rmat};
-    use ligra_graph::{BuildOptions, build_weighted_graph};
+    use ligra_graph::{build_weighted_graph, BuildOptions};
 
     fn check_against_seq(g: &WeightedGraph, source: u32) {
         let par = bellman_ford(g, source);
@@ -224,10 +231,7 @@ mod tests {
         let g = random_weights(&grid3d(4), 1, 7);
         // All weights are exactly 1 (max_w = 1), so dist == hop count.
         let r = bellman_ford(&g, 0);
-        let bfs = crate::bfs::bfs(
-            &ligra_graph::generators::grid3d(4),
-            0,
-        );
+        let bfs = crate::bfs::bfs(&ligra_graph::generators::grid3d(4), 0);
         for v in 0..g.num_vertices() {
             assert_eq!(r.dist[v] as u32, bfs.dist[v]);
         }

@@ -11,7 +11,7 @@
 //! frontier     = {r};  while |frontier| > 0: frontier = EDGEMAP(G, frontier, UPDATE, COND)
 //! ```
 
-use ligra::{EdgeMapFn, EdgeMapOptions, TraversalStats, VertexSubset, edge_map_traced};
+use ligra::{edge_map_recorded, EdgeMapFn, EdgeMapOptions, NoopRecorder, Recorder, VertexSubset};
 use ligra_graph::{Graph, VertexId};
 use ligra_parallel::atomics::cas_u32;
 use rayon::prelude::*;
@@ -66,23 +66,22 @@ impl EdgeMapFn for BfsF<'_> {
 
 /// Parallel BFS from `source` with default `edgeMap` options.
 pub fn bfs(g: &Graph, source: VertexId) -> BfsResult {
-    let mut stats = TraversalStats::new();
-    bfs_traced(g, source, EdgeMapOptions::default(), &mut stats)
+    bfs_traced(g, source, EdgeMapOptions::default(), &mut NoopRecorder)
 }
 
 /// Parallel BFS with explicit `edgeMap` options (used by the ablation
 /// benches to force sparse-only / dense-only traversal).
 pub fn bfs_with(g: &Graph, source: VertexId, opts: EdgeMapOptions) -> BfsResult {
-    let mut stats = TraversalStats::new();
-    bfs_traced(g, source, opts, &mut stats)
+    bfs_traced(g, source, opts, &mut NoopRecorder)
 }
 
-/// Parallel BFS recording per-round traversal statistics.
-pub fn bfs_traced(
+/// Parallel BFS delivering per-round telemetry to any [`Recorder`]
+/// (pass a `&mut TraversalStats` to collect a trace).
+pub fn bfs_traced<R: Recorder>(
     g: &Graph,
     source: VertexId,
     opts: EdgeMapOptions,
-    stats: &mut TraversalStats,
+    stats: &mut R,
 ) -> BfsResult {
     let n = g.num_vertices();
     assert!((source as usize) < n, "source out of range");
@@ -99,7 +98,7 @@ pub fn bfs_traced(
         let mut frontier = VertexSubset::single(n, source);
         let mut level_sets: Vec<VertexSubset> = Vec::new();
         while !frontier.is_empty() {
-            frontier = edge_map_traced(g, &mut frontier, &f, opts, stats);
+            frontier = edge_map_recorded(g, &mut frontier, &f, opts, stats);
             rounds += 1;
             if !frontier.is_empty() {
                 level_sets.push(frontier.clone());
@@ -111,7 +110,11 @@ pub fn bfs_traced(
         for (level, fr) in level_sets.iter_mut().enumerate() {
             let d = level as u32 + 1;
             let dist_cell = ligra_parallel::atomics::as_atomic_u32(&mut dist);
-            ligra::vertex_map(fr, |v| dist_cell[v as usize].store(d, Ordering::Relaxed));
+            ligra::vertex_map_recorded(
+                fr,
+                |v| dist_cell[v as usize].store(d, Ordering::Relaxed),
+                stats,
+            );
         }
     }
 
@@ -168,9 +171,9 @@ impl BfsResult {
 mod tests {
     use super::*;
     use crate::seq::seq_bfs;
-    use ligra::Traversal;
-    use ligra_graph::generators::{balanced_tree, grid3d, path, random_local, rmat, star};
+    use ligra::{Traversal, TraversalStats};
     use ligra_graph::generators::rmat::RmatOptions;
+    use ligra_graph::generators::{balanced_tree, grid3d, path, random_local, rmat, star};
 
     fn check_against_seq(g: &Graph, source: u32) {
         let par = bfs(g, source);

@@ -7,7 +7,10 @@
 //! changes. On a symmetric graph the fixed point is: every vertex labeled
 //! with the minimum vertex ID of its component.
 
-use ligra::{EdgeMapFn, EdgeMapOptions, TraversalStats, VertexSubset, edge_map_traced, vertex_map};
+use ligra::{
+    edge_map_recorded, vertex_map_recorded, EdgeMapFn, EdgeMapOptions, NoopRecorder, Recorder,
+    VertexSubset,
+};
 use ligra_graph::{Graph, VertexId};
 use ligra_parallel::atomics::write_min_u32;
 use std::collections::HashMap;
@@ -75,8 +78,7 @@ impl EdgeMapFn for CcF<'_> {
         let src_id = self.ids[src as usize].load(Ordering::Relaxed);
         let slot = &self.ids[dst as usize];
         let orig = slot.load(Ordering::Relaxed);
-        write_min_u32(slot, src_id)
-            && orig == self.prev_ids[dst as usize].load(Ordering::Relaxed)
+        write_min_u32(slot, src_id) && orig == self.prev_ids[dst as usize].load(Ordering::Relaxed)
     }
 }
 
@@ -86,16 +88,12 @@ impl EdgeMapFn for CcF<'_> {
 /// Panics if `g` is not symmetric — label propagation computes *undirected*
 /// connectivity; symmetrize directed graphs first (as the paper does).
 pub fn cc(g: &Graph) -> CcResult {
-    let mut stats = TraversalStats::new();
-    cc_traced(g, EdgeMapOptions::default(), &mut stats)
+    cc_traced(g, EdgeMapOptions::default(), &mut NoopRecorder)
 }
 
 /// Parallel connected components recording per-round statistics.
-pub fn cc_traced(g: &Graph, opts: EdgeMapOptions, stats: &mut TraversalStats) -> CcResult {
-    assert!(
-        g.is_symmetric(),
-        "connected components requires a symmetric graph; symmetrize first"
-    );
+pub fn cc_traced<R: Recorder>(g: &Graph, opts: EdgeMapOptions, stats: &mut R) -> CcResult {
+    assert!(g.is_symmetric(), "connected components requires a symmetric graph; symmetrize first");
     let n = g.num_vertices();
     let mut ids: Vec<u32> = (0..n as u32).collect();
     let mut prev_ids: Vec<u32> = (0..n as u32).collect();
@@ -107,10 +105,15 @@ pub fn cc_traced(g: &Graph, opts: EdgeMapOptions, stats: &mut TraversalStats) ->
         let mut frontier = VertexSubset::all(n);
         while !frontier.is_empty() {
             // Snapshot labels of the active vertices (paper's CC_Vertex_F).
-            vertex_map(&frontier, |v| {
-                prev[v as usize].store(ids[v as usize].load(Ordering::Relaxed), Ordering::Relaxed);
-            });
-            frontier = edge_map_traced(g, &mut frontier, &f, opts, stats);
+            vertex_map_recorded(
+                &frontier,
+                |v| {
+                    prev[v as usize]
+                        .store(ids[v as usize].load(Ordering::Relaxed), Ordering::Relaxed);
+                },
+                stats,
+            );
+            frontier = edge_map_recorded(g, &mut frontier, &f, opts, stats);
             rounds += 1;
         }
     }
@@ -122,9 +125,10 @@ mod tests {
     use super::*;
     use crate::seq::seq_cc;
     use ligra::Traversal;
+    use ligra::TraversalStats;
     use ligra_graph::generators::rmat::RmatOptions;
     use ligra_graph::generators::{cycle, erdos_renyi, grid3d, path, random_local, rmat, star};
-    use ligra_graph::{BuildOptions, build_graph};
+    use ligra_graph::{build_graph, BuildOptions};
 
     fn check_against_seq(g: &Graph) {
         let par = cc(g);

@@ -14,8 +14,8 @@
 //! and polylogarithmic depth overall, against label propagation's
 //! `O(m · d)` worst case.
 
-use ligra::{EdgeMapFn, EdgeMapOptions, VertexSubset, edge_map_with};
-use ligra_graph::{BuildOptions, Graph, VertexId, build_graph};
+use ligra::{edge_map_with, EdgeMapFn, EdgeMapOptions, VertexSubset};
+use ligra_graph::{build_graph, BuildOptions, Graph, VertexId};
 use ligra_parallel::atomics::cas_u32;
 use ligra_parallel::hash::{hash_to_unit, mix64};
 use rayon::prelude::*;
@@ -125,10 +125,8 @@ fn cc_ldd_rec(g: &Graph, seed: u64, depth: usize) -> Vec<u32> {
     let cluster = ldd(g, 0.2, mix64(seed ^ depth as u64));
 
     // Relabel cluster centers to a dense range [0, k).
-    let is_center: Vec<bool> = (0..n as u32)
-        .into_par_iter()
-        .map(|v| cluster[v as usize] == v)
-        .collect();
+    let is_center: Vec<bool> =
+        (0..n as u32).into_par_iter().map(|v| cluster[v as usize] == v).collect();
     let centers = ligra_parallel::pack::pack_index(&is_center);
     let k = centers.len();
     if k == n {

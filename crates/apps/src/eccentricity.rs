@@ -16,7 +16,7 @@
 //! All estimates are *lower bounds* on the true eccentricity (they are
 //! maxima of genuine shortest-path distances).
 
-use crate::radii::{RadiiResult, SAMPLES, UNKNOWN_RADIUS, radii_from_sample};
+use crate::radii::{radii_from_sample, RadiiResult, SAMPLES, UNKNOWN_RADIUS};
 use crate::seq::seq_bfs;
 use ligra::EdgeMapOptions;
 use ligra::TraversalStats;
@@ -46,17 +46,11 @@ pub fn two_approx(g: &Graph) -> Vec<u32> {
             continue;
         }
         let bfs = crate::bfs(g, root);
-        let ecc_w = bfs
-            .dist
-            .iter()
-            .filter(|&&d| d != crate::UNREACHED)
-            .max()
-            .copied()
-            .unwrap_or(0);
-        for u in 0..n {
+        let ecc_w = bfs.dist.iter().filter(|&&d| d != crate::UNREACHED).max().copied().unwrap_or(0);
+        for (u, slot) in est.iter_mut().enumerate() {
             let d = bfs.dist[u];
             if d != crate::UNREACHED {
-                est[u] = d.max(ecc_w.saturating_sub(d));
+                *slot = d.max(ecc_w.saturating_sub(d));
             }
         }
     }
@@ -74,9 +68,8 @@ pub fn k_bfs_two_pass(g: &Graph, seed: u64) -> RadiiResult {
     let first = crate::radii(g, seed);
 
     // Pick the most eccentric vertices found by pass 1 as pass-2 sources.
-    let mut by_est: Vec<u32> = (0..n as u32)
-        .filter(|&v| first.radii[v as usize] != UNKNOWN_RADIUS)
-        .collect();
+    let mut by_est: Vec<u32> =
+        (0..n as u32).filter(|&v| first.radii[v as usize] != UNKNOWN_RADIUS).collect();
     by_est.sort_unstable_by_key(|&v| (std::cmp::Reverse(first.radii[v as usize]), v));
     by_est.truncate(SAMPLES.min(n));
     if by_est.is_empty() {
@@ -99,11 +92,7 @@ pub fn k_bfs_two_pass(g: &Graph, seed: u64) -> RadiiResult {
             }
         })
         .collect();
-    RadiiResult {
-        radii,
-        sample: second.sample,
-        rounds: first.rounds + second.rounds,
-    }
+    RadiiResult { radii, sample: second.sample, rounds: first.rounds + second.rounds }
 }
 
 /// Exact eccentricities by one BFS per vertex — O(nm), small graphs only;
@@ -131,7 +120,11 @@ pub fn mean_relative_error(estimate: &[u32], truth: &[u32]) -> f64 {
             count += 1;
         }
     }
-    if count == 0 { 0.0 } else { total / count as f64 }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
 }
 
 #[cfg(test)]
@@ -139,7 +132,7 @@ mod tests {
     use super::*;
     use ligra_graph::generators::rmat::RmatOptions;
     use ligra_graph::generators::{cycle, grid3d, path, random_local, rmat, star};
-    use ligra_graph::{BuildOptions, build_graph};
+    use ligra_graph::{build_graph, BuildOptions};
 
     fn assert_lower_bound_and_half(g: &Graph) {
         let truth = exact(g);
@@ -161,11 +154,8 @@ mod tests {
 
     #[test]
     fn two_approx_handles_multiple_components() {
-        let g = build_graph(
-            7,
-            &[(0, 1), (1, 2), (3, 4), (4, 5), (5, 6)],
-            BuildOptions::symmetric(),
-        );
+        let g =
+            build_graph(7, &[(0, 1), (1, 2), (3, 4), (4, 5), (5, 6)], BuildOptions::symmetric());
         let est = two_approx(&g);
         let truth = exact(&g);
         for v in 0..7 {
@@ -179,11 +169,11 @@ mod tests {
             let truth = exact(&g);
             let one = crate::radii(&g, 11);
             let two = k_bfs_two_pass(&g, 11);
-            for v in 0..g.num_vertices() {
+            for (v, &tv) in truth.iter().enumerate() {
                 let t = two.radii[v];
                 let o = one.radii[v];
                 if t != UNKNOWN_RADIUS {
-                    assert!(t <= truth[v], "vertex {v}: {t} > true ecc {}", truth[v]);
+                    assert!(t <= tv, "vertex {v}: {t} > true ecc {tv}");
                 }
                 if o != UNKNOWN_RADIUS {
                     assert!(t != UNKNOWN_RADIUS && t >= o, "pass 2 regressed at {v}");

@@ -8,7 +8,10 @@
 //! `k` such that it survives in the `k`-core (the maximal subgraph with
 //! all degrees ≥ `k`).
 
-use ligra::{EdgeMapFn, EdgeMapOptions, TraversalStats, VertexSubset, edge_map_traced, vertex_map};
+use ligra::{
+    edge_map_recorded, vertex_map_recorded, EdgeMapFn, EdgeMapOptions, NoopRecorder, Recorder,
+    VertexSubset,
+};
 use ligra_graph::{Graph, VertexId};
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -47,11 +50,8 @@ impl EdgeMapFn for PeelF<'_> {
     fn update_atomic(&self, _src: VertexId, dst: VertexId, _w: ()) -> bool {
         // fetch_update with saturation; contention is per-target bounded
         // by its degree.
-        let _ = self.degrees[dst as usize].fetch_update(
-            Ordering::AcqRel,
-            Ordering::Acquire,
-            |d| d.checked_sub(1),
-        );
+        let _ = self.degrees[dst as usize]
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |d| d.checked_sub(1));
         false
     }
 
@@ -67,12 +67,11 @@ impl EdgeMapFn for PeelF<'_> {
 /// Panics if `g` is not symmetric (coreness is defined on undirected
 /// graphs; symmetrize first).
 pub fn kcore(g: &Graph) -> KCoreResult {
-    let mut stats = TraversalStats::new();
-    kcore_traced(g, EdgeMapOptions::default(), &mut stats)
+    kcore_traced(g, EdgeMapOptions::default(), &mut NoopRecorder)
 }
 
 /// Parallel k-core decomposition recording per-round statistics.
-pub fn kcore_traced(g: &Graph, opts: EdgeMapOptions, stats: &mut TraversalStats) -> KCoreResult {
+pub fn kcore_traced<R: Recorder>(g: &Graph, opts: EdgeMapOptions, stats: &mut R) -> KCoreResult {
     assert!(g.is_symmetric(), "k-core requires a symmetric graph");
     let n = g.num_vertices();
     let mut degrees: Vec<u32> = (0..n as u32).map(|v| g.out_degree(v) as u32).collect();
@@ -101,13 +100,17 @@ pub fn kcore_traced(g: &Graph, opts: EdgeMapOptions, stats: &mut TraversalStats)
                     break;
                 }
                 rounds += 1;
-                vertex_map(&peel, |v| {
-                    alive_cells[v as usize].store(0, Ordering::Relaxed);
-                    core_cells[v as usize].store(k - 1, Ordering::Relaxed);
-                });
+                vertex_map_recorded(
+                    &peel,
+                    |v| {
+                        alive_cells[v as usize].store(0, Ordering::Relaxed);
+                        core_cells[v as usize].store(k - 1, Ordering::Relaxed);
+                    },
+                    stats,
+                );
                 num_alive -= peel.len();
                 let mut frontier = peel;
-                let _ = edge_map_traced(g, &mut frontier, &f, opts, stats);
+                let _ = edge_map_recorded(g, &mut frontier, &f, opts, stats);
             }
             k += 1;
         }
@@ -173,7 +176,7 @@ mod tests {
     use super::*;
     use ligra_graph::generators::rmat::RmatOptions;
     use ligra_graph::generators::{complete, cycle, erdos_renyi, grid3d, path, rmat, star};
-    use ligra_graph::{BuildOptions, build_graph};
+    use ligra_graph::{build_graph, BuildOptions};
 
     fn check(g: &Graph) {
         let par = kcore(g);
@@ -211,11 +214,8 @@ mod tests {
     #[test]
     fn triangle_with_tail() {
         // Triangle {0,1,2} plus tail 2-3-4: triangle is 2-core, tail 1-core.
-        let g = build_graph(
-            5,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)],
-            BuildOptions::symmetric(),
-        );
+        let g =
+            build_graph(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)], BuildOptions::symmetric());
         let r = kcore(&g);
         assert_eq!(r.coreness, vec![2, 2, 2, 1, 1]);
         check(&g);

@@ -38,14 +38,16 @@ pub mod radii;
 pub mod seq;
 pub mod triangle;
 
-pub use bc::{BcResult, bc, bc_traced};
-pub use bellman_ford::{BellmanFordResult, INFINITE_DISTANCE, bellman_ford, bellman_ford_traced};
-pub use bfs::{BfsResult, UNREACHED, bfs, bfs_traced, bfs_with};
-pub use cc::{CcResult, cc, cc_traced};
+pub use bc::{bc, bc_traced, BcResult};
+pub use bellman_ford::{bellman_ford, bellman_ford_traced, BellmanFordResult, INFINITE_DISTANCE};
+pub use bfs::{bfs, bfs_traced, bfs_with, BfsResult, UNREACHED};
+pub use cc::{cc, cc_traced, CcResult};
 pub use cc_ldd::{cc_ldd, ldd};
 pub use eccentricity::{k_bfs_two_pass, two_approx};
-pub use kcore::{KCoreResult, kcore, kcore_traced};
-pub use mis::{MisResult, mis, mis_traced};
-pub use pagerank::{PageRankResult, pagerank, pagerank_delta, pagerank_traced};
-pub use radii::{RadiiResult, radii, radii_from_sample, radii_traced};
-pub use triangle::{TriangleResult, triangle_count};
+pub use kcore::{kcore, kcore_traced, KCoreResult};
+pub use mis::{mis, mis_traced, MisResult};
+pub use pagerank::{
+    pagerank, pagerank_delta, pagerank_delta_traced, pagerank_traced, PageRankResult,
+};
+pub use radii::{radii, radii_from_sample, radii_traced, RadiiResult};
+pub use triangle::{triangle_count, TriangleResult};

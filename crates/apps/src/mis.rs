@@ -10,8 +10,8 @@
 //! undecided subset.
 
 use ligra::{
-    EdgeMapFn, EdgeMapOptions, TraversalStats, VertexSubset, edge_map_traced, vertex_filter,
-    vertex_map,
+    edge_map_recorded, vertex_filter_recorded, vertex_map_recorded, EdgeMapFn, EdgeMapOptions,
+    NoopRecorder, Recorder, VertexSubset,
 };
 use ligra_graph::{Graph, VertexId};
 use ligra_parallel::hash::mix64;
@@ -45,10 +45,7 @@ impl MisResult {
             let ns = g.out_neighbors(v);
             if self.in_set[v as usize] {
                 for &u in ns {
-                    assert!(
-                        !self.in_set[u as usize],
-                        "edge {v}-{u} inside the independent set"
-                    );
+                    assert!(!self.in_set[u as usize], "edge {v}-{u} inside the independent set");
                 }
             } else {
                 assert!(
@@ -128,16 +125,15 @@ impl EdgeMapFn for KnockoutF<'_> {
 /// # Panics
 /// Panics if `g` is not symmetric.
 pub fn mis(g: &Graph, seed: u64) -> MisResult {
-    let mut stats = TraversalStats::new();
-    mis_traced(g, seed, EdgeMapOptions::default(), &mut stats)
+    mis_traced(g, seed, EdgeMapOptions::default(), &mut NoopRecorder)
 }
 
 /// Parallel MIS recording per-round statistics.
-pub fn mis_traced(
+pub fn mis_traced<R: Recorder>(
     g: &Graph,
     seed: u64,
     opts: EdgeMapOptions,
-    stats: &mut TraversalStats,
+    stats: &mut R,
 ) -> MisResult {
     assert!(g.is_symmetric(), "MIS requires a symmetric graph");
     let n = g.num_vertices();
@@ -154,38 +150,42 @@ pub fn mis_traced(
         while !undecided.is_empty() {
             rounds += 1;
             // Clear round-local blocked flags of the undecided set.
-            vertex_map(&undecided, |v| {
-                blocked_cells[v as usize].store(0, Ordering::Relaxed);
-            });
+            vertex_map_recorded(
+                &undecided,
+                |v| blocked_cells[v as usize].store(0, Ordering::Relaxed),
+                stats,
+            );
             // Pass 1: every undecided vertex with a higher-priority
             // undecided neighbor is blocked.
-            let f = BlockF {
-                state: state_cells,
-                blocked: blocked_cells,
-                seed,
-                round: rounds as u64,
-            };
+            let f =
+                BlockF { state: state_cells, blocked: blocked_cells, seed, round: rounds as u64 };
             let mut frontier = undecided.clone();
-            let _ = edge_map_traced(g, &mut frontier, &f, opts, stats);
+            let _ = edge_map_recorded(g, &mut frontier, &f, opts, stats);
 
             // Unblocked undecided vertices join the MIS.
-            let winners = vertex_filter(&undecided, |v| {
-                blocked_cells[v as usize].load(Ordering::Relaxed) == 0
-            });
+            let winners = vertex_filter_recorded(
+                &undecided,
+                |v| blocked_cells[v as usize].load(Ordering::Relaxed) == 0,
+                stats,
+            );
             debug_assert!(!winners.is_empty(), "some local maximum always exists");
-            vertex_map(&winners, |v| {
-                state_cells[v as usize].store(IN_SET, Ordering::Relaxed);
-            });
+            vertex_map_recorded(
+                &winners,
+                |v| state_cells[v as usize].store(IN_SET, Ordering::Relaxed),
+                stats,
+            );
 
             // Pass 2: knock out their undecided neighbors.
             let ko = KnockoutF { state: state_cells };
             let mut winners = winners;
-            let _ = edge_map_traced(g, &mut winners, &ko, opts, stats);
+            let _ = edge_map_recorded(g, &mut winners, &ko, opts, stats);
 
             // Shrink the undecided set.
-            undecided = vertex_filter(&undecided, |v| {
-                state_cells[v as usize].load(Ordering::Relaxed) == UNDECIDED
-            });
+            undecided = vertex_filter_recorded(
+                &undecided,
+                |v| state_cells[v as usize].load(Ordering::Relaxed) == UNDECIDED,
+                stats,
+            );
         }
     }
 
@@ -215,7 +215,7 @@ mod tests {
     use super::*;
     use ligra_graph::generators::rmat::RmatOptions;
     use ligra_graph::generators::{complete, cycle, erdos_renyi, grid3d, path, rmat, star};
-    use ligra_graph::{BuildOptions, build_graph};
+    use ligra_graph::{build_graph, BuildOptions};
 
     #[test]
     fn star_mis_is_leaves_or_center() {
@@ -250,11 +250,7 @@ mod tests {
     #[test]
     fn valid_on_generators_and_seeds() {
         for seed in [1u64, 7, 42] {
-            for g in [
-                grid3d(4),
-                erdos_renyi(500, 2500, seed, true),
-                rmat(&RmatOptions::paper(9)),
-            ] {
+            for g in [grid3d(4), erdos_renyi(500, 2500, seed, true), rmat(&RmatOptions::paper(9))] {
                 let r = mis(&g, seed);
                 r.validate(&g);
                 assert!(r.size() > 0);
@@ -281,11 +277,7 @@ mod tests {
         let g = rmat(&RmatOptions::paper(11));
         let r = mis(&g, 11);
         r.validate(&g);
-        assert!(
-            r.rounds <= 40,
-            "expected O(log n) rounds, got {}",
-            r.rounds
-        );
+        assert!(r.rounds <= 40, "expected O(log n) rounds, got {}", r.rounds);
     }
 
     #[test]

@@ -14,11 +14,11 @@
 //! shrinking subset of the graph.
 
 use ligra::{
-    EdgeMapFn, EdgeMapOptions, TraversalStats, VertexSubset, edge_map_traced, vertex_filter,
-    vertex_map,
+    edge_map_recorded, vertex_filter_recorded, vertex_map_recorded, EdgeMapFn, EdgeMapOptions,
+    NoopRecorder, Recorder, VertexSubset,
 };
 use ligra_graph::{Graph, VertexId};
-use ligra_parallel::atomics::{AtomicF64, as_atomic_f64};
+use ligra_parallel::atomics::{as_atomic_f64, AtomicF64};
 use ligra_parallel::reduce::reduce_with;
 use rayon::prelude::*;
 use std::sync::atomic::Ordering;
@@ -64,18 +64,17 @@ pub struct PageRankResult {
 /// Parallel PageRank. `alpha` is the damping factor (paper: 0.85), `eps`
 /// the L1 convergence threshold, `max_iters` a hard cap.
 pub fn pagerank(g: &Graph, alpha: f64, eps: f64, max_iters: usize) -> PageRankResult {
-    let mut stats = TraversalStats::new();
-    pagerank_traced(g, alpha, eps, max_iters, EdgeMapOptions::default(), &mut stats)
+    pagerank_traced(g, alpha, eps, max_iters, EdgeMapOptions::default(), &mut NoopRecorder)
 }
 
 /// Parallel PageRank recording per-round statistics.
-pub fn pagerank_traced(
+pub fn pagerank_traced<R: Recorder>(
     g: &Graph,
     alpha: f64,
     eps: f64,
     max_iters: usize,
     opts: EdgeMapOptions,
-    stats: &mut TraversalStats,
+    stats: &mut R,
 ) -> PageRankResult {
     let n = g.num_vertices();
     assert!(n > 0, "empty graph");
@@ -98,12 +97,16 @@ pub fn pagerank_traced(
                 .for_each(|(s, slot)| *slot = p[s] / (g.out_degree(s as VertexId).max(1)) as f64);
             let next_cells = as_atomic_f64(&mut next);
             let f = PrF { shares: &shares, next: next_cells };
-            let _ = edge_map_traced(g, &mut frontier, &f, opts, stats);
+            let _ = edge_map_recorded(g, &mut frontier, &f, opts, stats);
             // PR_Vertex_F: damping + teleport.
-            vertex_map(&frontier, |v| {
-                let x = next_cells[v as usize].load(Ordering::Relaxed);
-                next_cells[v as usize].store(base + alpha * x, Ordering::Relaxed);
-            });
+            vertex_map_recorded(
+                &frontier,
+                |v| {
+                    let x = next_cells[v as usize].load(Ordering::Relaxed);
+                    next_cells[v as usize].store(base + alpha * x, Ordering::Relaxed);
+                },
+                stats,
+            );
         }
         err = reduce_with(n, 0.0f64, |i| (next[i] - p[i]).abs(), |a, b| a + b);
         std::mem::swap(&mut p, &mut next);
@@ -118,24 +121,18 @@ pub fn pagerank_traced(
 /// `|delta| > eps2 * rank`. The paper uses a small constant (~1e-2);
 /// smaller values trade running time for accuracy. Terminates when the
 /// active set empties or after `max_iters`.
-pub fn pagerank_delta(
-    g: &Graph,
-    alpha: f64,
-    eps2: f64,
-    max_iters: usize,
-) -> PageRankResult {
-    let mut stats = TraversalStats::new();
-    pagerank_delta_traced(g, alpha, eps2, max_iters, EdgeMapOptions::default(), &mut stats)
+pub fn pagerank_delta(g: &Graph, alpha: f64, eps2: f64, max_iters: usize) -> PageRankResult {
+    pagerank_delta_traced(g, alpha, eps2, max_iters, EdgeMapOptions::default(), &mut NoopRecorder)
 }
 
 /// [`pagerank_delta`] recording per-round statistics.
-pub fn pagerank_delta_traced(
+pub fn pagerank_delta_traced<R: Recorder>(
     g: &Graph,
     alpha: f64,
     eps2: f64,
     max_iters: usize,
     opts: EdgeMapOptions,
-    stats: &mut TraversalStats,
+    stats: &mut R,
 ) -> PageRankResult {
     let n = g.num_vertices();
     assert!(n > 0, "empty graph");
@@ -158,15 +155,19 @@ pub fn pagerank_delta_traced(
             // Only frontier members push, so only their shares are needed.
             let share_cells = as_atomic_f64(&mut shares);
             let delta_read: &[f64] = &delta;
-            vertex_map(&frontier, |v| {
-                let s = delta_read[v as usize] / (g.out_degree(v).max(1)) as f64;
-                share_cells[v as usize].store(s, Ordering::Relaxed);
-            });
+            vertex_map_recorded(
+                &frontier,
+                |v| {
+                    let s = delta_read[v as usize] / (g.out_degree(v).max(1)) as f64;
+                    share_cells[v as usize].store(s, Ordering::Relaxed);
+                },
+                stats,
+            );
         }
         {
             let sums = as_atomic_f64(&mut ngh_sum);
             let f = PrF { shares: &shares, next: sums };
-            let _ = edge_map_traced(g, &mut frontier, &f, opts, stats);
+            let _ = edge_map_recorded(g, &mut frontier, &f, opts, stats);
         }
         // delta' = α · nghSum; p += delta'; keep vertices with a
         // non-negligible relative change.
@@ -175,14 +176,18 @@ pub fn pagerank_delta_traced(
             let d_cells = as_atomic_f64(&mut delta);
             let s_cells = as_atomic_f64(&mut ngh_sum);
             let all = VertexSubset::all(n);
-            frontier = vertex_filter(&all, |v| {
-                let nd = alpha * s_cells[v as usize].load(Ordering::Relaxed);
-                s_cells[v as usize].store(0.0, Ordering::Relaxed);
-                d_cells[v as usize].store(nd, Ordering::Relaxed);
-                let rank = p_cells[v as usize].load(Ordering::Relaxed) + nd;
-                p_cells[v as usize].store(rank, Ordering::Relaxed);
-                nd.abs() > eps2 * rank
-            });
+            frontier = vertex_filter_recorded(
+                &all,
+                |v| {
+                    let nd = alpha * s_cells[v as usize].load(Ordering::Relaxed);
+                    s_cells[v as usize].store(0.0, Ordering::Relaxed);
+                    d_cells[v as usize].store(nd, Ordering::Relaxed);
+                    let rank = p_cells[v as usize].load(Ordering::Relaxed) + nd;
+                    p_cells[v as usize].store(rank, Ordering::Relaxed);
+                    nd.abs() > eps2 * rank
+                },
+                stats,
+            );
         }
     }
     let active = frontier.len() as f64;
@@ -194,9 +199,10 @@ mod tests {
     use super::*;
     use crate::seq::seq_pagerank;
     use ligra::Traversal;
+    use ligra::TraversalStats;
     use ligra_graph::generators::rmat::RmatOptions;
     use ligra_graph::generators::{cycle, erdos_renyi, rmat, star};
-    use ligra_graph::{BuildOptions, build_graph};
+    use ligra_graph::{build_graph, BuildOptions};
 
     fn l1(a: &[f64], b: &[f64]) -> f64 {
         a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
@@ -214,11 +220,7 @@ mod tests {
 
     #[test]
     fn matches_sequential_reference() {
-        for g in [
-            erdos_renyi(500, 4000, 1, true),
-            rmat(&RmatOptions::paper(9)),
-            star(64),
-        ] {
+        for g in [erdos_renyi(500, 4000, 1, true), rmat(&RmatOptions::paper(9)), star(64)] {
             let par = pagerank(&g, 0.85, 1e-10, 300);
             let (seq, _) = seq_pagerank(&g, 0.85, 1e-10, 300);
             assert!(
@@ -270,21 +272,11 @@ mod tests {
     fn delta_frontier_shrinks() {
         let g = rmat(&RmatOptions::paper(10));
         let mut stats = TraversalStats::new();
-        let _ = pagerank_delta_traced(
-            &g,
-            0.85,
-            1e-2,
-            100,
-            EdgeMapOptions::default(),
-            &mut stats,
-        );
-        let sizes: Vec<u64> = stats.rounds.iter().map(|r| r.frontier_vertices).collect();
+        let _ = pagerank_delta_traced(&g, 0.85, 1e-2, 100, EdgeMapOptions::default(), &mut stats);
+        let sizes: Vec<u64> = stats.edge_map_rounds().map(|r| r.frontier_vertices).collect();
         assert!(sizes.len() >= 3, "expected several delta rounds, got {sizes:?}");
         assert_eq!(sizes[0], g.num_vertices() as u64);
-        assert!(
-            *sizes.last().unwrap() < sizes[0] / 2,
-            "frontier should shrink: {sizes:?}"
-        );
+        assert!(*sizes.last().unwrap() < sizes[0] / 2, "frontier should shrink: {sizes:?}");
     }
 
     #[test]

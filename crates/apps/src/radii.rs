@@ -11,7 +11,10 @@
 //! `radii[v] = max_{s ∈ sample reachable from v} dist(s, v)` — a lower
 //! bound on `v`'s true eccentricity that sharpens with more samples.
 
-use ligra::{EdgeMapFn, EdgeMapOptions, TraversalStats, VertexSubset, edge_map_traced, vertex_map};
+use ligra::{
+    edge_map_recorded, vertex_map_recorded, EdgeMapFn, EdgeMapOptions, NoopRecorder, Recorder,
+    VertexSubset,
+};
 use ligra_graph::{Graph, VertexId};
 use ligra_parallel::hash::hash_to_range;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -133,16 +136,15 @@ pub fn pick_sample(g: &Graph, seed: u64) -> Vec<VertexId> {
 
 /// Parallel radii estimation with default options and sampling seed.
 pub fn radii(g: &Graph, seed: u64) -> RadiiResult {
-    let mut stats = TraversalStats::new();
-    radii_traced(g, seed, EdgeMapOptions::default(), &mut stats)
+    radii_traced(g, seed, EdgeMapOptions::default(), &mut NoopRecorder)
 }
 
 /// Parallel radii estimation recording per-round statistics.
-pub fn radii_traced(
+pub fn radii_traced<R: Recorder>(
     g: &Graph,
     seed: u64,
     opts: EdgeMapOptions,
-    stats: &mut TraversalStats,
+    stats: &mut R,
 ) -> RadiiResult {
     let n = g.num_vertices();
     assert!(n > 0, "empty graph");
@@ -157,11 +159,11 @@ pub fn radii_traced(
 /// # Panics
 /// Panics if the sample is larger than [`SAMPLES`] or contains duplicates
 /// (each source needs its own mask bit).
-pub fn radii_from_sample(
+pub fn radii_from_sample<R: Recorder>(
     g: &Graph,
     sample: Vec<VertexId>,
     opts: EdgeMapOptions,
-    stats: &mut TraversalStats,
+    stats: &mut R,
 ) -> RadiiResult {
     let n = g.num_vertices();
     assert!(sample.len() <= SAMPLES, "sample exceeds the {SAMPLES} mask bits");
@@ -195,13 +197,17 @@ pub fn radii_from_sample(
                 radii: radii_cells,
                 round: rounds as u32,
             };
-            frontier = edge_map_traced(g, &mut frontier, &f, opts, stats);
+            frontier = edge_map_recorded(g, &mut frontier, &f, opts, stats);
             // Commit the masks of the changed vertices (paper's
             // Radii_Vertex_F): visited = nextVisited.
-            vertex_map(&frontier, |v| {
-                let m = next_cells[v as usize].load(Ordering::Relaxed);
-                visited_cells[v as usize].store(m, Ordering::Relaxed);
-            });
+            vertex_map_recorded(
+                &frontier,
+                |v| {
+                    let m = next_cells[v as usize].load(Ordering::Relaxed);
+                    visited_cells[v as usize].store(m, Ordering::Relaxed);
+                },
+                stats,
+            );
         }
     }
     RadiiResult { radii: radii_arr, sample, rounds }
@@ -221,10 +227,10 @@ mod tests {
         for &s in sample {
             let (dist, _) = seq_bfs(g, s);
             for v in 0..n {
-                if dist[v] != crate::seq::UNREACHED {
-                    if out[v] == UNKNOWN_RADIUS || dist[v] > out[v] {
-                        out[v] = dist[v];
-                    }
+                if dist[v] != crate::seq::UNREACHED
+                    && (out[v] == UNKNOWN_RADIUS || dist[v] > out[v])
+                {
+                    out[v] = dist[v];
                 }
             }
         }

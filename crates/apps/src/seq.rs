@@ -197,9 +197,9 @@ pub fn seq_max_distance(g: &Graph, source: VertexId) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ligra_graph::generators::{cycle, path, star};
     use ligra_graph::generators::random_weights;
-    use ligra_graph::{BuildOptions, build_graph, build_weighted_graph};
+    use ligra_graph::generators::{cycle, path, star};
+    use ligra_graph::{build_graph, build_weighted_graph, BuildOptions};
 
     #[test]
     fn seq_bfs_on_path() {
@@ -251,12 +251,7 @@ mod tests {
 
     #[test]
     fn seq_bellman_ford_negative_edge_ok_cycle_detected() {
-        let ok = build_weighted_graph(
-            3,
-            &[(0, 1), (1, 2)],
-            &[-5, 2],
-            BuildOptions::directed(),
-        );
+        let ok = build_weighted_graph(3, &[(0, 1), (1, 2)], &[-5, 2], BuildOptions::directed());
         assert_eq!(seq_bellman_ford(&ok, 0).unwrap(), vec![0, -5, -3]);
 
         let neg = build_weighted_graph(

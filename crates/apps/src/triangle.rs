@@ -31,11 +31,7 @@ fn rank(g: &Graph, v: VertexId) -> (usize, VertexId) {
 /// Oriented adjacency: neighbors of `v` with higher rank, sorted by ID
 /// (the underlying CSR lists are ID-sorted, so filtering preserves order).
 fn oriented(g: &Graph, v: VertexId) -> Vec<VertexId> {
-    g.out_neighbors(v)
-        .iter()
-        .copied()
-        .filter(|&u| rank(g, u) > rank(g, v))
-        .collect()
+    g.out_neighbors(v).iter().copied().filter(|&u| rank(g, u) > rank(g, v)).collect()
 }
 
 /// Size of the intersection of two ID-sorted lists (merge scan).
@@ -95,8 +91,7 @@ pub fn triangle_count(g: &Graph) -> TriangleResult {
         })
         .sum();
 
-    let local: Vec<u64> =
-        local.into_iter().map(std::sync::atomic::AtomicU64::into_inner).collect();
+    let local: Vec<u64> = local.into_iter().map(std::sync::atomic::AtomicU64::into_inner).collect();
     TriangleResult { triangles, local }
 }
 
@@ -129,7 +124,7 @@ mod tests {
     use super::*;
     use ligra_graph::generators::rmat::RmatOptions;
     use ligra_graph::generators::{complete, cycle, erdos_renyi, grid3d, path, rmat, star};
-    use ligra_graph::{BuildOptions, build_graph};
+    use ligra_graph::{build_graph, BuildOptions};
 
     fn check(g: &Graph) {
         let par = triangle_count(g);
@@ -150,17 +145,14 @@ mod tests {
     fn complete_graph_has_n_choose_3() {
         let r = triangle_count(&complete(8));
         assert_eq!(r.triangles, 56); // C(8,3)
-        // Every vertex participates in C(7,2) = 21 triangles.
+                                     // Every vertex participates in C(7,2) = 21 triangles.
         assert!(r.local.iter().all(|&c| c == 21));
     }
 
     #[test]
     fn single_triangle_with_tail() {
-        let g = build_graph(
-            5,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)],
-            BuildOptions::symmetric(),
-        );
+        let g =
+            build_graph(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)], BuildOptions::symmetric());
         let r = triangle_count(&g);
         assert_eq!(r.triangles, 1);
         assert_eq!(r.local, vec![1, 1, 1, 0, 0]);
@@ -168,11 +160,8 @@ mod tests {
 
     #[test]
     fn odd_cycle_has_no_triangles_but_chords_make_them() {
-        let g = build_graph(
-            4,
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
-            BuildOptions::symmetric(),
-        );
+        let g =
+            build_graph(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)], BuildOptions::symmetric());
         assert_eq!(triangle_count(&g).triangles, 2);
         check(&g);
     }

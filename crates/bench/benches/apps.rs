@@ -1,11 +1,11 @@
 //! Criterion benches for the six paper applications (Table 2's parallel
 //! column, one fixed input per family for statistical stability).
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use ligra_apps as apps;
-use ligra_graph::generators::random_weights;
-use ligra_graph::generators::rmat::{RmatOptions, rmat};
 use ligra_graph::generators::grid3d;
+use ligra_graph::generators::random_weights;
+use ligra_graph::generators::rmat::{rmat, RmatOptions};
 use std::hint::black_box;
 
 fn bench_apps(c: &mut Criterion) {
@@ -41,16 +41,14 @@ fn bench_extension_apps(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("kcore/rmat13", |b| b.iter(|| black_box(apps::kcore(&rm))));
     group.bench_function("mis/rmat13", |b| b.iter(|| black_box(apps::mis(&rm, 7))));
-    group.bench_function("triangle/rmat13", |b| {
-        b.iter(|| black_box(apps::triangle_count(&rm)))
-    });
+    group.bench_function("triangle/rmat13", |b| b.iter(|| black_box(apps::triangle_count(&rm))));
     group.bench_function("cc_ldd/rmat13", |b| b.iter(|| black_box(apps::cc_ldd(&rm, 7))));
     group.finish();
 }
 
 fn bench_compressed_apps(c: &mut Criterion) {
     // Ligra+ (DCC'15): same application, compressed representation.
-    use ligra_compress::{CompressedGraph, apps as capps};
+    use ligra_compress::{apps as capps, CompressedGraph};
     let rm = rmat(&RmatOptions::paper(14));
     let cg: CompressedGraph = CompressedGraph::from_graph(&rm);
     let mut group = c.benchmark_group("apps_compressed");

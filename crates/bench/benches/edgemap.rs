@@ -1,10 +1,10 @@
 //! Criterion microbenches for `edgeMap` — the sparse/dense/dense-forward
 //! traversals on frontiers of varying density, plus the A2 dedup ablation.
 
-use criterion::{Criterion, criterion_group, criterion_main};
-use ligra::{EdgeMapOptions, Traversal, VertexSubset, edge_fn, edge_map_with};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ligra::{edge_fn, edge_map_with, EdgeMapOptions, Traversal, VertexSubset};
+use ligra_graph::generators::rmat::{rmat, RmatOptions};
 use ligra_graph::Graph;
-use ligra_graph::generators::rmat::{RmatOptions, rmat};
 use std::hint::black_box;
 
 fn frontier_of_density(g: &Graph, one_in: u32) -> Vec<u32> {
@@ -23,10 +23,8 @@ fn bench_traversals(c: &mut Criterion) {
             group.bench_function(format!("{label}/{t:?}"), |b| {
                 b.iter(|| {
                     let f = edge_fn(|_s, _d, _w: ()| true, |_| true);
-                    let mut fr =
-                        VertexSubset::from_sparse(g.num_vertices(), members.clone());
-                    let out =
-                        edge_map_with(&g, &mut fr, &f, EdgeMapOptions::new().traversal(t));
+                    let mut fr = VertexSubset::from_sparse(g.num_vertices(), members.clone());
+                    let out = edge_map_with(&g, &mut fr, &f, EdgeMapOptions::new().traversal(t));
                     black_box(out.len())
                 })
             });
@@ -47,9 +45,7 @@ fn bench_dedup(c: &mut Criterion) {
             b.iter(|| {
                 let f = edge_fn(|_s, _d, _w: ()| true, |_| true);
                 let mut fr = VertexSubset::from_sparse(g.num_vertices(), members.clone());
-                let opts = EdgeMapOptions::new()
-                    .traversal(Traversal::Sparse)
-                    .deduplicate(dedup);
+                let opts = EdgeMapOptions::new().traversal(Traversal::Sparse).deduplicate(dedup);
                 black_box(edge_map_with(&g, &mut fr, &f, opts).len())
             })
         });

@@ -2,7 +2,7 @@
 //! the sparse `edgeMap` hot path is built from: scan, pack, histogram,
 //! reduce, priority update).
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use ligra_parallel::atomics::{as_atomic_u32, priority_min, write_min_u32};
 use ligra_parallel::hash::hash32;
 use ligra_parallel::histogram::histogram_u32;
@@ -30,11 +30,11 @@ fn bench_scan(c: &mut Criterion) {
 
 fn bench_pack(c: &mut Criterion) {
     let xs: Vec<u32> = (0..N as u32).map(hash32).collect();
-    let flags: Vec<bool> = xs.iter().map(|&x| x % 3 == 0).collect();
+    let flags: Vec<bool> = xs.iter().map(|&x| x.is_multiple_of(3)).collect();
     let mut group = c.benchmark_group("pack");
     group.sample_size(20);
     group.bench_function("filter_1M", |b| {
-        b.iter(|| black_box(filter(&xs, |&x| x % 3 == 0).len()))
+        b.iter(|| black_box(filter(&xs, |&x| x.is_multiple_of(3)).len()))
     });
     group.bench_function("pack_index_1M", |b| b.iter(|| black_box(pack_index(&flags).len())));
     group.finish();
@@ -81,11 +81,5 @@ fn bench_priority_update(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_scan,
-    bench_pack,
-    bench_histogram_reduce,
-    bench_priority_update
-);
+criterion_group!(benches, bench_scan, bench_pack, bench_histogram_reduce, bench_priority_update);
 criterion_main!(benches);

@@ -9,7 +9,7 @@
 
 use ligra_apps::eccentricity::{exact, k_bfs_two_pass, mean_relative_error, two_approx};
 use ligra_apps::radii;
-use ligra_bench::{Scale, fmt_secs, inputs, time_best};
+use ligra_bench::{fmt_secs, inputs, time_best, Scale};
 
 fn main() {
     let scale = Scale::from_env();

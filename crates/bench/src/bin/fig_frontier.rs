@@ -1,51 +1,98 @@
 //! **Figure F1** — frontier dynamics.
 //!
 //! Per `edgeMap` round: frontier size in vertices, frontier size in
-//! out-edges, the traversal direction the heuristic chose, and the output
-//! size. The paper's figure shows rMat frontiers exploding within a few
-//! rounds (where the framework flips to the dense/pull direction) and
-//! collapsing at the end; the 3d-grid stays small and sparse throughout.
+//! out-edges, the heuristic's `work` input against its threshold, the
+//! traversal direction chosen, representation conversions, wall-clock, and
+//! the contention counters. The paper's figure shows rMat frontiers
+//! exploding within a few rounds (where the framework flips to the
+//! dense/pull direction) and collapsing at the end; the 3d-grid stays
+//! small and sparse throughout.
+//!
+//! The figure is rendered from the *exported* trace: each run is
+//! serialized to JSON lines and parsed back before printing, so the table
+//! exercises exactly the artifact a user would save. Set `LIGRA_TRACE_DIR`
+//! to also write each trace as a `.jsonl` file in that directory.
 
-use ligra::{EdgeMapOptions, TraversalStats};
+use ligra::stats::Op;
+use ligra::{from_json_lines, summary, to_json_lines, EdgeMapOptions, TraversalStats};
 use ligra_apps as apps;
-use ligra_bench::{Scale, inputs};
+use ligra_bench::{inputs, Scale};
 
-fn print_trace(label: &str, m: usize, stats: &TraversalStats) {
-    println!("\n{label} (m = {m}, dense threshold = m/20 = {})", m / 20);
+/// Exports `stats`, re-imports it, and renders the per-round table from
+/// the re-imported copy (optionally saving the export under `trace_dir`).
+fn print_trace(label: &str, slug: &str, stats: &TraversalStats, trace_dir: Option<&str>) {
+    let exported = to_json_lines(stats);
+    if let Some(dir) = trace_dir {
+        let path = format!("{dir}/{slug}.jsonl");
+        match std::fs::write(&path, &exported) {
+            Ok(()) => println!("[trace written to {path}]"),
+            Err(e) => eprintln!("[trace write to {path} failed: {e}]"),
+        }
+    }
+    let stats = from_json_lines(&exported).expect("exported trace must re-import");
+
+    println!("\n{label}");
     println!(
-        "{:>6} {:>12} {:>14} {:>11} {:>10}",
-        "round", "vertices", "out-edges", "mode", "output"
+        "{:>6} {:>10} {:>12} {:>12} {:>12} {:>10} {:>5} {:>10} {:>11} {:>11} {:>11}",
+        "round",
+        "vertices",
+        "out-edges",
+        "work",
+        "threshold",
+        "mode",
+        "conv",
+        "time_us",
+        "cas_win",
+        "scanned",
+        "skipped"
     );
     for (i, r) in stats.rounds.iter().enumerate() {
+        if r.op != Op::EdgeMap {
+            continue;
+        }
         println!(
-            "{:>6} {:>12} {:>14} {:>11} {:>10}",
+            "{:>6} {:>10} {:>12} {:>12} {:>12} {:>10} {:>5} {:>10} {:>11} {:>11} {:>11}",
             i + 1,
             r.frontier_vertices,
             r.frontier_out_edges,
+            r.work,
+            r.threshold,
             r.mode.to_string(),
-            r.output_vertices
+            if r.converted { "*" } else { "" },
+            r.time_ns / 1_000,
+            format!("{}/{}", r.cas_wins, r.cas_attempts),
+            r.edges_scanned,
+            r.edges_skipped,
         );
     }
-    let (s, d, f) = stats.mode_counts();
-    println!("mode counts: sparse={s} dense={d} dense-fwd={f}");
+    println!("{}", summary(&stats));
 }
 
 fn main() {
     let scale = Scale::from_env();
+    let trace_dir = std::env::var("LIGRA_TRACE_DIR").ok();
+    let trace_dir = trace_dir.as_deref();
     println!("Figure F1: per-round frontier sizes and traversal modes (scale = {scale:?})");
     for input in inputs(scale) {
         let g = &input.graph;
+        let m = g.num_edges();
         let mut stats = TraversalStats::new();
         let _ = apps::bfs_traced(g, input.source, EdgeMapOptions::default(), &mut stats);
-        print_trace(&format!("BFS on {}", input.name), g.num_edges(), &stats);
+        print_trace(
+            &format!("BFS on {} (m = {m}, dense threshold = m/20 = {})", input.name, m / 20),
+            &format!("bfs-{}", input.name),
+            &stats,
+            trace_dir,
+        );
 
         if g.is_symmetric() {
             let mut stats = TraversalStats::new();
             let _ = apps::cc_traced(g, EdgeMapOptions::default(), &mut stats);
             print_trace(
                 &format!("Components on {}", input.name),
-                g.num_edges(),
+                &format!("cc-{}", input.name),
                 &stats,
+                trace_dir,
             );
         }
 
@@ -53,8 +100,9 @@ fn main() {
         let _ = apps::bc_traced(g, input.source, EdgeMapOptions::default(), &mut stats);
         print_trace(
             &format!("BC (fwd+back) on {}", input.name),
-            g.num_edges(),
+            &format!("bc-{}", input.name),
             &stats,
+            trace_dir,
         );
     }
 }

@@ -8,7 +8,7 @@
 //! machinery is exercised.
 
 use ligra_apps as apps;
-use ligra_bench::{Scale, fmt_secs, inputs, time_best};
+use ligra_bench::{fmt_secs, inputs, time_best, Scale};
 use ligra_graph::generators::random_weights;
 use ligra_parallel::utils::with_threads;
 
@@ -47,24 +47,42 @@ fn main() {
 
     type AppFn<'a> = Box<dyn Fn() + Sync + 'a>;
     let apps_list: Vec<(&str, AppFn)> = vec![
-        ("BFS", Box::new(|| {
-            std::hint::black_box(apps::bfs(g, src));
-        })),
-        ("BC", Box::new(|| {
-            std::hint::black_box(apps::bc(g, src));
-        })),
-        ("Radii", Box::new(|| {
-            std::hint::black_box(apps::radii(g, 1));
-        })),
-        ("Components", Box::new(|| {
-            std::hint::black_box(apps::cc(g));
-        })),
-        ("PageRank(1)", Box::new(|| {
-            std::hint::black_box(apps::pagerank(g, 0.85, 0.0, 1));
-        })),
-        ("Bellman-Ford", Box::new(|| {
-            std::hint::black_box(apps::bellman_ford(&wg, src));
-        })),
+        (
+            "BFS",
+            Box::new(|| {
+                std::hint::black_box(apps::bfs(g, src));
+            }),
+        ),
+        (
+            "BC",
+            Box::new(|| {
+                std::hint::black_box(apps::bc(g, src));
+            }),
+        ),
+        (
+            "Radii",
+            Box::new(|| {
+                std::hint::black_box(apps::radii(g, 1));
+            }),
+        ),
+        (
+            "Components",
+            Box::new(|| {
+                std::hint::black_box(apps::cc(g));
+            }),
+        ),
+        (
+            "PageRank(1)",
+            Box::new(|| {
+                std::hint::black_box(apps::pagerank(g, 0.85, 0.0, 1));
+            }),
+        ),
+        (
+            "Bellman-Ford",
+            Box::new(|| {
+                std::hint::black_box(apps::bellman_ford(&wg, src));
+            }),
+        ),
     ];
 
     for (name, f) in &apps_list {
@@ -72,7 +90,7 @@ fn main() {
         let mut first = f64::NAN;
         let mut last = f64::NAN;
         for &t in &counts {
-            let secs = with_threads(t, || time_best(3, || f()));
+            let secs = with_threads(t, || time_best(3, f));
             if t == 1 {
                 first = secs;
             }

@@ -8,7 +8,7 @@
 
 use ligra::{EdgeMapOptions, Traversal};
 use ligra_apps as apps;
-use ligra_bench::{Scale, fmt_secs, inputs, time_best};
+use ligra_bench::{fmt_secs, inputs, time_best, Scale};
 
 fn main() {
     let scale = Scale::from_env();

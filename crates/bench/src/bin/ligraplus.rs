@@ -10,7 +10,7 @@
 //! uncompressed.
 
 use ligra_apps as apps;
-use ligra_bench::{Scale, fmt_secs, inputs, time_best};
+use ligra_bench::{fmt_secs, inputs, time_best, Scale};
 use ligra_compress::apps as capps;
 use ligra_compress::{ByteCode, ByteRleCode, Codec, CompressedGraph, NibbleCode};
 

@@ -4,14 +4,14 @@
 //! edges. We add degree statistics and the paper counterpart each family
 //! substitutes for. Run with `LIGRA_SCALE={tiny,default,large}`.
 
-use ligra_bench::{Scale, inputs, print_graph_row};
+use ligra_bench::{inputs, print_graph_row, Scale};
 
 fn main() {
     let scale = Scale::from_env();
     println!("Table 1: input graphs (scale = {scale:?})");
     println!(
-        "{:<14} {:>10} {:>12} {:>10} {:>8} {:>9} {}",
-        "input", "vertices", "edges", "max-deg", "avg-deg", "isolated", "kind"
+        "{:<14} {:>10} {:>12} {:>10} {:>8} {:>9} kind",
+        "input", "vertices", "edges", "max-deg", "avg-deg", "isolated"
     );
     for input in inputs(scale) {
         print_graph_row(input.name, &input.graph);

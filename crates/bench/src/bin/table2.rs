@@ -9,7 +9,7 @@
 //! below (framework overhead), as recorded in EXPERIMENTS.md.
 
 use ligra_apps as apps;
-use ligra_bench::{Input, Scale, fmt_secs, inputs, time_best};
+use ligra_bench::{fmt_secs, inputs, time_best, Input, Scale};
 use ligra_graph::generators::random_weights;
 
 const PAGERANK_ITERS: usize = 1; // the paper times one PageRank iteration

@@ -8,14 +8,14 @@
 //! dominates everything (it is O(m^{3/2})-ish, not O(m)).
 
 use ligra_apps as apps;
-use ligra_bench::{Scale, fmt_secs, inputs, time_best};
+use ligra_bench::{fmt_secs, inputs, time_best, Scale};
 
 fn main() {
     let scale = Scale::from_env();
     println!("Extension applications (scale = {scale:?})");
     println!(
-        "{:<14} {:<16} {:>12} {:>12} {:>9}  {}",
-        "input", "application", "sequential", "parallel", "speedup", "result"
+        "{:<14} {:<16} {:>12} {:>12} {:>9}  result",
+        "input", "application", "sequential", "parallel", "speedup"
     );
     for input in inputs(scale) {
         let g = &input.graph;

@@ -62,11 +62,7 @@ pub fn inputs(scale: Scale) -> Vec<Input> {
     let mut out = Vec::new();
 
     out.push(Input { name: "3d-grid", graph: grid3d(side), source: 0 });
-    out.push(Input {
-        name: "random-local",
-        graph: random_local(rl_n, 10, 42),
-        source: 0,
-    });
+    out.push(Input { name: "random-local", graph: random_local(rl_n, 10, 42), source: 0 });
     out.push(Input { name: "rMat", graph: rmat(&RmatOptions::paper(log_n)), source: 0 });
 
     let sk = rmat(&RmatOptions::twitter_like(log_n_sk));

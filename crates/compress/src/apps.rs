@@ -7,9 +7,9 @@
 use crate::cgraph::CompressedGraph;
 use crate::codec::Codec;
 use crate::edge_map::edge_map_with;
-use ligra::{EdgeMapFn, EdgeMapOptions, VertexSubset, vertex_map};
+use ligra::{vertex_map, EdgeMapFn, EdgeMapOptions, VertexSubset};
 use ligra_graph::VertexId;
-use ligra_parallel::atomics::{AtomicF64, as_atomic_f64, as_atomic_u32, cas_u32, write_min_u32};
+use ligra_parallel::atomics::{as_atomic_f64, as_atomic_u32, cas_u32, write_min_u32, AtomicF64};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -136,7 +136,12 @@ impl EdgeMapFn for PrF<'_> {
 }
 
 /// PageRank over the compressed graph; returns `(ranks, iterations)`.
-pub fn pagerank<C: Codec>(g: &CompressedGraph<C>, alpha: f64, eps: f64, max_iters: usize) -> (Vec<f64>, usize) {
+pub fn pagerank<C: Codec>(
+    g: &CompressedGraph<C>,
+    alpha: f64,
+    eps: f64,
+    max_iters: usize,
+) -> (Vec<f64>, usize) {
     let n = g.num_vertices();
     let base = (1.0 - alpha) / n as f64;
     let mut p = vec![1.0 / n as f64; n];
@@ -154,8 +159,7 @@ pub fn pagerank<C: Codec>(g: &CompressedGraph<C>, alpha: f64, eps: f64, max_iter
         {
             let cells = as_atomic_f64(&mut next);
             let f = PrF { shares: &shares, next: cells };
-            let _ =
-                edge_map_with(g, &mut frontier, &f, EdgeMapOptions::default().no_output());
+            let _ = edge_map_with(g, &mut frontier, &f, EdgeMapOptions::default().no_output());
             vertex_map(&frontier, |v| {
                 let x = cells[v as usize].load(Ordering::Relaxed);
                 cells[v as usize].store(base + alpha * x, Ordering::Relaxed);

@@ -243,10 +243,7 @@ mod tests {
             CompressedGraph::from_graph(&erdos_renyi(20_000, 160_000, 3, true));
         let (_, _, r_local) = local.space_vs_csr();
         let (_, _, r_uniform) = uniform.space_vs_csr();
-        assert!(
-            r_local < r_uniform,
-            "locality must help: local {r_local} vs uniform {r_uniform}"
-        );
+        assert!(r_local < r_uniform, "locality must help: local {r_local} vs uniform {r_uniform}");
     }
 
     #[test]

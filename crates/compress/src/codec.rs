@@ -122,7 +122,11 @@ fn encode_nibbles(mut v: u64, nibbles: &mut Vec<u8>) {
 #[inline]
 fn read_nibble(data: &[u8], idx: usize) -> u8 {
     let byte = data[idx / 2];
-    if idx % 2 == 0 { byte & 0x0f } else { byte >> 4 }
+    if idx.is_multiple_of(2) {
+        byte & 0x0f
+    } else {
+        byte >> 4
+    }
 }
 
 #[inline]
@@ -238,10 +242,7 @@ fn encode_rle_values(values: &[u64], out: &mut Vec<u8>) {
         let width = bytes_needed(values[i]);
         // Extend the run while the width stays the same.
         let mut end = i + 1;
-        while end < values.len()
-            && end - i < MAX_RUN
-            && bytes_needed(values[end]) == width
-        {
+        while end < values.len() && end - i < MAX_RUN && bytes_needed(values[end]) == width {
             end += 1;
         }
         let run = end - i;
@@ -393,8 +394,8 @@ mod tests {
         // Alternate small and large gaps to force run breaks.
         let mut ns = Vec::new();
         let mut cur = 10u32;
-        for i in 0..50 {
-            cur += if i % 2 == 0 { 1 } else { 70_000 };
+        for i in 0..50u32 {
+            cur += if i.is_multiple_of(2) { 1 } else { 70_000 };
             ns.push(cur);
         }
         roundtrip_all(10, &ns);

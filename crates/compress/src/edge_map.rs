@@ -5,11 +5,19 @@
 //! traversing the uncompressed CSR, at roughly half the space. The three
 //! traversals mirror `ligra::edge_map`, with neighbor slices replaced by
 //! streaming decoders.
+//!
+//! Telemetry follows the exact schema of the uncompressed path: the same
+//! [`Recorder`] trait, the same [`RoundStat`] fields, the same counters
+//! (CAS attempts/wins on the push modes, decoded-edge scanned/skipped on
+//! the pull mode), so traces from compressed and uncompressed runs are
+//! directly comparable.
 
 use crate::cgraph::CompressedGraph;
 use crate::codec::Codec;
 use ligra::options::{EdgeMapOptions, Traversal};
-use ligra::stats::{Mode, RoundStat, TraversalStats};
+use ligra::stats::{
+    EdgeCounters, Mode, NoopRecorder, Recorder, ReprKind, RoundStat, TraversalStats,
+};
 use ligra::traits::EdgeMapFn;
 use ligra::vertex_subset::VertexSubset;
 use ligra_graph::VertexId;
@@ -19,6 +27,7 @@ use ligra_parallel::pack::filter;
 use ligra_parallel::scan::prefix_sums;
 use rayon::prelude::*;
 use std::sync::atomic::Ordering;
+use std::time::Instant;
 
 const NONE_SLOT: u32 = u32::MAX;
 
@@ -38,7 +47,7 @@ pub fn edge_map_with<C: Codec, F: EdgeMapFn<()>>(
     f: &F,
     opts: EdgeMapOptions,
 ) -> VertexSubset {
-    edge_map_impl(g, frontier, f, opts, None)
+    edge_map_impl(g, frontier, f, opts, &mut NoopRecorder)
 }
 
 /// `edgeMap` over a compressed graph recording one [`RoundStat`].
@@ -49,21 +58,41 @@ pub fn edge_map_traced<C: Codec, F: EdgeMapFn<()>>(
     opts: EdgeMapOptions,
     stats: &mut TraversalStats,
 ) -> VertexSubset {
-    edge_map_impl(g, frontier, f, opts, Some(stats))
+    edge_map_impl(g, frontier, f, opts, stats)
 }
 
-fn edge_map_impl<C: Codec, F: EdgeMapFn<()>>(
+/// `edgeMap` over a compressed graph delivering one timed,
+/// counter-annotated [`RoundStat`] to an arbitrary [`Recorder`].
+pub fn edge_map_recorded<C: Codec, F: EdgeMapFn<()>, R: Recorder>(
     g: &CompressedGraph<C>,
     frontier: &mut VertexSubset,
     f: &F,
     opts: EdgeMapOptions,
-    stats: Option<&mut TraversalStats>,
+    rec: &mut R,
+) -> VertexSubset {
+    edge_map_impl(g, frontier, f, opts, rec)
+}
+
+fn edge_map_impl<C: Codec, F: EdgeMapFn<()>, R: Recorder>(
+    g: &CompressedGraph<C>,
+    frontier: &mut VertexSubset,
+    f: &F,
+    opts: EdgeMapOptions,
+    rec: &mut R,
 ) -> VertexSubset {
     let n = g.num_vertices();
     assert_eq!(frontier.num_vertices(), n, "frontier universe does not match the graph");
 
+    let tracing = rec.enabled();
+    let start = tracing.then(Instant::now);
+
     let frontier_vertices = frontier.len() as u64;
-    let out_edges = if let Some(vs) = frontier.sparse() {
+    // As in the uncompressed path: the degree sum only feeds the Auto
+    // heuristic, so skip it for forced, unrecorded rounds.
+    let need_work = tracing || matches!(opts.traversal, Traversal::Auto);
+    let out_edges = if !need_work {
+        0
+    } else if let Some(vs) = frontier.sparse() {
         g.out_degree_sum(vs)
     } else if let Some(flags) = frontier.dense() {
         flags
@@ -75,13 +104,15 @@ fn edge_map_impl<C: Codec, F: EdgeMapFn<()>>(
     } else {
         unreachable!()
     };
+    let work = frontier_vertices + out_edges;
+    let threshold = opts.effective_threshold(g.num_edges());
 
     let mode = match opts.traversal {
         Traversal::Sparse => Mode::Sparse,
         Traversal::Dense => Mode::Dense,
         Traversal::DenseForward => Mode::DenseForward,
         Traversal::Auto => {
-            if frontier_vertices + out_edges > opts.effective_threshold(g.num_edges()) {
+            if work > threshold {
                 Mode::Dense
             } else {
                 Mode::Sparse
@@ -89,22 +120,40 @@ fn edge_map_impl<C: Codec, F: EdgeMapFn<()>>(
         }
     };
 
+    let input_sparse = frontier.is_sparse();
+    let counters = tracing.then(EdgeCounters::new);
+    let c = counters.as_ref();
+
     let result = if frontier.is_empty() {
         VertexSubset::empty(n)
     } else {
         match mode {
-            Mode::Sparse => sparse(g, frontier.as_slice(), f, opts.deduplicate, opts.output),
-            Mode::Dense => dense(g, frontier.as_bools(), f, opts.output),
-            Mode::DenseForward => dense_forward(g, frontier.as_bools(), f, opts.output),
+            Mode::Sparse => sparse(g, frontier.as_slice(), f, opts.deduplicate, opts.output, c),
+            Mode::Dense => dense(g, frontier.as_bools(), f, opts.output, c),
+            Mode::DenseForward => dense_forward(g, frontier.as_bools(), f, opts.output, c),
         }
     };
 
-    if let Some(stats) = stats {
-        stats.rounds.push(RoundStat {
+    if tracing {
+        let wants_sparse = mode == Mode::Sparse;
+        let converted = !frontier.is_empty() && wants_sparse != input_sparse;
+        rec.record(RoundStat {
+            op: ligra::stats::Op::EdgeMap,
             frontier_vertices,
             frontier_out_edges: out_edges,
+            work,
+            threshold,
+            forced: !matches!(opts.traversal, Traversal::Auto),
             mode,
+            input_repr: if input_sparse { ReprKind::Sparse } else { ReprKind::Dense },
+            output_repr: if result.is_sparse() { ReprKind::Sparse } else { ReprKind::Dense },
+            converted,
             output_vertices: result.len() as u64,
+            time_ns: start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            cas_attempts: c.map_or(0, |c| c.cas_attempts.sum()),
+            cas_wins: c.map_or(0, |c| c.cas_wins.sum()),
+            edges_scanned: c.map_or(0, |c| c.edges_scanned.sum()),
+            edges_skipped: c.map_or(0, |c| c.edges_skipped.sum()),
         });
     }
     result
@@ -116,13 +165,23 @@ fn sparse<C: Codec, F: EdgeMapFn<()>>(
     f: &F,
     deduplicate: bool,
     output: bool,
+    counters: Option<&EdgeCounters>,
 ) -> VertexSubset {
     let n = g.num_vertices();
     if !output {
         vs.par_iter().for_each(|&u| {
+            if let Some(c) = counters {
+                c.edges_scanned.add(g.out_degree(u) as u64);
+            }
             for v in g.out_neighbors(u) {
                 if f.cond(v) {
-                    f.update_atomic(u, v, ());
+                    let won = f.update_atomic(u, v, ());
+                    if let Some(c) = counters {
+                        c.cas_attempts.incr();
+                        if won {
+                            c.cas_wins.incr();
+                        }
+                    }
                 }
             }
         });
@@ -136,9 +195,21 @@ fn sparse<C: Codec, F: EdgeMapFn<()>>(
         let aout = as_atomic_u32(&mut out);
         vs.par_iter().enumerate().for_each(|(i, &u)| {
             let base = offsets[i] as usize;
+            if let Some(c) = counters {
+                c.edges_scanned.add(g.out_degree(u) as u64);
+            }
             for (j, v) in g.out_neighbors(u).enumerate() {
-                if f.cond(v) && f.update_atomic(u, v, ()) {
-                    aout[base + j].store(v, Ordering::Relaxed);
+                if f.cond(v) {
+                    let won = f.update_atomic(u, v, ());
+                    if let Some(c) = counters {
+                        c.cas_attempts.incr();
+                        if won {
+                            c.cas_wins.incr();
+                        }
+                    }
+                    if won {
+                        aout[base + j].store(v, Ordering::Relaxed);
+                    }
                 }
             }
         });
@@ -156,13 +227,16 @@ fn dense<C: Codec, F: EdgeMapFn<()>>(
     flags: &[bool],
     f: &F,
     output: bool,
+    counters: Option<&EdgeCounters>,
 ) -> VertexSubset {
     let n = g.num_vertices();
     let mut next = vec![false; n];
     next.par_iter_mut().enumerate().for_each(|(v, slot)| {
         let v = v as VertexId;
+        let mut scanned = 0u64;
         if f.cond(v) {
             for u in g.in_neighbors(v) {
+                scanned += 1;
                 if flags[u as usize] && f.update(u, v, ()) && output {
                     *slot = true;
                 }
@@ -170,6 +244,10 @@ fn dense<C: Codec, F: EdgeMapFn<()>>(
                     break;
                 }
             }
+        }
+        if let Some(c) = counters {
+            c.edges_scanned.add(scanned);
+            c.edges_skipped.add(g.in_degree(v) as u64 - scanned);
         }
     });
     if output {
@@ -184,6 +262,7 @@ fn dense_forward<C: Codec, F: EdgeMapFn<()>>(
     flags: &[bool],
     f: &F,
     output: bool,
+    counters: Option<&EdgeCounters>,
 ) -> VertexSubset {
     let n = g.num_vertices();
     let mut next = vec![false; n];
@@ -192,9 +271,21 @@ fn dense_forward<C: Codec, F: EdgeMapFn<()>>(
         (0..n).into_par_iter().for_each(|u| {
             if flags[u] {
                 let u = u as VertexId;
+                if let Some(c) = counters {
+                    c.edges_scanned.add(g.out_degree(u) as u64);
+                }
                 for v in g.out_neighbors(u) {
-                    if f.cond(v) && f.update_atomic(u, v, ()) && output {
-                        anext[v as usize].store(true, Ordering::Relaxed);
+                    if f.cond(v) {
+                        let won = f.update_atomic(u, v, ());
+                        if let Some(c) = counters {
+                            c.cas_attempts.incr();
+                            if won {
+                                c.cas_wins.incr();
+                            }
+                        }
+                        if won && output {
+                            anext[v as usize].store(true, Ordering::Relaxed);
+                        }
                     }
                 }
             }
@@ -217,18 +308,13 @@ mod tests {
     fn all_traversals_match_uncompressed_edge_map() {
         let g = erdos_renyi(400, 3000, 1, true);
         let cg: CompressedGraph = CompressedGraph::from_graph(&g);
-        let frontier: Vec<u32> = (0..400u32).filter(|v| v % 9 == 0).collect();
+        let frontier: Vec<u32> = (0..400u32).filter(|v| v.is_multiple_of(9)).collect();
 
         let reference = {
             let f = edge_fn(|_s, _d, _w: ()| true, |_| true);
             let mut fr = VertexSubset::from_sparse(400, frontier.clone());
-            ligra::edge_map_with(
-                &g,
-                &mut fr,
-                &f,
-                EdgeMapOptions::new().deduplicate(true),
-            )
-            .to_vec_sorted()
+            ligra::edge_map_with(&g, &mut fr, &f, EdgeMapOptions::new().deduplicate(true))
+                .to_vec_sorted()
         };
 
         for t in [Traversal::Sparse, Traversal::Dense, Traversal::DenseForward, Traversal::Auto] {
@@ -248,11 +334,9 @@ mod tests {
     fn directed_compressed_dense_uses_transpose() {
         let g = erdos_renyi(200, 1500, 4, false);
         let cg: CompressedGraph = CompressedGraph::from_graph(&g);
-        let frontier: Vec<u32> = (0..200u32).filter(|v| v % 5 == 0).collect();
-        let mut expect: Vec<u32> = frontier
-            .iter()
-            .flat_map(|&u| g.out_neighbors(u).iter().copied())
-            .collect();
+        let frontier: Vec<u32> = (0..200u32).filter(|v| v.is_multiple_of(5)).collect();
+        let mut expect: Vec<u32> =
+            frontier.iter().flat_map(|&u| g.out_neighbors(u).iter().copied()).collect();
         expect.sort_unstable();
         expect.dedup();
 
@@ -265,5 +349,28 @@ mod tests {
             EdgeMapOptions::new().traversal(Traversal::Dense).deduplicate(true),
         );
         assert_eq!(out.to_vec_sorted(), expect);
+    }
+
+    #[test]
+    fn compressed_trace_matches_uncompressed_schema() {
+        let g = erdos_renyi(300, 2400, 6, true);
+        let cg: CompressedGraph = CompressedGraph::from_graph(&g);
+        let f = edge_fn(|_s, _d, _w: ()| true, |_| true);
+        let mut stats = TraversalStats::new();
+        let mut fr = VertexSubset::from_sparse(300, vec![0, 5, 9]);
+        let _ = edge_map_traced(&cg, &mut fr, &f, EdgeMapOptions::new(), &mut stats);
+        let r = stats.rounds[0];
+        assert_eq!(r.frontier_vertices, 3);
+        assert_eq!(r.work, r.frontier_vertices + r.frontier_out_edges);
+        assert_eq!(r.threshold, cg.num_edges() as u64 / 20);
+        assert_eq!(r.mode == Mode::Dense, r.work > r.threshold);
+        assert!(r.time_ns > 0);
+        // Sparse mode walks every decoded out-edge.
+        if r.mode == Mode::Sparse {
+            assert_eq!(r.edges_scanned, r.frontier_out_edges);
+        }
+        // Exported trace from a compressed run round-trips like any other.
+        let back = ligra::trace::from_json_lines(&ligra::trace::to_json_lines(&stats)).unwrap();
+        assert_eq!(back, stats);
     }
 }

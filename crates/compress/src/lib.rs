@@ -23,4 +23,4 @@ pub mod varint;
 
 pub use cgraph::{CompressedAdjacency, CompressedGraph};
 pub use codec::{ByteCode, ByteRleCode, Codec, NibbleCode};
-pub use edge_map::{edge_map, edge_map_traced, edge_map_with};
+pub use edge_map::{edge_map, edge_map_recorded, edge_map_traced, edge_map_with};

@@ -20,9 +20,19 @@
 //! The direction heuristic (the paper's `|U| + Σ deg⁺(u) > m/20`) picks
 //! pull for large frontiers and push for small ones, generalizing Beamer
 //! et al.'s direction-optimizing BFS to every frontier algorithm.
+//!
+//! Every round can be observed through a [`Recorder`]: when the recorder is
+//! enabled, the round is timed, the heuristic's inputs are captured, and the
+//! traversals count atomic-update attempts/wins (push modes) and in-edges
+//! scanned vs. skipped by the early exit (pull mode) into striped
+//! [`EdgeCounters`]. When disabled (the [`NoopRecorder`] default), none of
+//! that work happens — not even the O(|U|) frontier-degree pass, if the
+//! traversal direction is forced and the heuristic doesn't need it.
 
 use crate::options::{EdgeMapOptions, Traversal};
-use crate::stats::{Mode, RoundStat, TraversalStats};
+use crate::stats::{
+    EdgeCounters, Mode, NoopRecorder, Recorder, ReprKind, RoundStat, TraversalStats,
+};
 use crate::traits::EdgeMapFn;
 use crate::vertex_subset::VertexSubset;
 use ligra_graph::{Graph, VertexId};
@@ -32,6 +42,7 @@ use ligra_parallel::pack::filter;
 use ligra_parallel::scan::prefix_sums;
 use rayon::prelude::*;
 use std::sync::atomic::Ordering;
+use std::time::Instant;
 
 /// Sentinel marking an empty slot in the sparse output array.
 const NONE_SLOT: u32 = u32::MAX;
@@ -45,7 +56,11 @@ const HUB_DEGREE: usize = 1 << 13;
 /// weight memory, so zero-sized `W` short-circuits to the default.
 #[inline(always)]
 fn wt<W: Copy + Default>(ws: &[W], j: usize) -> W {
-    if std::mem::size_of::<W>() == 0 { W::default() } else { ws[j] }
+    if std::mem::size_of::<W>() == 0 {
+        W::default()
+    } else {
+        ws[j]
+    }
 }
 
 /// `edgeMap` with default options (auto direction, `m/20` threshold).
@@ -71,10 +86,13 @@ where
     W: Copy + Send + Sync + Default,
     F: EdgeMapFn<W>,
 {
-    edge_map_impl(g, frontier, f, opts, None)
+    edge_map_impl(g, frontier, f, opts, &mut NoopRecorder)
 }
 
 /// `edgeMap` recording one [`RoundStat`] into `stats`.
+///
+/// Equivalent to [`edge_map_recorded`] with a [`TraversalStats`] sink; kept
+/// as the conventional entry point for the applications.
 pub fn edge_map_traced<W, F>(
     g: &Graph<W>,
     frontier: &mut VertexSubset,
@@ -86,37 +104,58 @@ where
     W: Copy + Send + Sync + Default,
     F: EdgeMapFn<W>,
 {
-    edge_map_impl(g, frontier, f, opts, Some(stats))
+    edge_map_impl(g, frontier, f, opts, stats)
 }
 
-fn edge_map_impl<W, F>(
+/// `edgeMap` delivering one timed, counter-annotated [`RoundStat`] to an
+/// arbitrary [`Recorder`].
+pub fn edge_map_recorded<W, F, R>(
     g: &Graph<W>,
     frontier: &mut VertexSubset,
     f: &F,
     opts: EdgeMapOptions,
-    stats: Option<&mut TraversalStats>,
+    rec: &mut R,
 ) -> VertexSubset
 where
     W: Copy + Send + Sync + Default,
     F: EdgeMapFn<W>,
+    R: Recorder,
+{
+    edge_map_impl(g, frontier, f, opts, rec)
+}
+
+fn edge_map_impl<W, F, R>(
+    g: &Graph<W>,
+    frontier: &mut VertexSubset,
+    f: &F,
+    opts: EdgeMapOptions,
+    rec: &mut R,
+) -> VertexSubset
+where
+    W: Copy + Send + Sync + Default,
+    F: EdgeMapFn<W>,
+    R: Recorder,
 {
     let n = g.num_vertices();
-    assert_eq!(
-        frontier.num_vertices(),
-        n,
-        "frontier universe does not match the graph"
-    );
+    assert_eq!(frontier.num_vertices(), n, "frontier universe does not match the graph");
+
+    let tracing = rec.enabled();
+    let start = tracing.then(Instant::now);
 
     let frontier_vertices = frontier.len() as u64;
-    let out_edges = frontier_degree_sum(g, frontier);
+    // The degree sum is only an input to the Auto heuristic; when the
+    // direction is forced and nobody is recording, skip the O(|U|) pass.
+    let need_work = tracing || matches!(opts.traversal, Traversal::Auto);
+    let out_edges = if need_work { frontier_degree_sum(g, frontier) } else { 0 };
     let work = frontier_vertices + out_edges;
+    let threshold = opts.effective_threshold(g.num_edges());
 
     let mode = match opts.traversal {
         Traversal::Sparse => Mode::Sparse,
         Traversal::Dense => Mode::Dense,
         Traversal::DenseForward => Mode::DenseForward,
         Traversal::Auto => {
-            if work > opts.effective_threshold(g.num_edges()) {
+            if work > threshold {
                 Mode::Dense
             } else {
                 Mode::Sparse
@@ -124,25 +163,47 @@ where
         }
     };
 
+    let input_sparse = frontier.is_sparse();
+    let counters = tracing.then(EdgeCounters::new);
+    let c = counters.as_ref();
+
     let result = if frontier.is_empty() {
         VertexSubset::empty(n)
     } else {
         match mode {
             Mode::Sparse => {
                 let vs = frontier.as_slice();
-                edge_map_sparse(g, vs, f, opts.deduplicate, opts.output)
+                sparse_impl(g, vs, f, opts.deduplicate, opts.output, c)
             }
-            Mode::Dense => edge_map_dense(g, frontier.as_bools(), f, opts.output),
-            Mode::DenseForward => edge_map_dense_forward(g, frontier.as_bools(), f, opts.output),
+            Mode::Dense => dense_impl(g, frontier.as_bools(), f, opts.output, c),
+            Mode::DenseForward => dense_forward_impl(g, frontier.as_bools(), f, opts.output, c),
         }
     };
 
-    if let Some(stats) = stats {
-        stats.rounds.push(RoundStat {
+    if tracing {
+        // The chosen traversal needs sparse input iff it is the push mode;
+        // a mismatch with the entry representation means `as_slice` /
+        // `as_bools` converted the frontier above (empty frontiers take
+        // neither path).
+        let wants_sparse = mode == Mode::Sparse;
+        let converted = !frontier.is_empty() && wants_sparse != input_sparse;
+        rec.record(RoundStat {
+            op: crate::stats::Op::EdgeMap,
             frontier_vertices,
             frontier_out_edges: out_edges,
+            work,
+            threshold,
+            forced: !matches!(opts.traversal, Traversal::Auto),
             mode,
+            input_repr: if input_sparse { ReprKind::Sparse } else { ReprKind::Dense },
+            output_repr: if result.is_sparse() { ReprKind::Sparse } else { ReprKind::Dense },
+            converted,
             output_vertices: result.len() as u64,
+            time_ns: start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            cas_attempts: c.map_or(0, |c| c.cas_attempts.sum()),
+            cas_wins: c.map_or(0, |c| c.cas_wins.sum()),
+            edges_scanned: c.map_or(0, |c| c.edges_scanned.sum()),
+            edges_skipped: c.map_or(0, |c| c.edges_skipped.sum()),
         });
     }
     result
@@ -178,6 +239,21 @@ where
     W: Copy + Send + Sync + Default,
     F: EdgeMapFn<W>,
 {
+    sparse_impl(g, vs, f, deduplicate, output, None)
+}
+
+fn sparse_impl<W, F>(
+    g: &Graph<W>,
+    vs: &[VertexId],
+    f: &F,
+    deduplicate: bool,
+    output: bool,
+    counters: Option<&EdgeCounters>,
+) -> VertexSubset
+where
+    W: Copy + Send + Sync + Default,
+    F: EdgeMapFn<W>,
+{
     let n = g.num_vertices();
     if !output {
         // Side-effect-only pass: no scan, no output array.
@@ -187,9 +263,18 @@ where
             let body = |j: usize| {
                 let v = ns[j];
                 if f.cond(v) {
-                    f.update_atomic(u, v, wt(ws, j));
+                    let won = f.update_atomic(u, v, wt(ws, j));
+                    if let Some(c) = counters {
+                        c.cas_attempts.incr();
+                        if won {
+                            c.cas_wins.incr();
+                        }
+                    }
                 }
             };
+            if let Some(c) = counters {
+                c.edges_scanned.add(ns.len() as u64);
+            }
             if ns.len() >= HUB_DEGREE {
                 (0..ns.len()).into_par_iter().for_each(body);
             } else {
@@ -212,10 +297,22 @@ where
             let ws = g.out_weights(u);
             let body = |j: usize| {
                 let v = ns[j];
-                if f.cond(v) && f.update_atomic(u, v, wt(ws, j)) {
-                    aout[base + j].store(v, Ordering::Relaxed);
+                if f.cond(v) {
+                    let won = f.update_atomic(u, v, wt(ws, j));
+                    if let Some(c) = counters {
+                        c.cas_attempts.incr();
+                        if won {
+                            c.cas_wins.incr();
+                        }
+                    }
+                    if won {
+                        aout[base + j].store(v, Ordering::Relaxed);
+                    }
                 }
             };
+            if let Some(c) = counters {
+                c.edges_scanned.add(ns.len() as u64);
+            }
             if ns.len() >= HUB_DEGREE {
                 (0..ns.len()).into_par_iter().for_each(body);
             } else {
@@ -240,16 +337,31 @@ where
     W: Copy + Send + Sync + Default,
     F: EdgeMapFn<W>,
 {
+    dense_impl(g, flags, f, output, None)
+}
+
+fn dense_impl<W, F>(
+    g: &Graph<W>,
+    flags: &[bool],
+    f: &F,
+    output: bool,
+    counters: Option<&EdgeCounters>,
+) -> VertexSubset
+where
+    W: Copy + Send + Sync + Default,
+    F: EdgeMapFn<W>,
+{
     let n = g.num_vertices();
     debug_assert_eq!(flags.len(), n);
     let mut next = vec![false; n];
     next.par_iter_mut().enumerate().for_each(|(v, slot)| {
         let v = v as VertexId;
+        let ns = g.in_neighbors(v);
+        let mut scanned = 0usize;
         if f.cond(v) {
-            let ns = g.in_neighbors(v);
             let ws = g.in_weights(v);
-            for j in 0..ns.len() {
-                let u = ns[j];
+            for (j, &u) in ns.iter().enumerate() {
+                scanned = j + 1;
                 if flags[u as usize] && f.update(u, v, wt(ws, j)) && output {
                     *slot = true;
                 }
@@ -257,6 +369,10 @@ where
                     break;
                 }
             }
+        }
+        if let Some(c) = counters {
+            c.edges_scanned.add(scanned as u64);
+            c.edges_skipped.add((ns.len() - scanned) as u64);
         }
     });
     if output {
@@ -279,6 +395,20 @@ where
     W: Copy + Send + Sync + Default,
     F: EdgeMapFn<W>,
 {
+    dense_forward_impl(g, flags, f, output, None)
+}
+
+fn dense_forward_impl<W, F>(
+    g: &Graph<W>,
+    flags: &[bool],
+    f: &F,
+    output: bool,
+    counters: Option<&EdgeCounters>,
+) -> VertexSubset
+where
+    W: Copy + Send + Sync + Default,
+    F: EdgeMapFn<W>,
+{
     let n = g.num_vertices();
     debug_assert_eq!(flags.len(), n);
     let mut next = vec![false; n];
@@ -289,10 +419,21 @@ where
                 let u = u as VertexId;
                 let ns = g.out_neighbors(u);
                 let ws = g.out_weights(u);
-                for j in 0..ns.len() {
-                    let v = ns[j];
-                    if f.cond(v) && f.update_atomic(u, v, wt(ws, j)) && output {
-                        anext[v as usize].store(true, Ordering::Relaxed);
+                if let Some(c) = counters {
+                    c.edges_scanned.add(ns.len() as u64);
+                }
+                for (j, &v) in ns.iter().enumerate() {
+                    if f.cond(v) {
+                        let won = f.update_atomic(u, v, wt(ws, j));
+                        if let Some(c) = counters {
+                            c.cas_attempts.incr();
+                            if won {
+                                c.cas_wins.incr();
+                            }
+                        }
+                        if won && output {
+                            anext[v as usize].store(true, Ordering::Relaxed);
+                        }
                     }
                 }
             }
@@ -310,7 +451,7 @@ mod tests {
     use super::*;
     use crate::traits::edge_fn;
     use ligra_graph::generators::{erdos_renyi, star};
-    use ligra_graph::{BuildOptions, build_graph};
+    use ligra_graph::{build_graph, BuildOptions};
 
     /// Frontier's neighborhood, computed three ways, must agree.
     fn neighborhood_via(g: &Graph, frontier: &[u32], traversal: Traversal) -> Vec<u32> {
@@ -321,10 +462,8 @@ mod tests {
     }
 
     fn reference_neighborhood(g: &Graph, frontier: &[u32]) -> Vec<u32> {
-        let mut out: Vec<u32> = frontier
-            .iter()
-            .flat_map(|&u| g.out_neighbors(u).iter().copied())
-            .collect();
+        let mut out: Vec<u32> =
+            frontier.iter().flat_map(|&u| g.out_neighbors(u).iter().copied()).collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -333,7 +472,7 @@ mod tests {
     #[test]
     fn all_traversals_agree_on_neighborhood() {
         let g = erdos_renyi(500, 4000, 7, true);
-        let frontier: Vec<u32> = (0..500u32).filter(|v| v % 13 == 0).collect();
+        let frontier: Vec<u32> = (0..500u32).filter(|v| v.is_multiple_of(13)).collect();
         let expect = reference_neighborhood(&g, &frontier);
         for t in [Traversal::Sparse, Traversal::Dense, Traversal::DenseForward, Traversal::Auto] {
             assert_eq!(neighborhood_via(&g, &frontier, t), expect, "traversal {t:?}");
@@ -343,7 +482,7 @@ mod tests {
     #[test]
     fn directed_graph_traversals_agree() {
         let g = erdos_renyi(300, 2500, 3, false);
-        let frontier: Vec<u32> = (0..300u32).filter(|v| v % 7 == 0).collect();
+        let frontier: Vec<u32> = (0..300u32).filter(|v| v.is_multiple_of(7)).collect();
         let expect = reference_neighborhood(&g, &frontier);
         for t in [Traversal::Sparse, Traversal::Dense, Traversal::DenseForward] {
             assert_eq!(neighborhood_via(&g, &frontier, t), expect, "traversal {t:?}");
@@ -363,7 +502,7 @@ mod tests {
     fn cond_filters_targets() {
         // Star: frontier {0}, cond rejects odd vertices.
         let g = star(8);
-        let f = edge_fn(|_, _, _: ()| true, |d: u32| d % 2 == 0);
+        let f = edge_fn(|_, _, _: ()| true, |d: u32| d.is_multiple_of(2));
         let mut fr = VertexSubset::single(8, 0);
         for t in [Traversal::Sparse, Traversal::Dense, Traversal::DenseForward] {
             let out = edge_map_with(&g, &mut fr, &f, EdgeMapOptions::new().traversal(t));
@@ -423,12 +562,8 @@ mod tests {
         let g = build_graph(3, &[(0, 2), (1, 2)], BuildOptions::directed());
         let f = edge_fn(|_, _, _: ()| true, |_| true);
         let mut fr = VertexSubset::from_sparse(3, vec![0, 1]);
-        let out = edge_map_with(
-            &g,
-            &mut fr,
-            &f,
-            EdgeMapOptions::new().traversal(Traversal::Sparse),
-        );
+        let out =
+            edge_map_with(&g, &mut fr, &f, EdgeMapOptions::new().traversal(Traversal::Sparse));
         assert_eq!(out.to_vec_sorted(), vec![2, 2]);
         let deduped = edge_map_with(
             &g,
@@ -486,12 +621,7 @@ mod tests {
     #[test]
     fn weighted_edge_map_passes_weights() {
         use ligra_graph::build_weighted_graph;
-        let g = build_weighted_graph(
-            3,
-            &[(0, 1), (0, 2)],
-            &[10, 20],
-            BuildOptions::directed(),
-        );
+        let g = build_weighted_graph(3, &[(0, 1), (0, 2)], &[10, 20], BuildOptions::directed());
         // Keep targets whose incoming weight is 20.
         let f = edge_fn(|_, _, w: i32| w == 20, |_| true);
         let mut fr = VertexSubset::single(3, 0);
@@ -508,5 +638,121 @@ mod tests {
         let f = edge_fn(|_, _, _: ()| true, |_| true);
         let mut fr = VertexSubset::single(6, 0);
         let _ = edge_map(&g, &mut fr, &f);
+    }
+
+    #[test]
+    fn recorded_round_captures_heuristic_inputs() {
+        let g = erdos_renyi(1000, 10_000, 5, true);
+        let f = edge_fn(|_, _, _: ()| true, |_| true);
+        let mut stats = TraversalStats::new();
+        let mut fr = VertexSubset::from_sparse(1000, vec![0, 1, 2]);
+        let _ = edge_map_traced(&g, &mut fr, &f, EdgeMapOptions::new(), &mut stats);
+        let r = stats.rounds[0];
+        assert_eq!(r.frontier_vertices, 3);
+        assert_eq!(r.work, r.frontier_vertices + r.frontier_out_edges);
+        assert_eq!(r.threshold, g.num_edges() as u64 / 20);
+        assert!(!r.forced);
+        // Auto consistency: dense iff work exceeded the threshold.
+        assert_eq!(r.mode == Mode::Dense, r.work > r.threshold);
+    }
+
+    #[test]
+    fn recorded_round_detects_conversion() {
+        let g = erdos_renyi(500, 5000, 9, true);
+        let f = edge_fn(|_, _, _: ()| true, |_| true);
+
+        // Sparse input forced through the pull traversal: must convert.
+        let mut stats = TraversalStats::new();
+        let mut fr = VertexSubset::from_sparse(500, vec![0, 1]);
+        let opts = EdgeMapOptions::new().traversal(Traversal::Dense);
+        let _ = edge_map_traced(&g, &mut fr, &f, opts, &mut stats);
+        let r = stats.rounds[0];
+        assert_eq!(r.input_repr, ReprKind::Sparse);
+        assert!(r.converted);
+        assert!(r.forced);
+        assert_eq!(r.output_repr, ReprKind::Dense);
+
+        // Sparse input through the push traversal: no conversion.
+        let mut stats = TraversalStats::new();
+        let mut fr = VertexSubset::from_sparse(500, vec![0, 1]);
+        let opts = EdgeMapOptions::new().traversal(Traversal::Sparse);
+        let _ = edge_map_traced(&g, &mut fr, &f, opts, &mut stats);
+        assert!(!stats.rounds[0].converted);
+    }
+
+    #[test]
+    fn sparse_round_counts_cas_attempts_and_wins() {
+        // Star from 0: 7 targets, cond rejects odd ones, update claims >4.
+        let g = star(8);
+        let f = edge_fn(|_, d: u32, _: ()| d > 4, |d: u32| d.is_multiple_of(2));
+        let mut stats = TraversalStats::new();
+        let mut fr = VertexSubset::single(8, 0);
+        let opts = EdgeMapOptions::new().traversal(Traversal::Sparse);
+        let _ = edge_map_traced(&g, &mut fr, &f, opts, &mut stats);
+        let r = stats.rounds[0];
+        assert_eq!(r.edges_scanned, 7, "all out-edges walked");
+        assert_eq!(r.cas_attempts, 3, "targets 2, 4, 6 pass cond");
+        assert_eq!(r.cas_wins, 1, "only target 6 is > 4");
+        assert_eq!(r.edges_skipped, 0, "push mode has no early exit");
+    }
+
+    #[test]
+    fn dense_round_counts_scanned_and_skipped_edges() {
+        use ligra_graph::generators::complete;
+        // Full frontier on K64 with a one-shot cond: the early exit must
+        // leave most in-edges unread, and scanned+skipped must cover all m.
+        let g = complete(64);
+        let done = AtomicBitVec::new(64);
+        let f = edge_fn(
+            |_, d: u32, _: ()| {
+                done.set(d as usize);
+                true
+            },
+            |d: u32| !done.get(d as usize),
+        );
+        let mut stats = TraversalStats::new();
+        let mut fr = VertexSubset::all(64);
+        let opts = EdgeMapOptions::new().traversal(Traversal::Dense);
+        let _ = edge_map_traced(&g, &mut fr, &f, opts, &mut stats);
+        let r = stats.rounds[0];
+        let total_in_edges = g.num_edges() as u64;
+        assert_eq!(r.edges_scanned + r.edges_skipped, total_in_edges);
+        assert!(r.edges_scanned <= 64 + 63, "early exit must bound the scan");
+        assert!(r.edges_skipped > 0);
+        assert_eq!(r.cas_attempts, 0, "pull mode uses no atomics");
+    }
+
+    #[test]
+    fn forced_untracked_round_skips_degree_sum_but_traced_does_not() {
+        let g = star(16);
+        let f = edge_fn(|_, _, _: ()| true, |_| true);
+        let mut fr = VertexSubset::single(16, 0);
+        // Untracked + forced: work fields never materialize (observable only
+        // as "still correct output" — the skip is a pure optimization).
+        let out =
+            edge_map_with(&g, &mut fr, &f, EdgeMapOptions::new().traversal(Traversal::Sparse));
+        assert_eq!(out.len(), 15);
+        // Traced + forced: the degree sum must still be recorded.
+        let mut stats = TraversalStats::new();
+        let mut fr = VertexSubset::single(16, 0);
+        let _ = edge_map_traced(
+            &g,
+            &mut fr,
+            &f,
+            EdgeMapOptions::new().traversal(Traversal::Sparse),
+            &mut stats,
+        );
+        assert_eq!(stats.rounds[0].frontier_out_edges, 15);
+        assert!(stats.rounds[0].forced);
+    }
+
+    #[test]
+    fn recorded_rounds_have_nonzero_time() {
+        let g = erdos_renyi(200, 1000, 4, true);
+        let f = edge_fn(|_, _, _: ()| true, |_| true);
+        let mut stats = TraversalStats::new();
+        let mut fr = VertexSubset::single(200, 0);
+        let _ = edge_map_traced(&g, &mut fr, &f, EdgeMapOptions::new(), &mut stats);
+        assert!(stats.rounds[0].time_ns > 0);
     }
 }

@@ -52,18 +52,24 @@
 pub mod edge_map;
 pub mod options;
 pub mod stats;
+pub mod trace;
 pub mod traits;
 pub mod vertex_map;
 pub mod vertex_subset;
 
 pub use crate::edge_map::{
-    edge_map, edge_map_dense, edge_map_dense_forward, edge_map_sparse, edge_map_traced,
-    edge_map_with,
+    edge_map, edge_map_dense, edge_map_dense_forward, edge_map_recorded, edge_map_sparse,
+    edge_map_traced, edge_map_with,
 };
 pub use crate::options::{EdgeMapOptions, Traversal};
-pub use crate::stats::{Mode, RoundStat, TraversalStats};
-pub use crate::traits::{ClosureEdgeMap, EdgeMapFn, cond_true, edge_fn};
-pub use crate::vertex_map::{vertex_filter, vertex_map, vertex_map_reduce_f64};
+pub use crate::stats::{
+    EdgeCounters, Mode, NoopRecorder, Op, Recorder, ReprKind, RoundStat, TraversalStats,
+};
+pub use crate::trace::{from_csv, from_json_lines, summary, to_csv, to_json_lines, TraceSummary};
+pub use crate::traits::{cond_true, edge_fn, ClosureEdgeMap, EdgeMapFn};
+pub use crate::vertex_map::{
+    vertex_filter, vertex_filter_recorded, vertex_map, vertex_map_recorded, vertex_map_reduce_f64,
+};
 pub use crate::vertex_subset::VertexSubset;
 
 // Re-export the substrate crates so applications can depend on `ligra`

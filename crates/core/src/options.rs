@@ -98,10 +98,7 @@ mod tests {
 
     #[test]
     fn builder_chains() {
-        let o = EdgeMapOptions::new()
-            .deduplicate(true)
-            .traversal(Traversal::Sparse)
-            .no_output();
+        let o = EdgeMapOptions::new().deduplicate(true).traversal(Traversal::Sparse).no_output();
         assert!(o.deduplicate);
         assert_eq!(o.traversal, Traversal::Sparse);
         assert!(!o.output);

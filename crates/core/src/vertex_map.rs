@@ -1,8 +1,10 @@
 //! `vertexMap` and `vertexFilter`.
 
+use crate::stats::{Op, Recorder, ReprKind, RoundStat};
 use crate::vertex_subset::VertexSubset;
 use ligra_graph::VertexId;
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// Applies `f` to every member of `subset` in parallel.
 ///
@@ -29,15 +31,64 @@ pub fn vertex_filter(subset: &VertexSubset, f: impl Fn(VertexId) -> bool + Sync)
         let kept = ligra_parallel::pack::filter(vs, |&v| f(v));
         VertexSubset::from_sparse(n, kept)
     } else if let Some(flags) = subset.dense() {
-        let out: Vec<bool> = flags
-            .par_iter()
-            .enumerate()
-            .map(|(v, &b)| b && f(v as VertexId))
-            .collect();
+        let out: Vec<bool> =
+            flags.par_iter().enumerate().map(|(v, &b)| b && f(v as VertexId)).collect();
         VertexSubset::from_dense(n, out)
     } else {
         unreachable!()
     }
+}
+
+/// Current representation of `subset` as a telemetry tag.
+fn repr_of(subset: &VertexSubset) -> ReprKind {
+    if subset.is_sparse() {
+        ReprKind::Sparse
+    } else {
+        ReprKind::Dense
+    }
+}
+
+/// [`vertex_map`] delivering one timed [`RoundStat`] to `rec`.
+pub fn vertex_map_recorded<R: Recorder>(
+    subset: &VertexSubset,
+    f: impl Fn(VertexId) + Sync,
+    rec: &mut R,
+) {
+    if !rec.enabled() {
+        return vertex_map(subset, f);
+    }
+    let start = Instant::now();
+    vertex_map(subset, f);
+    let mut r = RoundStat::vertex_op(
+        Op::VertexMap,
+        subset.len() as u64,
+        repr_of(subset),
+        subset.len() as u64,
+    );
+    r.time_ns = start.elapsed().as_nanos() as u64;
+    rec.record(r);
+}
+
+/// [`vertex_filter`] delivering one timed [`RoundStat`] to `rec`.
+pub fn vertex_filter_recorded<R: Recorder>(
+    subset: &VertexSubset,
+    f: impl Fn(VertexId) -> bool + Sync,
+    rec: &mut R,
+) -> VertexSubset {
+    if !rec.enabled() {
+        return vertex_filter(subset, f);
+    }
+    let start = Instant::now();
+    let out = vertex_filter(subset, f);
+    let mut r = RoundStat::vertex_op(
+        Op::VertexFilter,
+        subset.len() as u64,
+        repr_of(subset),
+        out.len() as u64,
+    );
+    r.time_ns = start.elapsed().as_nanos() as u64;
+    rec.record(r);
+    out
 }
 
 /// Sums `f(v)` over the members of `subset` (a common reduction in the
@@ -46,11 +97,7 @@ pub fn vertex_map_reduce_f64(subset: &VertexSubset, f: impl Fn(VertexId) -> f64 
     if let Some(vs) = subset.sparse() {
         vs.par_iter().map(|&v| f(v)).sum()
     } else if let Some(flags) = subset.dense() {
-        flags
-            .par_iter()
-            .enumerate()
-            .map(|(v, &b)| if b { f(v as VertexId) } else { 0.0 })
-            .sum()
+        flags.par_iter().enumerate().map(|(v, &b)| if b { f(v as VertexId) } else { 0.0 }).sum()
     } else {
         unreachable!()
     }
@@ -88,7 +135,7 @@ mod tests {
     #[test]
     fn filter_preserves_representation() {
         let sparse = VertexSubset::from_sparse(10, vec![1, 2, 3, 4]);
-        let out = vertex_filter(&sparse, |v| v % 2 == 0);
+        let out = vertex_filter(&sparse, |v| v.is_multiple_of(2));
         assert!(out.is_sparse());
         assert_eq!(out.to_vec_sorted(), vec![2, 4]);
 
@@ -104,6 +151,25 @@ mod tests {
         let s = VertexSubset::empty(5);
         let out = vertex_filter(&s, |_| true);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn recorded_vertex_ops_emit_events() {
+        use crate::stats::{NoopRecorder, Op, TraversalStats};
+        let s = VertexSubset::from_sparse(10, vec![1, 3, 5, 7]);
+        let mut stats = TraversalStats::new();
+        vertex_map_recorded(&s, |_| {}, &mut stats);
+        let out = vertex_filter_recorded(&s, |v| v > 3, &mut stats);
+        assert_eq!(out.to_vec_sorted(), vec![5, 7]);
+        assert_eq!(stats.num_rounds(), 2);
+        assert_eq!(stats.rounds[0].op, Op::VertexMap);
+        assert_eq!(stats.rounds[0].frontier_vertices, 4);
+        assert_eq!(stats.rounds[1].op, Op::VertexFilter);
+        assert_eq!(stats.rounds[1].output_vertices, 2);
+        assert!(stats.rounds[0].time_ns > 0 && stats.rounds[1].time_ns > 0);
+        // Noop path: same results, no events anywhere.
+        let out = vertex_filter_recorded(&s, |v| v > 3, &mut NoopRecorder);
+        assert_eq!(out.to_vec_sorted(), vec![5, 7]);
     }
 
     #[test]

@@ -210,8 +210,8 @@ mod tests {
     #[test]
     fn dense_sparse_roundtrip() {
         let n = 1000;
-        let mut s = VertexSubset::from_fn(n, |v| v % 7 == 0);
-        let expect: Vec<u32> = (0..n as u32).filter(|v| v % 7 == 0).collect();
+        let mut s = VertexSubset::from_fn(n, |v| v.is_multiple_of(7));
+        let expect: Vec<u32> = (0..n as u32).filter(|v| v.is_multiple_of(7)).collect();
         assert_eq!(s.len(), expect.len());
         assert_eq!(s.as_slice(), &expect[..]);
         s.to_dense();
@@ -239,7 +239,7 @@ mod tests {
     #[test]
     fn conversions_preserve_len_on_large_random_sets() {
         let n = 100_000;
-        let mut s = VertexSubset::from_fn(n, |v| ligra_parallel::hash32(v) % 3 == 0);
+        let mut s = VertexSubset::from_fn(n, |v| ligra_parallel::hash32(v).is_multiple_of(3));
         let len = s.len();
         s.to_sparse();
         assert_eq!(s.len(), len);

@@ -3,9 +3,9 @@
 //! relation, and `vertexSubset` conversions must be lossless.
 
 use ligra::{
-    EdgeMapOptions, Traversal, VertexSubset, edge_fn, edge_map_with, vertex_filter, vertex_map,
+    edge_fn, edge_map_with, vertex_filter, vertex_map, EdgeMapOptions, Traversal, VertexSubset,
 };
-use ligra_graph::{BuildOptions, build_graph};
+use ligra_graph::{build_graph, BuildOptions};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -61,7 +61,7 @@ proptest! {
         expect.dedup();
 
         for t in [Traversal::Sparse, Traversal::Dense, Traversal::DenseForward] {
-            let f = edge_fn(|_s, _d, _w: ()| true, |d: u32| d % modulus == 0);
+            let f = edge_fn(|_s, _d, _w: ()| true, |d: u32| d.is_multiple_of(modulus));
             let mut fr = VertexSubset::from_sparse(n, frontier.clone());
             let out = edge_map_with(
                 &g, &mut fr, &f,
@@ -77,7 +77,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let members: Vec<u32> = (0..n as u32)
-            .filter(|&v| ligra_parallel::hash64(seed ^ v as u64) % 3 == 0)
+            .filter(|&v| ligra_parallel::hash64(seed ^ v as u64).is_multiple_of(3))
             .collect();
         let mut s = VertexSubset::from_sparse(n, members.clone());
         for _ in 0..3 {
@@ -96,7 +96,7 @@ proptest! {
         dense in any::<bool>(),
     ) {
         let members: Vec<u32> = (0..n as u32)
-            .filter(|&v| ligra_parallel::hash64(seed ^ v as u64) % 4 == 0)
+            .filter(|&v| ligra_parallel::hash64(seed ^ v as u64).is_multiple_of(4))
             .collect();
         let mut s = VertexSubset::from_sparse(n, members.clone());
         if dense {
@@ -119,7 +119,7 @@ proptest! {
         modulus in 1u32..5,
     ) {
         let members: Vec<u32> = (0..n as u32)
-            .filter(|&v| ligra_parallel::hash64(seed ^ v as u64) % 3 == 0)
+            .filter(|&v| ligra_parallel::hash64(seed ^ v as u64).is_multiple_of(3))
             .collect();
         let s = VertexSubset::from_sparse(n, members.clone());
         let out = vertex_filter(&s, |v| v % modulus == 0);

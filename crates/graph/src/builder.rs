@@ -84,9 +84,8 @@ fn build_generic<W: Copy + Send + Sync + Ord>(
     validate_endpoints(n, edges);
 
     // Materialize the working arc list (applying symmetrize / loop removal).
-    let mut arcs: Vec<(VertexId, VertexId, W)> = Vec::with_capacity(
-        edges.len() * if opts.symmetrize { 2 } else { 1 },
-    );
+    let mut arcs: Vec<(VertexId, VertexId, W)> =
+        Vec::with_capacity(edges.len() * if opts.symmetrize { 2 } else { 1 });
     for (i, &(u, v)) in edges.iter().enumerate() {
         if opts.remove_self_loops && u == v {
             continue;
@@ -110,9 +109,7 @@ fn build_generic<W: Copy + Send + Sync + Ord>(
 }
 
 fn validate_endpoints(n: usize, edges: &[(VertexId, VertexId)]) {
-    let bad = edges
-        .par_iter()
-        .find_any(|&&(u, v)| u as usize >= n || v as usize >= n);
+    let bad = edges.par_iter().find_any(|&&(u, v)| u as usize >= n || v as usize >= n);
     assert!(bad.is_none(), "edge endpoint out of range (n = {n}): {:?}", bad);
 }
 
@@ -129,7 +126,7 @@ fn csr_from_arcs<W: Copy + Send + Sync + Ord>(
     let dst = |a: &(VertexId, VertexId, W)| if transposed { a.0 } else { a.1 };
 
     // Degree histogram -> offsets.
-    let sources: Vec<u32> = arcs.par_iter().map(|a| src(a)).collect();
+    let sources: Vec<u32> = arcs.par_iter().map(&src).collect();
     let degrees: Vec<u64> = histogram_u32(&sources, n).into_par_iter().map(u64::from).collect();
     let (mut offsets, m) = prefix_sums(&degrees);
     offsets.push(m);
@@ -263,16 +260,13 @@ fn dedup_sorted<W: Copy + Send + Sync>(
     new_offsets.push(new_m);
 
     let mut new_targets: Vec<VertexId> = vec![0; new_m as usize];
-    let mut new_weights: Vec<W> = if weighted {
-        Vec::with_capacity(new_m as usize)
-    } else {
-        Vec::new()
-    };
+    let mut new_weights: Vec<W> =
+        if weighted { Vec::with_capacity(new_m as usize) } else { Vec::new() };
     if weighted && new_m > 0 {
         // Prefill so per-vertex slices can be carved out; every slot is
         // overwritten with the first weight of its run below. (weights is
         // nonempty here: new_m > 0 implies at least one surviving arc.)
-        new_weights.extend(std::iter::repeat(weights[0]).take(new_m as usize));
+        new_weights.extend(std::iter::repeat_n(weights[0], new_m as usize));
     }
 
     // Writable per-vertex destination slices.
@@ -298,11 +292,8 @@ fn dedup_sorted<W: Copy + Send + Sync>(
     }
 
     if weighted {
-        tpieces
-            .into_par_iter()
-            .zip(wpieces.into_par_iter())
-            .enumerate()
-            .for_each(|(v, (tdst, wdst))| {
+        tpieces.into_par_iter().zip(wpieces.into_par_iter()).enumerate().for_each(
+            |(v, (tdst, wdst))| {
                 let r = offsets[v] as usize..offsets[v + 1] as usize;
                 let ts = &targets[r.clone()];
                 let ws = &weights[r];
@@ -317,7 +308,8 @@ fn dedup_sorted<W: Copy + Send + Sync>(
                     }
                 }
                 debug_assert_eq!(o, tdst.len());
-            });
+            },
+        );
     } else {
         tpieces.into_par_iter().enumerate().for_each(|(v, tdst)| {
             let r = offsets[v] as usize..offsets[v + 1] as usize;

@@ -144,10 +144,7 @@ impl<W: Copy + Send + Sync> Graph<W> {
     pub fn directed(out: Adjacency<W>, incoming: Adjacency<W>) -> Self {
         assert_eq!(out.num_vertices(), incoming.num_vertices());
         assert_eq!(out.num_edges(), incoming.num_edges());
-        Graph {
-            out: std::sync::Arc::new(out),
-            incoming: Some(std::sync::Arc::new(incoming)),
-        }
+        Graph { out: std::sync::Arc::new(out), incoming: Some(std::sync::Arc::new(incoming)) }
     }
 
     /// Creates a directed graph from its out-CSR alone, computing the
@@ -162,10 +159,7 @@ impl<W: Copy + Send + Sync> Graph<W> {
     pub fn reversed(&self) -> Self {
         match &self.incoming {
             None => self.clone(),
-            Some(incoming) => Graph {
-                out: incoming.clone(),
-                incoming: Some(self.out.clone()),
-            },
+            Some(incoming) => Graph { out: incoming.clone(), incoming: Some(self.out.clone()) },
         }
     }
 
@@ -253,11 +247,10 @@ impl<W: Copy + Send + Sync> Graph<W> {
         if n == 0 {
             return (0, 0);
         }
-        let best = (0..n)
+        (0..n)
             .into_par_iter()
             .map(|v| (v as VertexId, self.out_degree(v as VertexId)))
-            .reduce(|| (0, 0), |a, b| if b.1 > a.1 || (b.1 == a.1 && b.0 < a.0) { b } else { a });
-        best
+            .reduce(|| (0, 0), |a, b| if b.1 > a.1 || (b.1 == a.1 && b.0 < a.0) { b } else { a })
     }
 }
 
@@ -308,7 +301,7 @@ pub fn transpose<W: Copy + Send + Sync>(adj: &Adjacency<W>) -> Adjacency<W> {
         unsafe impl<T> Sync for SendPtr<T> {}
         impl<T> Clone for SendPtr<T> {
             fn clone(&self) -> Self {
-                SendPtr(self.0)
+                *self
             }
         }
         impl<T> Copy for SendPtr<T> {}
@@ -343,17 +336,14 @@ pub fn transpose<W: Copy + Send + Sync>(adj: &Adjacency<W>) -> Adjacency<W> {
         }
     }
     if weighted {
-        src_pieces
-            .into_par_iter()
-            .zip(w_pieces.into_par_iter())
-            .for_each(|(ss, ws)| {
-                let mut idx: Vec<usize> = (0..ss.len()).collect();
-                idx.sort_unstable_by_key(|&i| ss[i]);
-                let sorted_s: Vec<VertexId> = idx.iter().map(|&i| ss[i]).collect();
-                let sorted_w: Vec<W> = idx.iter().map(|&i| ws[i]).collect();
-                ss.copy_from_slice(&sorted_s);
-                ws.copy_from_slice(&sorted_w);
-            });
+        src_pieces.into_par_iter().zip(w_pieces.into_par_iter()).for_each(|(ss, ws)| {
+            let mut idx: Vec<usize> = (0..ss.len()).collect();
+            idx.sort_unstable_by_key(|&i| ss[i]);
+            let sorted_s: Vec<VertexId> = idx.iter().map(|&i| ss[i]).collect();
+            let sorted_w: Vec<W> = idx.iter().map(|&i| ws[i]).collect();
+            ss.copy_from_slice(&sorted_s);
+            ws.copy_from_slice(&sorted_w);
+        });
     } else {
         src_pieces.into_par_iter().for_each(|p| p.sort_unstable());
     }
@@ -444,12 +434,7 @@ mod tests {
         // Pseudo-random directed CSR via the builder-free path.
         let n = 200u32;
         let edges: Vec<(u32, u32)> = (0..2000u32)
-            .map(|i| {
-                (
-                    ligra_parallel::hash32(i) % n,
-                    ligra_parallel::hash32(i ^ 0xdead_beef) % n,
-                )
-            })
+            .map(|i| (ligra_parallel::hash32(i) % n, ligra_parallel::hash32(i ^ 0xdead_beef) % n))
             .collect();
         let g = crate::builder::build_graph(
             n as usize,

@@ -4,7 +4,7 @@
 //! property-based checks: `m` endpoint pairs chosen independently and
 //! uniformly at random (hash-based, so parallel and deterministic).
 
-use crate::builder::{BuildOptions, build_graph};
+use crate::builder::{build_graph, BuildOptions};
 use crate::csr::{Graph, VertexId};
 use ligra_parallel::hash::{hash_to_range, mix64};
 use rayon::prelude::*;

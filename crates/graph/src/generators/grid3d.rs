@@ -7,7 +7,7 @@
 //! Θ(n^{1/3}) BFS rounds, which keeps every frontier sparse and makes the
 //! dense traversal useless — the opposite extreme from rMat.
 
-use crate::builder::{BuildOptions, build_graph};
+use crate::builder::{build_graph, BuildOptions};
 use crate::csr::{Graph, VertexId};
 use rayon::prelude::*;
 
@@ -20,15 +20,11 @@ use rayon::prelude::*;
 /// if `side³` overflows `u32`.
 pub fn grid3d(side: usize) -> Graph {
     assert!(side >= 2, "grid3d needs side >= 2");
-    let n = side
-        .checked_mul(side)
-        .and_then(|s| s.checked_mul(side))
-        .expect("side^3 overflow");
+    let n = side.checked_mul(side).and_then(|s| s.checked_mul(side)).expect("side^3 overflow");
     assert!(n <= u32::MAX as usize, "too many vertices for u32 IDs");
 
-    let idx = |x: usize, y: usize, z: usize| -> VertexId {
-        ((x * side + y) * side + z) as VertexId
-    };
+    let idx =
+        |x: usize, y: usize, z: usize| -> VertexId { ((x * side + y) * side + z) as VertexId };
 
     // Each vertex contributes its +1 neighbor in each dimension; the
     // symmetrizing build adds the reverse arcs.

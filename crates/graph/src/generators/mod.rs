@@ -27,6 +27,6 @@ pub mod weights;
 pub use erdos_renyi::erdos_renyi;
 pub use grid3d::grid3d;
 pub use random_local::random_local;
-pub use rmat::{RmatOptions, rmat};
+pub use rmat::{rmat, RmatOptions};
 pub use simple::{balanced_tree, complete, cycle, path, star};
 pub use weights::random_weights;

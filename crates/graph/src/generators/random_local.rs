@@ -7,7 +7,7 @@
 //! networks where most edges are short, giving a moderate diameter —
 //! between the 3d-grid and rMat extremes the paper's table spans.
 
-use crate::builder::{BuildOptions, build_graph};
+use crate::builder::{build_graph, BuildOptions};
 use crate::csr::{Graph, VertexId};
 use ligra_parallel::hash::{hash_to_range, mix64};
 use rayon::prelude::*;
@@ -65,11 +65,7 @@ mod tests {
         };
         let near = edges.iter().filter(|&&(u, v)| ring_dist(u, v) <= n / 64).count();
         // With geometric scales, well over half the edges are within n/64.
-        assert!(
-            near * 2 > edges.len(),
-            "only {near}/{} edges are local",
-            edges.len()
-        );
+        assert!(near * 2 > edges.len(), "only {near}/{} edges are local", edges.len());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! hashes of `(seed, i, level)`, so the edge list is a pure function of the
 //! options and can be generated in parallel.
 
-use crate::builder::{BuildOptions, build_graph};
+use crate::builder::{build_graph, BuildOptions};
 use crate::csr::{Graph, VertexId};
 use ligra_parallel::hash::{hash_to_unit, mix64};
 use rayon::prelude::*;
@@ -38,15 +38,7 @@ pub struct RmatOptions {
 impl RmatOptions {
     /// The paper's rMat parameters (PBBS defaults): a=0.5, b=c=0.1.
     pub fn paper(log_n: u32) -> Self {
-        RmatOptions {
-            log_n,
-            edge_factor: 10,
-            a: 0.5,
-            b: 0.1,
-            c: 0.1,
-            seed: 42,
-            symmetric: true,
-        }
+        RmatOptions { log_n, edge_factor: 10, a: 0.5, b: 0.1, c: 0.1, seed: 42, symmetric: true }
     }
 
     /// Graph500 skew (a=0.57, b=c=0.19): our stand-in for the Twitter graph
@@ -112,11 +104,7 @@ pub fn rmat_edges(opts: &RmatOptions) -> Vec<(VertexId, VertexId)> {
 /// symmetrized per `opts.symmetric`).
 pub fn rmat(opts: &RmatOptions) -> Graph {
     let edges = rmat_edges(opts);
-    let build = if opts.symmetric {
-        BuildOptions::symmetric()
-    } else {
-        BuildOptions::directed()
-    };
+    let build = if opts.symmetric { BuildOptions::symmetric() } else { BuildOptions::directed() };
     build_graph(opts.num_vertices(), &edges, build)
 }
 
@@ -148,12 +136,8 @@ mod tests {
         let g = rmat(&opts);
         let n = g.num_vertices();
         let low: usize = (0..(n / 16) as u32).map(|v| g.out_degree(v)).sum();
-        let high: usize =
-            ((n - n / 16) as u32..n as u32).map(|v| g.out_degree(v)).sum();
-        assert!(
-            low > 3 * high,
-            "expected skew toward low IDs: low-16th {low} vs high-16th {high}"
-        );
+        let high: usize = ((n - n / 16) as u32..n as u32).map(|v| g.out_degree(v)).sum();
+        assert!(low > 3 * high, "expected skew toward low IDs: low-16th {low} vs high-16th {high}");
         // And the max degree should far exceed the average.
         let avg = g.num_edges() / n;
         let (_, dmax) = g.max_out_degree();

@@ -1,6 +1,6 @@
 //! Small deterministic graph families for tests and examples.
 
-use crate::builder::{BuildOptions, build_graph};
+use crate::builder::{build_graph, BuildOptions};
 use crate::csr::{Graph, VertexId};
 
 /// Path `0 - 1 - … - (n-1)` (symmetric). The worst case for
@@ -15,8 +15,7 @@ pub fn path(n: usize) -> Graph {
 /// Cycle on `n` vertices (symmetric).
 pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycle needs n >= 3");
-    let edges: Vec<(VertexId, VertexId)> =
-        (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+    let edges: Vec<(VertexId, VertexId)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
     build_graph(n, &edges, BuildOptions::symmetric())
 }
 

@@ -32,12 +32,10 @@ pub fn random_weights(g: &Graph, max_w: i32, seed: u64) -> WeightedGraph {
             .into_par_iter()
             .flat_map_iter(|v| {
                 let v = v as VertexId;
-                adj.neighbors(v)
-                    .iter()
-                    .map(move |&t| {
-                        let (a, b) = if transposed { (t, v) } else { (v, t) };
-                        pair_weight(a, b, max_w, seed)
-                    })
+                adj.neighbors(v).iter().map(move |&t| {
+                    let (a, b) = if transposed { (t, v) } else { (v, t) };
+                    pair_weight(a, b, max_w, seed)
+                })
             })
             .collect();
         crate::csr::Adjacency::new(offsets, targets, weights)

@@ -268,7 +268,7 @@ pub fn save_graph(g: &Graph, path: impl AsRef<Path>) -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::{BuildOptions, build_graph, build_weighted_graph};
+    use crate::builder::{build_graph, build_weighted_graph, BuildOptions};
     use crate::generators::erdos_renyi;
 
     #[test]
@@ -324,10 +324,7 @@ mod tests {
     #[test]
     fn rejects_wrong_header() {
         let text = "NotAGraph\n1\n0\n0\n";
-        assert!(matches!(
-            read_adjacency_graph(text.as_bytes(), true),
-            Err(IoError::Parse(_))
-        ));
+        assert!(matches!(read_adjacency_graph(text.as_bytes(), true), Err(IoError::Parse(_))));
     }
 
     #[test]

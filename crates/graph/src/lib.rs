@@ -21,7 +21,7 @@ pub mod io;
 pub mod ops;
 pub mod properties;
 
-pub use builder::{BuildOptions, build_graph, build_weighted_graph};
+pub use builder::{build_graph, build_weighted_graph, BuildOptions};
 pub use csr::{Adjacency, Graph, VertexId, WeightedGraph};
 pub use ops::{induced_subgraph, largest_component, relabel_by_degree};
 pub use properties::GraphStats;

@@ -3,7 +3,7 @@
 //! applies to its inputs (e.g. extracting the giant component of a crawl,
 //! relabeling by degree for locality).
 
-use crate::builder::{BuildOptions, build_graph};
+use crate::builder::{build_graph, BuildOptions};
 use crate::csr::{Graph, VertexId};
 use rayon::prelude::*;
 
@@ -65,11 +65,7 @@ pub fn relabel_by_degree(g: &Graph) -> (Graph, Vec<VertexId>) {
         })
         .collect();
 
-    let opts = if g.is_symmetric() {
-        BuildOptions::symmetric()
-    } else {
-        BuildOptions::directed()
-    };
+    let opts = if g.is_symmetric() { BuildOptions::symmetric() } else { BuildOptions::directed() };
     (build_graph(n, &edges, opts), order)
 }
 
@@ -110,7 +106,8 @@ pub fn largest_component(g: &Graph) -> (Graph, Vec<VertexId>) {
     for v in 0..n as u32 {
         *sizes.entry(find(&mut uf, v)).or_insert(0usize) += 1;
     }
-    let (&best, _) = sizes.iter().max_by_key(|&(&root, &size)| (size, std::cmp::Reverse(root))).unwrap();
+    let (&best, _) =
+        sizes.iter().max_by_key(|&(&root, &size)| (size, std::cmp::Reverse(root))).unwrap();
     let keep: Vec<bool> = (0..n as u32).map(|v| find(&mut uf, v) == best).collect();
     induced_subgraph(g, &keep)
 }
@@ -164,9 +161,10 @@ mod tests {
         // Edge (a, b) in new IDs corresponds to (order[a], order[b]) in old.
         for a in 0..r.num_vertices() as u32 {
             for &b in r.out_neighbors(a) {
-                assert!(
-                    g.out_neighbors(order[a as usize]).binary_search(&order[b as usize]).is_ok()
-                );
+                assert!(g
+                    .out_neighbors(order[a as usize])
+                    .binary_search(&order[b as usize])
+                    .is_ok());
             }
         }
     }
@@ -174,11 +172,7 @@ mod tests {
     #[test]
     fn largest_component_of_two_paths() {
         // Components {0,1,2} and {3,4}.
-        let g = crate::build_graph(
-            5,
-            &[(0, 1), (1, 2), (3, 4)],
-            BuildOptions::symmetric(),
-        );
+        let g = crate::build_graph(5, &[(0, 1), (1, 2), (3, 4)], BuildOptions::symmetric());
         let (big, mapping) = largest_component(&g);
         assert_eq!(big.num_vertices(), 3);
         assert_eq!(mapping, vec![0, 1, 2]);

@@ -51,19 +51,10 @@ pub fn assert_valid<W: Copy + Send + Sync>(g: &Graph<W>) {
     (0..n).into_par_iter().for_each(|v| {
         let v = v as VertexId;
         let ns = g.out_neighbors(v);
-        assert!(
-            ns.iter().all(|&t| (t as usize) < n),
-            "out-neighbor of {v} out of range"
-        );
-        assert!(
-            ns.windows(2).all(|w| w[0] <= w[1]),
-            "out-neighbors of {v} not sorted"
-        );
+        assert!(ns.iter().all(|&t| (t as usize) < n), "out-neighbor of {v} out of range");
+        assert!(ns.windows(2).all(|w| w[0] <= w[1]), "out-neighbors of {v} not sorted");
         let ins = g.in_neighbors(v);
-        assert!(
-            ins.iter().all(|&t| (t as usize) < n),
-            "in-neighbor of {v} out of range"
-        );
+        assert!(ins.iter().all(|&t| (t as usize) < n), "in-neighbor of {v} out of range");
     });
     if !g.is_symmetric() {
         // Arc counts per direction must agree.
@@ -89,9 +80,7 @@ pub fn is_symmetric<W: Copy + Send + Sync>(g: &Graph<W>) -> bool {
     let n = g.num_vertices();
     (0..n).into_par_iter().all(|u| {
         let u = u as VertexId;
-        g.out_neighbors(u)
-            .iter()
-            .all(|&v| g.out_neighbors(v).binary_search(&u).is_ok())
+        g.out_neighbors(u).iter().all(|&v| g.out_neighbors(v).binary_search(&u).is_ok())
     })
 }
 
@@ -118,7 +107,7 @@ pub fn degree_histogram<W: Copy + Send + Sync>(g: &Graph<W>, max_bucket: usize) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::{BuildOptions, build_graph};
+    use crate::builder::{build_graph, BuildOptions};
     use crate::generators::{erdos_renyi, star};
 
     #[test]

@@ -2,7 +2,7 @@
 //! inputs must produce `Err`, never a panic or an invalid graph.
 
 use ligra_graph::io::{read_adjacency_graph, write_adjacency_graph};
-use ligra_graph::{BuildOptions, build_graph};
+use ligra_graph::{build_graph, BuildOptions};
 use proptest::prelude::*;
 
 proptest! {

@@ -3,7 +3,7 @@
 
 use ligra_graph::csr::transpose;
 use ligra_graph::io::{read_adjacency_graph, write_adjacency_graph};
-use ligra_graph::{BuildOptions, Graph, build_graph, build_weighted_graph, properties};
+use ligra_graph::{build_graph, build_weighted_graph, properties, BuildOptions, Graph};
 use proptest::prelude::*;
 
 // Arbitrary edge list over `n` vertices.

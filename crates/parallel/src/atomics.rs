@@ -186,7 +186,12 @@ impl AtomicF64 {
     pub fn write_min(&self, v: f64) -> bool {
         let mut cur = self.0.load(Ordering::Acquire);
         while v < f64::from_bits(cur) {
-            match self.0.compare_exchange_weak(cur, v.to_bits(), Ordering::AcqRel, Ordering::Acquire) {
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
                 Ok(_) => return true,
                 Err(actual) => cur = actual,
             }
@@ -241,10 +246,8 @@ mod tests {
     #[test]
     fn priority_write_matches_fetch_min_under_contention() {
         let a = AtomicU32::new(u32::MAX);
-        let wins: u32 = (0..10_000u32)
-            .into_par_iter()
-            .map(|i| u32::from(priority_min(&a, i)))
-            .sum();
+        let wins: u32 =
+            (0..10_000u32).into_par_iter().map(|i| u32::from(priority_min(&a, i))).sum();
         assert_eq!(a.load(Ordering::Relaxed), 0);
         // At least the final winner wrote; at most one write per distinct
         // improving value.
@@ -255,10 +258,7 @@ mod tests {
     fn exactly_one_winner_per_value_level() {
         // All threads write the same value: exactly one must win.
         let a = AtomicU32::new(u32::MAX);
-        let wins: u32 = (0..1000u32)
-            .into_par_iter()
-            .map(|_| u32::from(priority_min(&a, 7)))
-            .sum();
+        let wins: u32 = (0..1000u32).into_par_iter().map(|_| u32::from(priority_min(&a, 7))).sum();
         assert_eq!(wins, 1);
         assert_eq!(a.load(Ordering::Relaxed), 7);
     }
@@ -312,7 +312,7 @@ mod tests {
 
     #[test]
     fn parallel_min_over_atomic_view_equals_sequential_min() {
-        let data: Vec<u32> = (0..50_000u32).map(|i| crate::hash::hash32(i)).collect();
+        let data: Vec<u32> = (0..50_000u32).map(crate::hash::hash32).collect();
         let mut result = vec![u32::MAX];
         {
             let cell = &as_atomic_u32(&mut result)[0];

@@ -66,10 +66,7 @@ impl AtomicBitVec {
 
     /// Number of set bits (parallel popcount).
     pub fn count_ones(&self) -> usize {
-        self.words
-            .par_iter()
-            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
-            .sum()
+        self.words.par_iter().map(|w| w.load(Ordering::Relaxed).count_ones() as usize).sum()
     }
 
     /// Converts to a `Vec<bool>` (one byte per bit).
@@ -91,11 +88,7 @@ impl AtomicBitVec {
 
 impl Clone for AtomicBitVec {
     fn clone(&self) -> Self {
-        let words = self
-            .words
-            .iter()
-            .map(|w| AtomicU64::new(w.load(Ordering::Relaxed)))
-            .collect();
+        let words = self.words.iter().map(|w| AtomicU64::new(w.load(Ordering::Relaxed))).collect();
         AtomicBitVec { words, len: self.len }
     }
 }
@@ -104,7 +97,6 @@ impl Clone for AtomicBitVec {
 mod tests {
     use super::*;
     use crate::hash::hash32;
-
 
     #[test]
     fn empty_bitvec() {
@@ -138,16 +130,13 @@ mod tests {
     #[test]
     fn exactly_one_winner_under_contention() {
         let bv = AtomicBitVec::new(64);
-        let wins: u32 = (0..10_000)
-            .into_par_iter()
-            .map(|_| u32::from(bv.set(7)))
-            .sum();
+        let wins: u32 = (0..10_000).into_par_iter().map(|_| u32::from(bv.set(7))).sum();
         assert_eq!(wins, 1);
     }
 
     #[test]
     fn count_matches_bools_roundtrip() {
-        let bits: Vec<bool> = (0..10_000).map(|i| hash32(i) % 3 == 0).collect();
+        let bits: Vec<bool> = (0..10_000).map(|i| hash32(i).is_multiple_of(3)).collect();
         let bv = AtomicBitVec::from_bools(&bits);
         assert_eq!(bv.count_ones(), bits.iter().filter(|&&b| b).count());
         assert_eq!(bv.to_bools(), bits);

@@ -91,7 +91,10 @@ mod tests {
         }
         let expected = n as usize / buckets;
         for &c in &counts {
-            assert!(c > expected / 2 && c < expected * 2, "bucket count {c} vs expected {expected}");
+            assert!(
+                c > expected / 2 && c < expected * 2,
+                "bucket count {c} vs expected {expected}"
+            );
         }
     }
 

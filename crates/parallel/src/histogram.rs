@@ -7,7 +7,7 @@
 //! to the input we fall back to atomic increments, which contend rarely
 //! because collisions are rare by assumption.
 
-use crate::utils::{GRANULARITY, block_range, num_blocks};
+use crate::utils::{block_range, num_blocks, GRANULARITY};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 

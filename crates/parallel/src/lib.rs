@@ -24,6 +24,7 @@
 //! * [`atomics`] — `write_min`/`write_max`, priority update, `AtomicF64`,
 //!   and slice-as-atomic views.
 //! * [`bitvec`] — a concurrently writable bit vector (`fetch_or`-based).
+//! * [`counter`] — cache-padded per-thread event counters (telemetry).
 //! * [`hash`] — deterministic avalanche hashes used by the graph generators.
 
 #![warn(missing_docs)]
@@ -31,6 +32,7 @@
 
 pub mod atomics;
 pub mod bitvec;
+pub mod counter;
 pub mod hash;
 pub mod histogram;
 pub mod pack;
@@ -38,10 +40,11 @@ pub mod reduce;
 pub mod scan;
 pub mod utils;
 
-pub use atomics::{AtomicF64, priority_min, priority_write, write_max_u32, write_min_u32};
+pub use atomics::{priority_min, priority_write, write_max_u32, write_min_u32, AtomicF64};
 pub use bitvec::AtomicBitVec;
+pub use counter::StripedU64;
 pub use hash::{hash32, hash64, mix64};
 pub use pack::{filter, pack, pack_index};
 pub use reduce::{max_index, min_index, reduce, sum_u64, sum_usize};
 pub use scan::{plus_scan_inclusive_u32, prefix_sums, scan_exclusive, scan_inplace_exclusive};
-pub use utils::{GRANULARITY, num_threads, with_threads};
+pub use utils::{num_threads, with_threads, GRANULARITY};

@@ -7,7 +7,7 @@
 //! the standard one: per-block counts, exclusive scan of counts, then a
 //! second pass copying survivors to their final offsets.
 
-use crate::utils::{GRANULARITY, block_range, num_blocks};
+use crate::utils::{block_range, num_blocks, GRANULARITY};
 use rayon::prelude::*;
 
 /// Keeps `xs[i]` iff `flags[i]`, preserving order.
@@ -130,26 +130,23 @@ mod tests {
     #[test]
     fn pack_matches_sequential() {
         let xs: Vec<u32> = (0..200_000u32).map(hash32).collect();
-        let flags: Vec<bool> = xs.iter().map(|&x| x % 3 == 0).collect();
-        let expect: Vec<u32> = xs
-            .iter()
-            .zip(&flags)
-            .filter_map(|(&x, &f)| f.then_some(x))
-            .collect();
+        let flags: Vec<bool> = xs.iter().map(|&x| x.is_multiple_of(3)).collect();
+        let expect: Vec<u32> =
+            xs.iter().zip(&flags).filter_map(|(&x, &f)| f.then_some(x)).collect();
         assert_eq!(pack(&xs, &flags), expect);
     }
 
     #[test]
     fn filter_preserves_order() {
         let xs: Vec<u32> = (0..100_000).collect();
-        let out = filter(&xs, |&x| x % 7 == 0);
-        let expect: Vec<u32> = (0..100_000).filter(|x| x % 7 == 0).collect();
+        let out = filter(&xs, |&x| x.is_multiple_of(7));
+        let expect: Vec<u32> = (0..100_000u32).filter(|&x| x.is_multiple_of(7)).collect();
         assert_eq!(out, expect);
     }
 
     #[test]
     fn pack_index_is_sorted_positions() {
-        let flags: Vec<bool> = (0..50_000).map(|i| hash32(i) % 5 == 0).collect();
+        let flags: Vec<bool> = (0..50_000).map(|i| hash32(i).is_multiple_of(5)).collect();
         let idx = pack_index(&flags);
         let expect: Vec<u32> = (0..50_000u32).filter(|&i| flags[i as usize]).collect();
         assert_eq!(idx, expect);
@@ -159,9 +156,9 @@ mod tests {
     #[test]
     fn partition_is_exhaustive_and_disjoint() {
         let xs: Vec<u32> = (0..30_000u32).map(hash32).collect();
-        let (evens, odds) = partition(&xs, |&x| x % 2 == 0);
+        let (evens, odds) = partition(&xs, |&x| x.is_multiple_of(2));
         assert_eq!(evens.len() + odds.len(), xs.len());
-        assert!(evens.iter().all(|x| x % 2 == 0));
+        assert!(evens.iter().all(|x| x.is_multiple_of(2)));
         assert!(odds.iter().all(|x| x % 2 == 1));
     }
 

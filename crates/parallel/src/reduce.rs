@@ -8,7 +8,7 @@
 //! guarantees this for associative operators; for floats we force the exact
 //! blocked shape so repeated runs agree bit-for-bit).
 
-use crate::utils::{GRANULARITY, block_range, num_blocks};
+use crate::utils::{block_range, num_blocks, GRANULARITY};
 use rayon::prelude::*;
 
 /// Generic blocked reduction with identity `id` and associative `op`.
@@ -90,7 +90,11 @@ where
         |i| (i, key(&xs[i])),
         |a, b| {
             // Strictly-greater keeps the earliest index on ties.
-            if b.1 > a.1 { b } else { a }
+            if b.1 > a.1 {
+                b
+            } else {
+                a
+            }
         },
     );
     Some(best.0)
@@ -167,8 +171,8 @@ mod tests {
     #[test]
     fn count_matches_filter_len() {
         let n = 123_456;
-        let c = count(n, |i| hash32(i as u32) % 3 == 0);
-        let expect = (0..n).filter(|&i| hash32(i as u32) % 3 == 0).count();
+        let c = count(n, |i| hash32(i as u32).is_multiple_of(3));
+        let expect = (0..n).filter(|&i| hash32(i as u32).is_multiple_of(3)).count();
         assert_eq!(c, expect);
     }
 

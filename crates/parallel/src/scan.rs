@@ -9,7 +9,7 @@
 //! returns bit-identical results to the sequential scan for any associative
 //! operation.
 
-use crate::utils::{GRANULARITY, block_range, num_blocks};
+use crate::utils::{block_range, num_blocks, GRANULARITY};
 use rayon::prelude::*;
 
 /// Generic exclusive scan into a fresh vector.

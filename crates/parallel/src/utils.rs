@@ -62,9 +62,7 @@ where
     if nblocks == 1 {
         body(0, 0..len);
     } else {
-        (0..nblocks)
-            .into_par_iter()
-            .for_each(|i| body(i, block_range(len, nblocks, i)));
+        (0..nblocks).into_par_iter().for_each(|i| body(i, block_range(len, nblocks, i)));
     }
 }
 

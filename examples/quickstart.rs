@@ -1,15 +1,19 @@
 //! Quickstart: the smallest complete Ligra program.
 //!
 //! Builds a graph from an edge list, runs a hand-written BFS through the
-//! framework's `edge_map`, and cross-checks it with the packaged
+//! framework's `edge_map` while recording a telemetry trace, prints the
+//! per-round trace table, and cross-checks the result with the packaged
 //! application. Run with:
 //!
 //! ```text
 //! cargo run -p ligra-examples --release --bin quickstart
 //! ```
 
-use ligra::{VertexSubset, edge_fn, edge_map};
-use ligra_graph::{BuildOptions, build_graph};
+use ligra::{
+    edge_fn, edge_map_recorded, summary, to_json_lines, EdgeMapOptions, TraversalStats,
+    VertexSubset,
+};
+use ligra_graph::{build_graph, BuildOptions};
 use ligra_parallel::atomics::{as_atomic_u32, cas_u32};
 use std::sync::atomic::Ordering;
 
@@ -22,11 +26,7 @@ fn main() {
     let edges = [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (4, 6), (5, 6)];
     let n = 7;
     let g = build_graph(n, &edges, BuildOptions::symmetric());
-    println!(
-        "graph: {} vertices, {} directed edges (symmetric)",
-        g.num_vertices(),
-        g.num_edges()
-    );
+    println!("graph: {} vertices, {} directed edges (symmetric)", g.num_vertices(), g.num_edges());
 
     // BFS from vertex 0, written directly against the framework: the edge
     // function claims unvisited vertices with a CAS; `cond` prunes claimed
@@ -35,6 +35,7 @@ fn main() {
     let mut parent = vec![u32::MAX; n];
     parent[source as usize] = source;
     let mut level = 0usize;
+    let mut stats = TraversalStats::new();
     {
         let parent = as_atomic_u32(&mut parent);
         let bfs = edge_fn(
@@ -43,7 +44,8 @@ fn main() {
         );
         let mut frontier = VertexSubset::single(n, source);
         while !frontier.is_empty() {
-            frontier = edge_map(&g, &mut frontier, &bfs);
+            frontier =
+                edge_map_recorded(&g, &mut frontier, &bfs, EdgeMapOptions::default(), &mut stats);
             if !frontier.is_empty() {
                 level += 1;
                 println!("level {level}: {:?}", frontier.to_vec_sorted());
@@ -52,11 +54,41 @@ fn main() {
     }
     println!("BFS tree parents: {parent:?}");
 
+    // Every round was recorded: what the heuristic saw (`work` vs
+    // `threshold`), the direction it chose, and the contention counters.
+    println!("\nper-round trace:");
+    println!(
+        "{:>5} {:>8} {:>9} {:>4} {:>9} {:>9} {:>8} {:>7} {:>7}",
+        "round",
+        "vertices",
+        "out-edges",
+        "work",
+        "threshold",
+        "mode",
+        "cas_win",
+        "scanned",
+        "time_ns"
+    );
+    for (i, r) in stats.edge_map_rounds().enumerate() {
+        println!(
+            "{:>5} {:>8} {:>9} {:>4} {:>9} {:>9} {:>8} {:>7} {:>7}",
+            i + 1,
+            r.frontier_vertices,
+            r.frontier_out_edges,
+            r.work,
+            r.threshold,
+            r.mode.to_string(),
+            format!("{}/{}", r.cas_wins, r.cas_attempts),
+            r.edges_scanned,
+            r.time_ns,
+        );
+    }
+    println!("{}", summary(&stats));
+    println!("trace as JSON lines (what `to_json_lines` exports):");
+    print!("{}", to_json_lines(&stats));
+
     // The same thing via the packaged application.
     let result = ligra_apps::bfs(&g, source);
     assert_eq!(result.parent, parent, "hand-rolled BFS must match ligra-apps");
-    println!(
-        "ligra_apps::bfs agrees: depth = {}, reached = {}/{n}",
-        level, result.reached
-    );
+    println!("ligra_apps::bfs agrees: depth = {}, reached = {}/{n}", level, result.reached);
 }

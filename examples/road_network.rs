@@ -26,8 +26,7 @@ fn main() {
     let sp = apps::bellman_ford(&weighted, depot);
     assert!(!sp.negative_cycle);
     let max_time = sp.dist.iter().max().unwrap();
-    let avg_time: f64 =
-        sp.dist.iter().map(|&d| d as f64).sum::<f64>() / n as f64;
+    let avg_time: f64 = sp.dist.iter().map(|&d| d as f64).sum::<f64>() / n as f64;
     println!(
         "travel times from depot {depot}: max {max_time}, mean {avg_time:.1} ({} relaxation rounds)",
         sp.rounds

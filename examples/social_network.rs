@@ -13,8 +13,8 @@
 
 use ligra_apps as apps;
 use ligra_examples::top_k;
-use ligra_graph::generators::rmat::{RmatOptions, rmat_edges};
-use ligra_graph::{BuildOptions, build_graph};
+use ligra_graph::generators::rmat::{rmat_edges, RmatOptions};
+use ligra_graph::{build_graph, BuildOptions};
 
 fn main() {
     // Twitter-like skew, symmetrized (friendship rather than follow).

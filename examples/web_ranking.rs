@@ -8,7 +8,7 @@
 
 use ligra_apps as apps;
 use ligra_examples::top_k;
-use ligra_graph::generators::rmat::{RmatOptions, rmat};
+use ligra_graph::generators::rmat::{rmat, RmatOptions};
 
 fn main() {
     // Directed power-law graph standing in for a web crawl.
@@ -33,14 +33,8 @@ fn main() {
     let exact_top: Vec<usize> = top_k(&exact.rank, 5).into_iter().map(|(v, _)| v).collect();
     for eps2 in [1e-1, 1e-2, 1e-3, 1e-4] {
         let approx = apps::pagerank_delta(&g, 0.85, eps2, 200);
-        let l1: f64 = exact
-            .rank
-            .iter()
-            .zip(&approx.rank)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
-        let approx_top: Vec<usize> =
-            top_k(&approx.rank, 5).into_iter().map(|(v, _)| v).collect();
+        let l1: f64 = exact.rank.iter().zip(&approx.rank).map(|(a, b)| (a - b).abs()).sum();
+        let approx_top: Vec<usize> = top_k(&approx.rank, 5).into_iter().map(|(v, _)| v).collect();
         let overlap = approx_top.iter().filter(|v| exact_top.contains(v)).count();
         println!("{eps2:>10.0e} {:>12} {l1:>16.2e} {overlap:>11}/5", approx.iterations);
     }

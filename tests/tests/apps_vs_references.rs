@@ -45,12 +45,11 @@ fn bc_agrees_with_brandes_everywhere() {
     for (name, g) in suite(3) {
         let par = apps::bc(&g, 0);
         let reference = seq::seq_brandes(&g, 0);
-        for v in 0..g.num_vertices() {
+        for (v, &expected) in reference.iter().enumerate() {
             assert!(
-                (par.dependencies[v] - reference[v]).abs() < 1e-8,
-                "{name} vertex {v}: {} vs {}",
-                par.dependencies[v],
-                reference[v]
+                (par.dependencies[v] - expected).abs() < 1e-8,
+                "{name} vertex {v}: {} vs {expected}",
+                par.dependencies[v]
             );
         }
     }
@@ -72,12 +71,7 @@ fn pagerank_agrees_with_sequential_everywhere() {
     for (name, g) in suite(5) {
         let par = apps::pagerank(&g, 0.85, 1e-9, 200);
         let (reference, _) = seq::seq_pagerank(&g, 0.85, 1e-9, 200);
-        let l1: f64 = par
-            .rank
-            .iter()
-            .zip(&reference)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let l1: f64 = par.rank.iter().zip(&reference).map(|(a, b)| (a - b).abs()).sum();
         assert!(l1 < 1e-6, "{name}: L1 divergence {l1}");
     }
 }

@@ -55,14 +55,15 @@ fn traced_rounds_account_for_all_frontier_work() {
     let g = rmat(&RmatOptions::paper(11));
     let mut stats = TraversalStats::new();
     let result = apps::bfs_traced(&g, 0, EdgeMapOptions::default(), &mut stats);
-    assert_eq!(stats.num_rounds(), result.rounds);
+    let rounds: Vec<_> = stats.edge_map_rounds().copied().collect();
+    assert_eq!(rounds.len(), result.rounds);
     // Output of round k is the frontier of round k+1.
-    for w in stats.rounds.windows(2) {
+    for w in rounds.windows(2) {
         assert_eq!(w[0].output_vertices, w[1].frontier_vertices);
     }
     // Total vertices entering frontiers equals reached count (source
     // enters externally, each other reached vertex exactly once).
-    let total: u64 = stats.rounds.iter().map(|r| r.output_vertices).sum();
+    let total: u64 = rounds.iter().map(|r| r.output_vertices).sum();
     assert_eq!(total as usize, result.reached - 1);
 }
 
@@ -72,11 +73,20 @@ fn direction_heuristic_picks_dense_only_above_threshold() {
     let m = g.num_edges() as u64;
     let mut stats = TraversalStats::new();
     let _ = apps::bfs_traced(&g, 0, EdgeMapOptions::default(), &mut stats);
-    for (i, r) in stats.rounds.iter().enumerate() {
-        let work = r.frontier_vertices + r.frontier_out_edges;
-        let dense = work > m / 20;
+    for (i, r) in stats.edge_map_rounds().enumerate() {
+        // The recorded heuristic inputs must be internally consistent...
+        assert_eq!(r.work, r.frontier_vertices + r.frontier_out_edges, "round {i}");
+        assert_eq!(r.threshold, m / 20, "round {i}");
+        assert!(!r.forced, "Auto rounds must not be marked forced");
+        // ...and must explain the decision: dense ⇔ work > threshold.
         let got_dense = r.mode == ligra::Mode::Dense;
-        assert_eq!(dense, got_dense, "round {i}: work {work} vs threshold {}", m / 20);
+        assert_eq!(
+            r.work > r.threshold,
+            got_dense,
+            "round {i}: work {} vs {}",
+            r.work,
+            r.threshold
+        );
     }
 }
 
@@ -87,10 +97,7 @@ fn grid_has_many_more_rounds_than_rmat() {
     let rm = rmat(&RmatOptions::paper(12));
     let grid_rounds = apps::bfs(&grid, 0).rounds;
     let rmat_rounds = apps::bfs(&rm, 0).rounds;
-    assert!(
-        grid_rounds >= 3 * rmat_rounds,
-        "grid {grid_rounds} rounds vs rMat {rmat_rounds}"
-    );
+    assert!(grid_rounds >= 3 * rmat_rounds, "grid {grid_rounds} rounds vs rMat {rmat_rounds}");
 }
 
 #[test]
@@ -100,7 +107,6 @@ fn dedup_changes_frontier_sizes_not_results() {
     let mut s1 = TraversalStats::new();
     let mut s2 = TraversalStats::new();
     let plain = apps::bellman_ford_traced(&wg, 0, EdgeMapOptions::default(), &mut s1);
-    let dedup =
-        apps::bellman_ford_traced(&wg, 0, EdgeMapOptions::new().deduplicate(true), &mut s2);
+    let dedup = apps::bellman_ford_traced(&wg, 0, EdgeMapOptions::new().deduplicate(true), &mut s2);
     assert_eq!(plain.dist, dedup.dist);
 }

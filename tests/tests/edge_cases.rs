@@ -3,10 +3,10 @@
 //! The framework must handle all of them without panicking and with
 //! sensible answers.
 
-use ligra::{EdgeMapOptions, Traversal, VertexSubset, edge_fn, edge_map_with};
+use ligra::{edge_fn, edge_map_with, EdgeMapOptions, Traversal, VertexSubset};
 use ligra_apps as apps;
 use ligra_graph::generators::{random_weights, star};
-use ligra_graph::{BuildOptions, build_graph, build_weighted_graph};
+use ligra_graph::{build_graph, build_weighted_graph, BuildOptions};
 
 #[test]
 fn singleton_graph_through_every_app() {
@@ -109,12 +109,7 @@ fn update_always_false_yields_empty_frontier() {
 #[test]
 fn bellman_ford_source_in_tiny_negative_graph() {
     // Smallest possible negative cycle through the source.
-    let g = build_weighted_graph(
-        2,
-        &[(0, 1), (1, 0)],
-        &[-1, -1],
-        BuildOptions::raw_directed(),
-    );
+    let g = build_weighted_graph(2, &[(0, 1), (1, 0)], &[-1, -1], BuildOptions::raw_directed());
     let r = apps::bellman_ford(&g, 0);
     assert!(r.negative_cycle);
 }

@@ -3,8 +3,8 @@
 //! Ligra+ compressed representation.
 
 use ligra_apps as apps;
-use ligra_compress::CompressedGraph;
 use ligra_compress::apps as capps;
+use ligra_compress::CompressedGraph;
 use ligra_graph::generators::rmat::RmatOptions;
 use ligra_graph::generators::{erdos_renyi, grid3d, random_local, rmat};
 
@@ -49,12 +49,8 @@ fn compressed_bfs_reaches_the_same_set_in_the_same_rounds() {
         let unc = apps::bfs(&g, 0);
         let (parent, rounds) = capps::bfs(&cg, 0);
         assert_eq!(rounds, unc.rounds);
-        for v in 0..g.num_vertices() {
-            assert_eq!(
-                parent[v] == capps::UNREACHED,
-                unc.dist[v] == apps::UNREACHED,
-                "vertex {v}"
-            );
+        for (v, &p) in parent.iter().enumerate() {
+            assert_eq!(p == capps::UNREACHED, unc.dist[v] == apps::UNREACHED, "vertex {v}");
         }
     }
 }
@@ -78,10 +74,7 @@ fn compression_saves_space_on_every_input_family() {
     ] {
         let cg: CompressedGraph = CompressedGraph::from_graph(&g);
         let (compressed, csr, ratio) = cg.space_vs_csr();
-        assert!(
-            ratio < 1.0,
-            "{name}: compressed {compressed} not smaller than CSR {csr}"
-        );
+        assert!(ratio < 1.0, "{name}: compressed {compressed} not smaller than CSR {csr}");
     }
 }
 

@@ -1,0 +1,107 @@
+//! End-to-end telemetry: real application runs produce traces whose
+//! events are internally consistent, whose exports round-trip losslessly
+//! through both serialization formats, and whose counters respect the
+//! structural bounds of the graph being traversed.
+
+use ligra::{
+    from_csv, from_json_lines, summary, to_csv, to_json_lines, EdgeMapOptions, Mode, NoopRecorder,
+    Op, Traversal, TraversalStats,
+};
+use ligra_apps as apps;
+use ligra_graph::generators::rmat::RmatOptions;
+use ligra_graph::generators::{grid3d, rmat};
+
+#[test]
+fn bfs_trace_has_one_event_per_round_and_nonzero_monotone_time() {
+    let g = rmat(&RmatOptions::paper(11));
+    let mut stats = TraversalStats::new();
+    let result = apps::bfs_traced(&g, 0, EdgeMapOptions::default(), &mut stats);
+    assert_eq!(stats.edge_map_rounds().count(), result.rounds);
+    // Wall-clock is recorded for every event and total time accumulates.
+    let mut running = 0u64;
+    for r in &stats.rounds {
+        assert!(r.time_ns > 0, "every recorded span must have measured time");
+        running += r.time_ns;
+    }
+    assert_eq!(stats.total_time_ns(), running);
+}
+
+#[test]
+fn auto_trace_explains_every_direction_decision() {
+    let g = rmat(&RmatOptions::paper(12));
+    let m = g.num_edges() as u64;
+    let mut stats = TraversalStats::new();
+    let _ = apps::bfs_traced(&g, 0, EdgeMapOptions::default(), &mut stats);
+    let mut saw_dense = false;
+    for r in stats.edge_map_rounds() {
+        assert_eq!(r.work, r.frontier_vertices + r.frontier_out_edges);
+        assert_eq!(r.threshold, m / 20);
+        assert!(!r.forced);
+        assert_eq!(r.mode == Mode::Dense, r.work > r.threshold);
+        saw_dense |= r.mode == Mode::Dense;
+    }
+    assert!(saw_dense, "rMat BFS must trip the dense heuristic at its peak");
+}
+
+#[test]
+fn conversion_flags_mark_representation_switches() {
+    let g = rmat(&RmatOptions::paper(12));
+    let mut stats = TraversalStats::new();
+    let _ = apps::bfs_traced(&g, 0, EdgeMapOptions::default(), &mut stats);
+    for r in stats.edge_map_rounds() {
+        let wants_sparse = r.mode == Mode::Sparse;
+        let input_sparse = r.input_repr == ligra::ReprKind::Sparse;
+        if r.frontier_vertices > 0 {
+            assert_eq!(r.converted, wants_sparse != input_sparse);
+        }
+    }
+    // A low-diameter BFS goes sparse -> dense -> sparse, so at least one
+    // round converted its input representation.
+    assert!(stats.edge_map_rounds().any(|r| r.converted));
+}
+
+#[test]
+fn dense_pull_scans_at_most_all_in_edges() {
+    let g = grid3d(12); // symmetric: in-edges == out-edges == m
+    let m = g.num_edges() as u64;
+    let mut stats = TraversalStats::new();
+    let opts = EdgeMapOptions::new().traversal(Traversal::Dense);
+    let _ = apps::bfs_traced(&g, 0, opts, &mut stats);
+    for r in stats.edge_map_rounds() {
+        assert_eq!(r.mode, Mode::Dense);
+        assert!(r.forced);
+        // Early exit can only shrink the scan, and scanned + skipped
+        // always partition the full in-edge set.
+        assert!(r.edges_scanned <= m);
+        assert_eq!(r.edges_scanned + r.edges_skipped, m);
+    }
+}
+
+#[test]
+fn real_traces_round_trip_through_both_formats() {
+    let g = rmat(&RmatOptions::paper(10));
+    let mut stats = TraversalStats::new();
+    let _ = apps::bfs_traced(&g, 0, EdgeMapOptions::default(), &mut stats);
+    let _ = apps::cc_traced(&g, EdgeMapOptions::default(), &mut stats);
+    assert!(stats.rounds.iter().any(|r| r.op != Op::EdgeMap), "vertex ops must be in the trace");
+
+    let via_json = from_json_lines(&to_json_lines(&stats)).expect("json round-trip");
+    assert_eq!(via_json, stats);
+    let via_csv = from_csv(&to_csv(&stats)).expect("csv round-trip");
+    assert_eq!(via_csv, stats);
+
+    // The summary is computed off the events alone, so it is identical
+    // for the original and the re-imported trace.
+    assert_eq!(format!("{}", summary(&stats)), format!("{}", summary(&via_json)));
+}
+
+#[test]
+fn noop_recorder_matches_traced_results() {
+    // The zero-overhead path must not change algorithm output.
+    let g = rmat(&RmatOptions::paper(10));
+    let mut stats = TraversalStats::new();
+    let traced = apps::bfs_traced(&g, 0, EdgeMapOptions::default(), &mut stats);
+    let untraced = apps::bfs_traced(&g, 0, EdgeMapOptions::default(), &mut NoopRecorder);
+    assert_eq!(traced.dist, untraced.dist);
+    assert!(!stats.rounds.is_empty());
+}

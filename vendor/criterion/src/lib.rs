@@ -1,0 +1,128 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Provides `Criterion`, `benchmark_group` / `bench_function` / `iter`,
+//! and the `criterion_group!` / `criterion_main!` macros with a simple
+//! best-of-N wall-clock measurement (no statistics, plots, or reports).
+//! Honors `--bench` and name-filter CLI arguments loosely: any positional
+//! argument is treated as a substring filter on benchmark names.
+
+use std::time::Instant;
+
+/// Re-export mirror of `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Positional args that are not flags act as a name filter, matching
+        // `cargo bench -- <filter>` behaviour.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-') && !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup {name}");
+        BenchmarkGroup { criterion: self, group: name.to_string(), sample_size: 10 }
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] whose `iter` is timed.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.group, name);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher { samples: self.sample_size, best_ns: u128::MAX, total_ns: 0 };
+        f(&mut b);
+        let best = b.best_ns as f64 / 1e9;
+        let mean = b.total_ns as f64 / 1e9 / self.sample_size as f64;
+        println!("  {full:<50} best {:>12} mean {:>12}", fmt_secs(best), fmt_secs(mean));
+        self
+    }
+
+    /// Ends the group (printing nothing; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+/// Per-benchmark measurement handle.
+pub struct Bencher {
+    samples: usize,
+    best_ns: u128,
+    total_ns: u128,
+}
+
+impl Bencher {
+    /// Times `body` `sample_size` times, tracking best and mean.
+    pub fn iter<R>(&mut self, mut body: impl FnMut() -> R) {
+        // One untimed warm-up run.
+        black_box(body());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(body());
+            let ns = t0.elapsed().as_nanos();
+            self.best_ns = self.best_ns.min(ns);
+            self.total_ns += ns;
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,361 @@
+//! Offline stand-in for the subset of the `rayon` API this workspace uses.
+//!
+//! The build environment has no access to a crates registry, so this path
+//! crate provides a drop-in, *sequential* implementation of the rayon
+//! surface the codebase depends on: the `par_iter` / `into_par_iter`
+//! entry points, the iterator adapters and terminals reachable from them,
+//! `ParallelSliceMut::par_sort_unstable_by_key`, `join`, thread-pool
+//! introspection, and `ThreadPoolBuilder`.
+//!
+//! Everything executes on the calling thread in deterministic order. The
+//! code written against it stays rayon-correct (atomics, CAS idioms,
+//! owner-computes partitioning are all preserved), so swapping the real
+//! work-stealing rayon back in is a one-line `Cargo.toml` change when a
+//! registry is reachable. `current_num_threads()` reports 1 so that
+//! granularity heuristics collapse to their sequential paths.
+
+/// The traits needed to call `.par_iter()` / `.into_par_iter()` and chain
+/// the usual adapters.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+    pub use crate::slice::ParallelSliceMut;
+}
+
+pub mod iter {
+    /// Sequential "parallel" iterator: a newtype over a standard iterator.
+    ///
+    /// Adapters are inherent methods so that rayon-specific signatures
+    /// (`reduce(identity, op)`, `flat_map_iter`, `find_any`) resolve ahead
+    /// of the `Iterator` methods of the same name.
+    pub struct ParIter<I>(pub(crate) I);
+
+    impl<I: Iterator> Iterator for ParIter<I> {
+        type Item = I::Item;
+        #[inline]
+        fn next(&mut self) -> Option<I::Item> {
+            self.0.next()
+        }
+        #[inline]
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            self.0.size_hint()
+        }
+    }
+
+    impl<I: Iterator> ParIter<I> {
+        #[inline]
+        pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+            ParIter(self.0.map(f))
+        }
+
+        #[inline]
+        pub fn filter<P: FnMut(&I::Item) -> bool>(self, p: P) -> ParIter<std::iter::Filter<I, P>> {
+            ParIter(self.0.filter(p))
+        }
+
+        #[inline]
+        pub fn filter_map<B, F: FnMut(I::Item) -> Option<B>>(
+            self,
+            f: F,
+        ) -> ParIter<std::iter::FilterMap<I, F>> {
+            ParIter(self.0.filter_map(f))
+        }
+
+        #[inline]
+        pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+            ParIter(self.0.enumerate())
+        }
+
+        #[inline]
+        pub fn zip<J: IntoIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::IntoIter>> {
+            ParIter(self.0.zip(other))
+        }
+
+        /// rayon's `flat_map_iter`: flat-map with a sequential inner iterator.
+        #[inline]
+        pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
+            self,
+            f: F,
+        ) -> ParIter<std::iter::FlatMap<I, U, F>> {
+            ParIter(self.0.flat_map(f))
+        }
+
+        #[inline]
+        pub fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+
+        #[inline]
+        pub fn with_max_len(self, _max: usize) -> Self {
+            self
+        }
+
+        #[inline]
+        pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+            self.0.for_each(f)
+        }
+
+        #[inline]
+        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+            self.0.collect()
+        }
+
+        #[inline]
+        pub fn count(self) -> usize {
+            self.0.count()
+        }
+
+        #[inline]
+        pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+            self.0.sum()
+        }
+
+        #[inline]
+        pub fn min(self) -> Option<I::Item>
+        where
+            I::Item: Ord,
+        {
+            self.0.min()
+        }
+
+        #[inline]
+        pub fn max(self) -> Option<I::Item>
+        where
+            I::Item: Ord,
+        {
+            self.0.max()
+        }
+
+        #[inline]
+        pub fn all<P: FnMut(I::Item) -> bool>(mut self, mut p: P) -> bool {
+            self.0.all(&mut p)
+        }
+
+        #[inline]
+        pub fn any<P: FnMut(I::Item) -> bool>(mut self, mut p: P) -> bool {
+            self.0.any(&mut p)
+        }
+
+        /// rayon's two-closure reduce: fold from `identity()` with `op`.
+        #[inline]
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            OP: Fn(I::Item, I::Item) -> I::Item,
+        {
+            self.0.fold(identity(), op)
+        }
+
+        /// rayon's `find_any`: any matching element (here: the first).
+        #[inline]
+        pub fn find_any<P: FnMut(&I::Item) -> bool>(mut self, mut p: P) -> Option<I::Item> {
+            self.0.find(&mut p)
+        }
+    }
+
+    /// Marker re-export so `use ... ParallelIterator` keeps compiling; the
+    /// adapters live on [`ParIter`] as inherent methods.
+    pub trait ParallelIterator {}
+    impl<I: Iterator> ParallelIterator for ParIter<I> {}
+
+    /// `.into_par_iter()` for owned collections and ranges.
+    pub trait IntoParallelIterator {
+        type SeqIter: Iterator;
+        fn into_par_iter(self) -> ParIter<Self::SeqIter>;
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {
+        type SeqIter = T::IntoIter;
+        #[inline]
+        fn into_par_iter(self) -> ParIter<T::IntoIter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    /// `.par_iter()` for `&self` of anything iterable by reference.
+    pub trait IntoParallelRefIterator<'a> {
+        type SeqIter: Iterator;
+        fn par_iter(&'a self) -> ParIter<Self::SeqIter>;
+    }
+
+    impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
+    where
+        &'a T: IntoIterator,
+    {
+        type SeqIter = <&'a T as IntoIterator>::IntoIter;
+        #[inline]
+        fn par_iter(&'a self) -> ParIter<Self::SeqIter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    /// `.par_iter_mut()` for `&mut self` of anything iterable by `&mut`.
+    pub trait IntoParallelRefMutIterator<'a> {
+        type SeqIter: Iterator;
+        fn par_iter_mut(&'a mut self) -> ParIter<Self::SeqIter>;
+    }
+
+    impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
+    where
+        &'a mut T: IntoIterator,
+    {
+        type SeqIter = <&'a mut T as IntoIterator>::IntoIter;
+        #[inline]
+        fn par_iter_mut(&'a mut self) -> ParIter<Self::SeqIter> {
+            ParIter(self.into_iter())
+        }
+    }
+}
+
+pub mod slice {
+    /// The sorting entry points of rayon's `ParallelSliceMut`.
+    pub trait ParallelSliceMut<T> {
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F);
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        #[inline]
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable()
+        }
+        #[inline]
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+            self.sort_unstable_by_key(f)
+        }
+        #[inline]
+        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F) {
+            self.sort_unstable_by(f)
+        }
+    }
+}
+
+std::thread_local! {
+    /// Logical pool size seen by the current thread; set by
+    /// [`ThreadPool::install`], 1 outside any pool.
+    static POOL_SIZE: std::cell::Cell<usize> = const { std::cell::Cell::new(1) };
+}
+
+/// Number of worker threads of the innermost installed pool. Execution is
+/// sequential regardless, but the configured size is reported so that
+/// granularity heuristics and thread-sweep harnesses observe it.
+#[inline]
+pub fn current_num_threads() -> usize {
+    POOL_SIZE.with(|s| s.get())
+}
+
+/// Index of the current worker thread within the pool.
+#[inline]
+pub fn current_thread_index() -> Option<usize> {
+    Some(0)
+}
+
+/// Runs both closures (sequentially) and returns both results.
+#[inline]
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Error type of [`ThreadPoolBuilder::build`]; never produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A pool handle; `install` runs the closure on the calling thread while
+/// reporting the configured thread count via [`current_num_threads`].
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_SIZE.with(|s| s.replace(self.num_threads));
+        let out = f();
+        POOL_SIZE.with(|s| s.set(prev));
+        out
+    }
+}
+
+/// Builder accepted for API compatibility.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads.max(1) })
+    }
+
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn par_iter_chains_match_sequential() {
+        let xs: Vec<u32> = (0..100).collect();
+        let sum: u64 = xs.par_iter().map(|&x| x as u64).sum();
+        assert_eq!(sum, 4950);
+        let evens: Vec<u32> = (0..20u32).into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens.len(), 10);
+        let r = (0..10u32).into_par_iter().map(|x| (x, x)).reduce(
+            || (0, 0),
+            |a, b| {
+                if b.1 > a.1 {
+                    b
+                } else {
+                    a
+                }
+            },
+        );
+        assert_eq!(r, (9, 9));
+    }
+
+    #[test]
+    fn par_iter_mut_writes() {
+        let mut xs = vec![0u32; 8];
+        xs.par_iter_mut().enumerate().for_each(|(i, slot)| *slot = i as u32);
+        assert_eq!(xs, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn sort_and_join() {
+        let mut xs = vec![3u32, 1, 2];
+        xs.par_sort_unstable_by_key(|&x| std::cmp::Reverse(x));
+        assert_eq!(xs, vec![3, 2, 1]);
+        let (a, b) = crate::join(|| 1, || 2);
+        assert_eq!(a + b, 3);
+    }
+}
