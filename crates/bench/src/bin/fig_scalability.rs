@@ -4,13 +4,16 @@
 //! count (1, 2, 4, … up to the host's logical cores). The paper's figure
 //! shows near-linear self-relative speedup to 40 cores with an extra
 //! bump from hyper-threading. On a single-core host this collapses to one
-//! column; the harness still runs every pool size requested so the
-//! machinery is exercised.
+//! column. If the parallel runtime turns out to be sequential (the
+//! vendored offline rayon stub, see `.cargo/config.toml`), every pool
+//! size would measure the same single-threaded run, so the sweep is
+//! collapsed to one honest T=1 column behind a loud warning instead of
+//! emitting fabricated speedups.
 
 use ligra_apps as apps;
 use ligra_bench::{fmt_secs, inputs, time_best, Scale};
 use ligra_graph::generators::random_weights;
-use ligra_parallel::utils::with_threads;
+use ligra_parallel::utils::{pool_is_parallel, with_threads};
 
 fn thread_counts() -> Vec<usize> {
     let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -26,7 +29,18 @@ fn thread_counts() -> Vec<usize> {
 
 fn main() {
     let scale = Scale::from_env();
-    let counts = thread_counts();
+    let mut counts = thread_counts();
+    let max_threads = *counts.last().unwrap();
+    let sequential_runtime = max_threads > 1 && !pool_is_parallel(max_threads);
+    if sequential_runtime {
+        eprintln!(
+            "WARNING: the rayon runtime is a sequential stub — every pool size runs \
+             single-threaded, so thread-scaling numbers would be meaningless. \
+             Reporting a single T=1 column instead. Build with the real rayon \
+             (`rm .cargo/config.toml Cargo.lock`, needs registry access) for Figure F4."
+        );
+        counts = vec![1];
+    }
     // The paper uses its rMat graph for the scalability plot.
     let suite = inputs(scale);
     let input = suite.into_iter().find(|i| i.name == "rMat").expect("rMat input");
@@ -97,6 +111,10 @@ fn main() {
             last = secs;
             print!(" {:>9}", fmt_secs(secs));
         }
-        println!(" {:>8.2}x", first / last);
+        if sequential_runtime {
+            println!(" {:>9}", "n/a");
+        } else {
+            println!(" {:>8.2}x", first / last);
+        }
     }
 }

@@ -107,6 +107,24 @@ pub fn to_csv(stats: &TraversalStats) -> String {
     out
 }
 
+/// Strips one optional pair of surrounding quotes from a scanned JSON
+/// token and rejects anything the flat closed-vocabulary schema never
+/// emits: interior or unbalanced quotes and backslash escapes. Splitting
+/// the line on `,`/`:` is only sound while those stay impossible inside
+/// values, so smuggling them in must be a parse error, not silent
+/// truncation.
+fn unquote(token: &str) -> Result<&str, String> {
+    let t = token.trim();
+    let inner = match t.strip_prefix('"') {
+        Some(rest) => rest.strip_suffix('"').ok_or_else(|| format!("{t:?}: unbalanced quotes"))?,
+        None => t,
+    };
+    if inner.contains('"') || inner.contains('\\') {
+        return Err(format!("{t:?}: quotes/escapes are not part of the trace schema"));
+    }
+    Ok(inner)
+}
+
 /// One parsed `key -> raw value` record from either format.
 struct Record<'a> {
     fields: Vec<(&'a str, &'a str)>,
@@ -177,8 +195,8 @@ pub fn from_json_lines(text: &str) -> Result<TraversalStats, String> {
             let (k, v) = pair
                 .split_once(':')
                 .ok_or_else(|| format!("line {}: malformed pair {pair:?}", lineno + 1))?;
-            let k = k.trim().trim_matches('"');
-            let v = v.trim().trim_matches('"');
+            let k = unquote(k).map_err(|e| format!("line {}: key {e}", lineno + 1))?;
+            let v = unquote(v).map_err(|e| format!("line {}: value {e}", lineno + 1))?;
             fields.push((k, v));
         }
         let rec = Record { fields };
@@ -396,6 +414,43 @@ mod tests {
         let mut csv = to_csv(&t);
         csv.push_str("1,2,3\n");
         assert!(from_csv(&csv).is_err(), "short row");
+    }
+
+    #[test]
+    fn json_parser_rejects_quotes_and_escapes_in_values() {
+        let good = to_json_lines(&sample_trace());
+        // Interior quote, backslash escape, and unbalanced quote must all be
+        // hard errors, never silently trimmed into a different value.
+        for (from, to) in [
+            ("\"sparse\"", "\"spa\"rse\""),
+            ("\"sparse\"", "\"spa\\u0022rse\""),
+            ("\"sparse\"", "\"sparse"),
+        ] {
+            let bad = good.replacen(from, to, 1);
+            assert_ne!(bad, good, "mutation {to:?} did not apply");
+            assert!(from_json_lines(&bad).is_err(), "accepted {to:?}");
+        }
+    }
+
+    #[test]
+    fn string_fields_stay_closed_vocabulary() {
+        // The exact-scanner parsers split on ',' and ':' and forbid '"' and
+        // '\\' inside values, so every string the serializers can emit must
+        // avoid those four characters. This pins the schema: adding an enum
+        // variant (or a new string column) whose rendering breaks the
+        // invariant must fail here, not mis-parse downstream.
+        let ops = [Op::EdgeMap, Op::VertexMap, Op::VertexFilter];
+        let modes = [Mode::Sparse, Mode::Dense, Mode::DenseForward];
+        let reprs = [ReprKind::Sparse, ReprKind::Dense];
+        let rendered: Vec<String> = ops
+            .iter()
+            .map(ToString::to_string)
+            .chain(modes.iter().map(ToString::to_string))
+            .chain(reprs.iter().map(ToString::to_string))
+            .collect();
+        for s in &rendered {
+            assert!(!s.contains([',', ':', '"', '\\']), "{s:?} would break the flat trace format");
+        }
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! Property-based tests for the framework core: on arbitrary graphs and
 //! frontiers, all three traversals of `edgeMap` must compute the same
 //! relation, and `vertexSubset` conversions must be lossless.
+//!
+//! Coverage caveat: when the workspace is built with the offline vendored
+//! proptest stand-in (`.cargo/config.toml` patch, registry-less sandboxes
+//! only), cases come from a fixed name-derived seed, failures are not
+//! shrunk, and the explored input space is smaller than real proptest's.
+//! CI strips the patch and runs these same tests under real proptest.
 
 use ligra::{
     edge_fn, edge_map_with, vertex_filter, vertex_map, EdgeMapOptions, Traversal, VertexSubset,

@@ -1,5 +1,11 @@
 //! Robustness of the AdjacencyGraph parser: arbitrary and corrupted
 //! inputs must produce `Err`, never a panic or an invalid graph.
+//!
+//! Coverage caveat: when the workspace is built with the offline vendored
+//! proptest stand-in (`.cargo/config.toml` patch, registry-less sandboxes
+//! only), cases come from a fixed name-derived seed, failures are not
+//! shrunk, and the explored input space is smaller than real proptest's.
+//! CI strips the patch and runs these same tests under real proptest.
 
 use ligra_graph::io::{read_adjacency_graph, write_adjacency_graph};
 use ligra_graph::{build_graph, BuildOptions};

@@ -1,5 +1,11 @@
 //! Property-based tests for the graph substrate: the builder, transpose,
 //! I/O and generators must uphold CSR invariants on arbitrary edge lists.
+//!
+//! Coverage caveat: when the workspace is built with the offline vendored
+//! proptest stand-in (`.cargo/config.toml` patch, registry-less sandboxes
+//! only), cases come from a fixed name-derived seed, failures are not
+//! shrunk, and the explored input space is smaller than real proptest's.
+//! CI strips the patch and runs these same tests under real proptest.
 
 use ligra_graph::csr::transpose;
 use ligra_graph::io::{read_adjacency_graph, write_adjacency_graph};

@@ -1,6 +1,12 @@
 //! Property-based tests for the parallel-primitives substrate: every
 //! primitive must agree with its obvious sequential specification on
 //! arbitrary inputs.
+//!
+//! Coverage caveat: when the workspace is built with the offline vendored
+//! proptest stand-in (`.cargo/config.toml` patch, registry-less sandboxes
+//! only), cases come from a fixed name-derived seed, failures are not
+//! shrunk, and the explored input space is smaller than real proptest's.
+//! CI strips the patch and runs these same tests under real proptest.
 
 use ligra_parallel::atomics::{as_atomic_u32, write_min_u32};
 use ligra_parallel::bitvec::AtomicBitVec;
