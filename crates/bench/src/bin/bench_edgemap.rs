@@ -1,0 +1,161 @@
+//! **Memory-traffic microbench** — per-round `edgeMap` cost under each
+//! traversal policy, with the bytes of frontier representation each round
+//! streamed (the `frontier_bytes` telemetry column).
+//!
+//! A BFS round sweep over the paper's rMat input, once per policy
+//! (hybrid, sparse-only, dense-only, dense-forward-only). For every
+//! recorded round the binary re-checks the representation contract:
+//! sparse push rounds report exactly `4 * (|U| + |output|)` bytes (the
+//! output vector is exact-size — no sentinel slots), dense rounds report
+//! the packed `n/8`-byte bitset once in and once out. Per-mode medians
+//! and totals go to stdout and to a machine-readable JSON file
+//! (`BENCH_edgemap.json` by default) for CI artifact upload.
+//!
+//! Usage: `bench_edgemap [--quick] [--out PATH]`
+
+use ligra::stats::{Mode, Op};
+use ligra::{EdgeMapOptions, Traversal, TraversalStats};
+use ligra_apps as apps;
+use ligra_graph::generators::rmat;
+use ligra_graph::generators::rmat::RmatOptions;
+
+const POLICIES: [(&str, Traversal); 4] = [
+    ("hybrid", Traversal::Auto),
+    ("sparse-only", Traversal::Sparse),
+    ("dense-only", Traversal::Dense),
+    ("dense-fwd", Traversal::DenseForward),
+];
+
+struct ModeRow {
+    policy: &'static str,
+    rounds: usize,
+    median_round_ns: u64,
+    total_edge_map_ns: u64,
+    frontier_bytes: u64,
+    edges_scanned: u64,
+}
+
+fn median(mut xs: Vec<u64>) -> u64 {
+    if xs.is_empty() {
+        return 0;
+    }
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+/// One traced BFS sweep under `t`; verifies the frontier-bytes contract
+/// of every recorded round and reduces the trace to a summary row.
+fn sweep(g: &ligra_graph::Graph, source: u32, policy: &'static str, t: Traversal) -> ModeRow {
+    let packed = (g.num_vertices() as u64).div_ceil(64) * 8;
+    let mut stats = TraversalStats::new();
+    let _ = apps::bfs_traced(g, source, EdgeMapOptions::new().traversal(t), &mut stats);
+
+    let rounds: Vec<_> = stats.rounds.iter().filter(|r| r.op == Op::EdgeMap).collect();
+    for r in &rounds {
+        if r.frontier_vertices == 0 {
+            assert_eq!(r.frontier_bytes, 0);
+            continue;
+        }
+        match r.mode {
+            // Exact-size push output: 4 bytes per input and output vertex,
+            // nothing for dropped or duplicate edges.
+            Mode::Sparse => {
+                assert_eq!(r.frontier_bytes, 4 * (r.frontier_vertices + r.output_vertices))
+            }
+            // Packed bitset streamed in and (BFS keeps output on) out.
+            Mode::Dense | Mode::DenseForward => assert_eq!(r.frontier_bytes, 2 * packed),
+        }
+    }
+
+    ModeRow {
+        policy,
+        rounds: rounds.len(),
+        median_round_ns: median(rounds.iter().map(|r| r.time_ns).collect()),
+        total_edge_map_ns: rounds.iter().map(|r| r.time_ns).sum(),
+        frontier_bytes: rounds.iter().map(|r| r.frontier_bytes).sum(),
+        edges_scanned: rounds.iter().map(|r| r.edges_scanned).sum(),
+    }
+}
+
+fn to_json(log_n: u32, g: &ligra_graph::Graph, quick: bool, rows: &[ModeRow]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"graph\": {{\"family\": \"rmat-paper\", \"log_n\": {}, \"vertices\": {}, \"edges\": {}}},\n",
+        log_n,
+        g.num_vertices(),
+        g.num_edges()
+    ));
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"threads\": {},\n", ligra_parallel::utils::num_threads()));
+    s.push_str("  \"modes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"rounds\": {}, \"median_round_ns\": {}, \
+             \"total_edge_map_ns\": {}, \"frontier_bytes\": {}, \"edges_scanned\": {}}}{}\n",
+            r.policy,
+            r.rounds,
+            r.median_round_ns,
+            r.total_edge_map_ns,
+            r.frontier_bytes,
+            r.edges_scanned,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_edgemap.json".to_string());
+
+    // Quick mode: ~2^20 edges (CI smoke). Full mode: the paper-shaped
+    // rMat at 2^20 vertices.
+    let log_n = if quick { 16 } else { 20 };
+    let g = rmat(&RmatOptions::paper(log_n));
+    println!(
+        "bench_edgemap: rMat log_n={} ({} vertices, {} edges), quick={}",
+        log_n,
+        g.num_vertices(),
+        g.num_edges(),
+        quick
+    );
+    println!(
+        "{:<12} {:>7} {:>16} {:>16} {:>16} {:>14}",
+        "policy",
+        "rounds",
+        "median round ns",
+        "edgeMap total ns",
+        "frontier bytes",
+        "edges scanned"
+    );
+
+    let mut rows = Vec::new();
+    for (name, t) in POLICIES {
+        // Warm the traversal (page-in, pool spin-up) before the recorded run.
+        let _ = apps::bfs_with(&g, 0, EdgeMapOptions::new().traversal(t));
+        let row = sweep(&g, 0, name, t);
+        println!(
+            "{:<12} {:>7} {:>16} {:>16} {:>16} {:>14}",
+            row.policy,
+            row.rounds,
+            row.median_round_ns,
+            row.total_edge_map_ns,
+            row.frontier_bytes,
+            row.edges_scanned
+        );
+        rows.push(row);
+    }
+
+    let json = to_json(log_n, &g, quick, &rows);
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("\nwrote {out_path}");
+    println!("contract checked: sparse rounds = 4*(|U|+|out|) bytes, dense rounds = 2*(n/8) bytes");
+}

@@ -14,6 +14,7 @@
 
 use crate::cgraph::CompressedGraph;
 use crate::codec::Codec;
+use ligra::edge_map::EDGE_BLOCK;
 use ligra::options::{EdgeMapOptions, Traversal};
 use ligra::stats::{
     EdgeCounters, Mode, NoopRecorder, Recorder, ReprKind, RoundStat, TraversalStats,
@@ -21,15 +22,12 @@ use ligra::stats::{
 use ligra::traits::EdgeMapFn;
 use ligra::vertex_subset::VertexSubset;
 use ligra_graph::VertexId;
-use ligra_parallel::atomics::{as_atomic_bool, as_atomic_u32};
-use ligra_parallel::bitvec::AtomicBitVec;
-use ligra_parallel::pack::filter;
+use ligra_parallel::bitvec::{AtomicBitVec, BitSet};
 use ligra_parallel::scan::prefix_sums;
+use ligra_parallel::utils::SendPtr;
 use rayon::prelude::*;
 use std::sync::atomic::Ordering;
 use std::time::Instant;
-
-const NONE_SLOT: u32 = u32::MAX;
 
 /// `edgeMap` over a compressed graph with default options.
 pub fn edge_map<C: Codec, F: EdgeMapFn<()>>(
@@ -94,12 +92,19 @@ fn edge_map_impl<C: Codec, F: EdgeMapFn<()>, R: Recorder>(
         0
     } else if let Some(vs) = frontier.sparse() {
         g.out_degree_sum(vs)
-    } else if let Some(flags) = frontier.dense() {
-        flags
+    } else if let Some(bits) = frontier.dense() {
+        bits.words()
             .par_iter()
             .enumerate()
-            .filter(|&(_, &b)| b)
-            .map(|(v, _)| g.out_degree(v as VertexId) as u64)
+            .map(|(wi, &w0)| {
+                let mut sum = 0u64;
+                let mut w = w0;
+                while w != 0 {
+                    sum += g.out_degree((wi * 64) as u32 + w.trailing_zeros()) as u64;
+                    w &= w - 1;
+                }
+                sum
+            })
             .sum()
     } else {
         unreachable!()
@@ -129,14 +134,28 @@ fn edge_map_impl<C: Codec, F: EdgeMapFn<()>, R: Recorder>(
     } else {
         match mode {
             Mode::Sparse => sparse(g, frontier.as_slice(), f, opts.deduplicate, opts.output, c),
-            Mode::Dense => dense(g, frontier.as_bools(), f, opts.output, c),
-            Mode::DenseForward => dense_forward(g, frontier.as_bools(), f, opts.output, c),
+            Mode::Dense => dense(g, frontier.as_bits(), f, opts.output, c),
+            Mode::DenseForward => dense_forward(g, frontier.as_bits(), f, opts.output, c),
         }
     };
 
     if tracing {
         let wants_sparse = mode == Mode::Sparse;
         let converted = !frontier.is_empty() && wants_sparse != input_sparse;
+        // Same accounting as the uncompressed path: sparse push streams 4
+        // bytes per frontier entry and output vertex; dense modes stream
+        // the packed bitset each way.
+        let frontier_bytes = if frontier.is_empty() {
+            0
+        } else {
+            match mode {
+                Mode::Sparse => 4 * (frontier_vertices + result.len() as u64),
+                Mode::Dense | Mode::DenseForward => {
+                    let words = (n.div_ceil(64) * 8) as u64;
+                    words + if opts.output { words } else { 0 }
+                }
+            }
+        };
         rec.record(RoundStat {
             op: ligra::stats::Op::EdgeMap,
             frontier_vertices,
@@ -149,6 +168,7 @@ fn edge_map_impl<C: Codec, F: EdgeMapFn<()>, R: Recorder>(
             output_repr: if result.is_sparse() { ReprKind::Sparse } else { ReprKind::Dense },
             converted,
             output_vertices: result.len() as u64,
+            frontier_bytes,
             time_ns: start.map_or(0, |t| t.elapsed().as_nanos() as u64),
             cas_attempts: c.map_or(0, |c| c.cas_attempts.sum()),
             cas_wins: c.map_or(0, |c| c.cas_wins.sum()),
@@ -168,90 +188,129 @@ fn sparse<C: Codec, F: EdgeMapFn<()>>(
     counters: Option<&EdgeCounters>,
 ) -> VertexSubset {
     let n = g.num_vertices();
-    if !output {
-        vs.par_iter().for_each(|&u| {
-            if let Some(c) = counters {
-                c.edges_scanned.add(g.out_degree(u) as u64);
-            }
-            for v in g.out_neighbors(u) {
-                if f.cond(v) {
-                    let won = f.update_atomic(u, v, ());
-                    if let Some(c) = counters {
-                        c.cas_attempts.incr();
-                        if won {
-                            c.cas_wins.incr();
-                        }
-                    }
-                }
-            }
-        });
+    let degrees: Vec<u64> = vs.par_iter().map(|&u| g.out_degree(u) as u64).collect();
+    let (offsets, total) = prefix_sums(&degrees);
+    let total = total as usize;
+    if total == 0 {
         return VertexSubset::empty(n);
     }
 
-    let degrees: Vec<u64> = vs.par_iter().map(|&u| g.out_degree(u) as u64).collect();
-    let (offsets, total) = prefix_sums(&degrees);
-    let mut out = vec![NONE_SLOT; total as usize];
-    {
-        let aout = as_atomic_u32(&mut out);
-        vs.par_iter().enumerate().for_each(|(i, &u)| {
-            let base = offsets[i] as usize;
-            if let Some(c) = counters {
-                c.edges_scanned.add(g.out_degree(u) as u64);
-            }
-            for (j, v) in g.out_neighbors(u).enumerate() {
-                if f.cond(v) {
-                    let won = f.update_atomic(u, v, ());
-                    if let Some(c) = counters {
-                        c.cas_attempts.incr();
-                        if won {
-                            c.cas_wins.incr();
+    let seen = (deduplicate && output).then(|| AtomicBitVec::new(n));
+
+    // Chunked compaction as in `ligra::edge_map`, but at vertex granularity:
+    // a decoder cannot be seeked into the middle of a neighbor stream, so
+    // block `b` owns the sources whose runs *start* inside its edge range
+    // [b*EDGE_BLOCK, ...) and walks each of them to the end. Winners go to a
+    // block-local buffer; no sentinel slots, no global filter pass.
+    let nblocks = total.div_ceil(EDGE_BLOCK);
+    let buffers: Vec<Vec<u32>> = (0..nblocks)
+        .into_par_iter()
+        .map(|b| {
+            let lo = (b * EDGE_BLOCK) as u64;
+            let hi = (((b + 1) * EDGE_BLOCK).min(total)) as u64;
+            let i0 = offsets.partition_point(|&o| o < lo);
+            let i1 = offsets.partition_point(|&o| o < hi);
+            let cap = offsets.get(i1).copied().unwrap_or(total as u64)
+                - offsets.get(i0).copied().unwrap_or(total as u64);
+            let mut buf: Vec<u32> =
+                if output { Vec::with_capacity(cap as usize) } else { Vec::new() };
+            let mut scanned = 0u64;
+            for &u in &vs[i0..i1] {
+                scanned += g.out_degree(u) as u64;
+                for v in g.out_neighbors(u) {
+                    if f.cond(v) {
+                        let won = f.update_atomic(u, v, ());
+                        if let Some(c) = counters {
+                            c.cas_attempts.incr();
+                            if won {
+                                c.cas_wins.incr();
+                            }
                         }
-                    }
-                    if won {
-                        aout[base + j].store(v, Ordering::Relaxed);
+                        if won && output && seen.as_ref().is_none_or(|s| s.set(v as usize)) {
+                            buf.push(v);
+                        }
                     }
                 }
             }
+            if let Some(c) = counters {
+                c.edges_scanned.add(scanned);
+            }
+            buf
+        })
+        .collect();
+
+    if !output {
+        return VertexSubset::empty(n);
+    }
+
+    // Prefix-sum stitch: one copy of each winner into an exact-size vector.
+    let mut starts: Vec<usize> = buffers.iter().map(Vec::len).collect();
+    let mut acc = 0usize;
+    for s in starts.iter_mut() {
+        let next = acc + *s;
+        *s = acc;
+        acc = next;
+    }
+    let mut next: Vec<u32> = Vec::with_capacity(acc);
+    {
+        let spare = next.spare_capacity_mut();
+        let ptr = SendPtr(spare.as_mut_ptr().cast::<u32>());
+        buffers.par_iter().enumerate().for_each(|(b, buf)| {
+            let p = ptr;
+            // SAFETY: scan offsets are disjoint across blocks and their sum
+            // equals the reserved capacity.
+            unsafe { std::ptr::copy_nonoverlapping(buf.as_ptr(), p.0.add(starts[b]), buf.len()) };
         });
     }
-    let mut next = filter(&out, |&x| x != NONE_SLOT);
-    if deduplicate && !next.is_empty() {
-        let seen = AtomicBitVec::new(n);
-        next = filter(&next, |&v| seen.set(v as usize));
-    }
+    // SAFETY: exactly `acc` slots were initialized.
+    unsafe { next.set_len(acc) };
     VertexSubset::from_sparse(n, next)
 }
 
 fn dense<C: Codec, F: EdgeMapFn<()>>(
     g: &CompressedGraph<C>,
-    flags: &[bool],
+    bits: &BitSet,
     f: &F,
     output: bool,
     counters: Option<&EdgeCounters>,
 ) -> VertexSubset {
     let n = g.num_vertices();
-    let mut next = vec![false; n];
-    next.par_iter_mut().enumerate().for_each(|(v, slot)| {
-        let v = v as VertexId;
-        let mut scanned = 0u64;
-        if f.cond(v) {
-            for u in g.in_neighbors(v) {
-                scanned += 1;
-                if flags[u as usize] && f.update(u, v, ()) && output {
-                    *slot = true;
+    debug_assert_eq!(bits.len(), n);
+    let nwords = bits.words().len();
+    let words: Vec<u64> = (0..nwords)
+        .into_par_iter()
+        .map(|wi| {
+            let lo = wi * 64;
+            let hi = (lo + 64).min(n);
+            let mut out_w = 0u64;
+            let mut scanned_w = 0u64;
+            let mut skipped_w = 0u64;
+            for v in lo..hi {
+                let vid = v as VertexId;
+                let mut scanned = 0u64;
+                if f.cond(vid) {
+                    for u in g.in_neighbors(vid) {
+                        scanned += 1;
+                        if bits.get(u as usize) && f.update(u, vid, ()) && output {
+                            out_w |= 1u64 << (v - lo);
+                        }
+                        if !f.cond(vid) {
+                            break;
+                        }
+                    }
                 }
-                if !f.cond(v) {
-                    break;
-                }
+                scanned_w += scanned;
+                skipped_w += g.in_degree(vid) as u64 - scanned;
             }
-        }
-        if let Some(c) = counters {
-            c.edges_scanned.add(scanned);
-            c.edges_skipped.add(g.in_degree(v) as u64 - scanned);
-        }
-    });
+            if let Some(c) = counters {
+                c.edges_scanned.add(scanned_w);
+                c.edges_skipped.add(skipped_w);
+            }
+            out_w
+        })
+        .collect();
     if output {
-        VertexSubset::from_dense(n, next)
+        VertexSubset::from_bitset(n, BitSet::from_words(words, n))
     } else {
         VertexSubset::empty(n)
     }
@@ -259,18 +318,24 @@ fn dense<C: Codec, F: EdgeMapFn<()>>(
 
 fn dense_forward<C: Codec, F: EdgeMapFn<()>>(
     g: &CompressedGraph<C>,
-    flags: &[bool],
+    bits: &BitSet,
     f: &F,
     output: bool,
     counters: Option<&EdgeCounters>,
 ) -> VertexSubset {
     let n = g.num_vertices();
-    let mut next = vec![false; n];
+    debug_assert_eq!(bits.len(), n);
+    let mut next = BitSet::new(n);
     {
-        let anext = as_atomic_bool(&mut next);
-        (0..n).into_par_iter().for_each(|u| {
-            if flags[u] {
-                let u = u as VertexId;
+        let anext = next.as_atomic();
+        bits.words().par_iter().enumerate().for_each(|(wi, &w0)| {
+            if w0 == 0 {
+                return;
+            }
+            let mut w = w0;
+            while w != 0 {
+                let u = (wi * 64) as u32 + w.trailing_zeros();
+                w &= w - 1;
                 if let Some(c) = counters {
                     c.edges_scanned.add(g.out_degree(u) as u64);
                 }
@@ -284,7 +349,7 @@ fn dense_forward<C: Codec, F: EdgeMapFn<()>>(
                             }
                         }
                         if won && output {
-                            anext[v as usize].store(true, Ordering::Relaxed);
+                            anext[(v >> 6) as usize].fetch_or(1u64 << (v & 63), Ordering::Relaxed);
                         }
                     }
                 }
@@ -292,7 +357,7 @@ fn dense_forward<C: Codec, F: EdgeMapFn<()>>(
         });
     }
     if output {
-        VertexSubset::from_dense(n, next)
+        VertexSubset::from_bitset(n, next)
     } else {
         VertexSubset::empty(n)
     }

@@ -5,29 +5,37 @@
 //! `C(v)`, returning the subset of targets for which `F` returned `true`.
 //! Three concrete traversals implement it:
 //!
-//! * [`edge_map_sparse`] (push): parallel over the frontier's vertices,
-//!   writing winners into a scan-allocated output array. O(|U| + Σ deg⁺(u))
-//!   work — cheap for small frontiers.
+//! * [`edge_map_sparse`] (push): the frontier's out-edge range is split into
+//!   fixed-size blocks of [`EDGE_BLOCK`] edges (Ligra's granular
+//!   parallel_for), so skewed degree distributions load-balance without
+//!   per-edge task overhead. Each block writes the targets it claims into a
+//!   local buffer; a prefix-sum stitch then copies the buffers into an
+//!   exact-size output — no sentinel-filled `Σ deg⁺(u)` array, no second
+//!   full-array compaction pass, and deduplication folds into the same walk.
 //! * [`edge_map_dense`] (pull): parallel over *all* vertices, scanning each
 //!   unclaimed target's in-edges sequentially with an early exit as soon as
 //!   `cond` turns false. O(n + m) worst case, but for huge frontiers the
 //!   early exit reads only a small fraction of edges, and no atomics are
-//!   needed because each target has one owner thread.
+//!   needed because each target has one owner thread. The frontier is the
+//!   packed [`BitSet`]: one bit per source vertex read, and each task owns
+//!   one 64-bit word of the output.
 //! * [`edge_map_dense_forward`] (push over dense frontier): the paper's
 //!   write-based dense variant — walks every frontier vertex's out-edges,
-//!   needing no transpose but atomic updates and no early exit.
+//!   needing no transpose but atomic updates and no early exit. Zero words
+//!   of the frontier bitset skip 64 non-members with a single load.
 //!
 //! The direction heuristic (the paper's `|U| + Σ deg⁺(u) > m/20`) picks
 //! pull for large frontiers and push for small ones, generalizing Beamer
 //! et al.'s direction-optimizing BFS to every frontier algorithm.
 //!
 //! Every round can be observed through a [`Recorder`]: when the recorder is
-//! enabled, the round is timed, the heuristic's inputs are captured, and the
-//! traversals count atomic-update attempts/wins (push modes) and in-edges
-//! scanned vs. skipped by the early exit (pull mode) into striped
-//! [`EdgeCounters`]. When disabled (the [`NoopRecorder`] default), none of
-//! that work happens — not even the O(|U|) frontier-degree pass, if the
-//! traversal direction is forced and the heuristic doesn't need it.
+//! enabled, the round is timed, the heuristic's inputs are captured, the
+//! frontier bytes the traversal streams are reported, and the traversals
+//! count atomic-update attempts/wins (push modes) and in-edges scanned vs.
+//! skipped by the early exit (pull mode) into striped [`EdgeCounters`].
+//! When disabled (the [`NoopRecorder`] default), none of that work happens —
+//! not even the O(|U|) frontier-degree pass, if the traversal direction is
+//! forced and the heuristic doesn't need it.
 
 use crate::options::{EdgeMapOptions, Traversal};
 use crate::stats::{
@@ -36,21 +44,21 @@ use crate::stats::{
 use crate::traits::EdgeMapFn;
 use crate::vertex_subset::VertexSubset;
 use ligra_graph::{Graph, VertexId};
-use ligra_parallel::atomics::{as_atomic_bool, as_atomic_u32};
-use ligra_parallel::bitvec::AtomicBitVec;
-use ligra_parallel::pack::filter;
+use ligra_parallel::bitvec::{AtomicBitVec, BitSet};
 use ligra_parallel::scan::prefix_sums;
+use ligra_parallel::utils::SendPtr;
 use rayon::prelude::*;
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 
-/// Sentinel marking an empty slot in the sparse output array.
-const NONE_SLOT: u32 = u32::MAX;
-
-/// Out-degree above which a single frontier vertex's edges are processed
-/// with nested parallelism (power-law hubs would otherwise serialize a
-/// whole round on one thread).
-const HUB_DEGREE: usize = 1 << 13;
+/// Edges per block of the edge-balanced sparse/hub traversals.
+///
+/// The push traversal splits the frontier's edge range `0..Σ deg⁺(u)` into
+/// blocks of this many edges and hands each block to one task: a power-law
+/// hub contributes to many blocks instead of serializing a round on one
+/// thread, and a run of low-degree vertices shares one block instead of
+/// paying per-vertex task overhead.
+pub const EDGE_BLOCK: usize = 1 << 12;
 
 /// Edge weight for position `j` of a weight slice; `()` graphs carry no
 /// weight memory, so zero-sized `W` short-circuits to the default.
@@ -175,18 +183,34 @@ where
                 let vs = frontier.as_slice();
                 sparse_impl(g, vs, f, opts.deduplicate, opts.output, c)
             }
-            Mode::Dense => dense_impl(g, frontier.as_bools(), f, opts.output, c),
-            Mode::DenseForward => dense_forward_impl(g, frontier.as_bools(), f, opts.output, c),
+            Mode::Dense => dense_impl(g, frontier.as_bits(), f, opts.output, c),
+            Mode::DenseForward => dense_forward_impl(g, frontier.as_bits(), f, opts.output, c),
         }
     };
 
     if tracing {
         // The chosen traversal needs sparse input iff it is the push mode;
         // a mismatch with the entry representation means `as_slice` /
-        // `as_bools` converted the frontier above (empty frontiers take
+        // `as_bits` converted the frontier above (empty frontiers take
         // neither path).
         let wants_sparse = mode == Mode::Sparse;
         let converted = !frontier.is_empty() && wants_sparse != input_sparse;
+        // Frontier bytes the traversal streamed: the input representation it
+        // consumed plus the output it produced. Sparse push reads 4 bytes
+        // per frontier entry and writes exactly 4 per claimed target (the
+        // chunked compaction allocates no sentinel slots); the dense modes
+        // stream the packed n/8-byte bitset each way.
+        let frontier_bytes = if frontier.is_empty() {
+            0
+        } else {
+            match mode {
+                Mode::Sparse => 4 * (frontier_vertices + result.len() as u64),
+                Mode::Dense | Mode::DenseForward => {
+                    let words = (n.div_ceil(64) * 8) as u64;
+                    words + if opts.output { words } else { 0 }
+                }
+            }
+        };
         rec.record(RoundStat {
             op: crate::stats::Op::EdgeMap,
             frontier_vertices,
@@ -199,6 +223,7 @@ where
             output_repr: if result.is_sparse() { ReprKind::Sparse } else { ReprKind::Dense },
             converted,
             output_vertices: result.len() as u64,
+            frontier_bytes,
             time_ns: start.map_or(0, |t| t.elapsed().as_nanos() as u64),
             cas_attempts: c.map_or(0, |c| c.cas_attempts.sum()),
             cas_wins: c.map_or(0, |c| c.cas_wins.sum()),
@@ -210,16 +235,25 @@ where
 }
 
 /// `|U|`'s incident out-edge count, from whichever representation the
-/// frontier currently has (no conversion).
+/// frontier currently has (no conversion). The dense pass decodes the
+/// bitset word-at-a-time, skipping 64 non-members per zero word.
 fn frontier_degree_sum<W: Copy + Send + Sync>(g: &Graph<W>, frontier: &VertexSubset) -> u64 {
     if let Some(vs) = frontier.sparse() {
         g.out_degree_sum(vs)
-    } else if let Some(flags) = frontier.dense() {
-        flags
+    } else if let Some(bits) = frontier.dense() {
+        bits.words()
             .par_iter()
             .enumerate()
-            .filter(|&(_, &b)| b)
-            .map(|(v, _)| g.out_degree(v as VertexId) as u64)
+            .map(|(wi, &w0)| {
+                let mut sum = 0u64;
+                let mut w = w0;
+                while w != 0 {
+                    let v = (wi * 64) as u32 + w.trailing_zeros();
+                    w &= w - 1;
+                    sum += g.out_degree(v) as u64;
+                }
+                sum
+            })
             .sum()
     } else {
         unreachable!()
@@ -255,94 +289,114 @@ where
     F: EdgeMapFn<W>,
 {
     let n = g.num_vertices();
-    if !output {
-        // Side-effect-only pass: no scan, no output array.
-        vs.par_iter().for_each(|&u| {
-            let ns = g.out_neighbors(u);
-            let ws = g.out_weights(u);
-            let body = |j: usize| {
-                let v = ns[j];
-                if f.cond(v) {
-                    let won = f.update_atomic(u, v, wt(ws, j));
-                    if let Some(c) = counters {
-                        c.cas_attempts.incr();
-                        if won {
-                            c.cas_wins.incr();
-                        }
-                    }
-                }
-            };
-            if let Some(c) = counters {
-                c.edges_scanned.add(ns.len() as u64);
-            }
-            if ns.len() >= HUB_DEGREE {
-                (0..ns.len()).into_par_iter().for_each(body);
-            } else {
-                (0..ns.len()).for_each(body);
-            }
-        });
+    // Offsets of each source's run within the frontier's edge range.
+    let degrees: Vec<u64> = vs.par_iter().map(|&u| g.out_degree(u) as u64).collect();
+    let (offsets, total) = prefix_sums(&degrees);
+    let total = total as usize;
+    if total == 0 {
         return VertexSubset::empty(n);
     }
 
-    // Offsets of each source's slice of the output array.
-    let degrees: Vec<u64> = vs.par_iter().map(|&u| g.out_degree(u) as u64).collect();
-    let (offsets, total) = prefix_sums(&degrees);
+    // Deduplication folds into the walk: the first claim of a target wins a
+    // bit in `seen` and enters its block's buffer; later claims are dropped
+    // at the source instead of in a second pass over the output.
+    let seen = (deduplicate && output).then(|| AtomicBitVec::new(n));
 
-    let mut out: Vec<u32> = vec![NONE_SLOT; total as usize];
-    {
-        let aout = as_atomic_u32(&mut out);
-        vs.par_iter().enumerate().for_each(|(i, &u)| {
-            let base = offsets[i] as usize;
-            let ns = g.out_neighbors(u);
-            let ws = g.out_weights(u);
-            let body = |j: usize| {
-                let v = ns[j];
-                if f.cond(v) {
-                    let won = f.update_atomic(u, v, wt(ws, j));
-                    if let Some(c) = counters {
-                        c.cas_attempts.incr();
-                        if won {
-                            c.cas_wins.incr();
+    // Edge-balanced blocks: block `b` owns edges [b*EDGE_BLOCK, ...) of the
+    // frontier's concatenated edge range, locating its first source by
+    // binary search on the offsets (offsets[0] == 0, so the partition point
+    // is never 0). Winners go to a block-local buffer; no shared output
+    // array, no sentinels.
+    let nblocks = total.div_ceil(EDGE_BLOCK);
+    let buffers: Vec<Vec<u32>> = (0..nblocks)
+        .into_par_iter()
+        .map(|b| {
+            let lo = (b * EDGE_BLOCK) as u64;
+            let hi = (((b + 1) * EDGE_BLOCK).min(total)) as u64;
+            let mut i = offsets.partition_point(|&o| o <= lo) - 1;
+            let mut buf: Vec<u32> =
+                if output { Vec::with_capacity((hi - lo) as usize) } else { Vec::new() };
+            let mut scanned = 0u64;
+            while i < vs.len() {
+                let base = offsets[i];
+                if base >= hi {
+                    break;
+                }
+                let u = vs[i];
+                let ns = g.out_neighbors(u);
+                let ws = g.out_weights(u);
+                // This block's sub-range of u's edges (empty for the
+                // zero-degree sources sharing an offset).
+                let j0 = lo.saturating_sub(base) as usize;
+                let j1 = ns.len().min((hi - base) as usize);
+                for (j, &v) in ns.iter().enumerate().take(j1).skip(j0) {
+                    if f.cond(v) {
+                        let won = f.update_atomic(u, v, wt(ws, j));
+                        if let Some(c) = counters {
+                            c.cas_attempts.incr();
+                            if won {
+                                c.cas_wins.incr();
+                            }
+                        }
+                        if won && output && seen.as_ref().is_none_or(|s| s.set(v as usize)) {
+                            buf.push(v);
                         }
                     }
-                    if won {
-                        aout[base + j].store(v, Ordering::Relaxed);
-                    }
                 }
-            };
+                scanned += (j1 - j0) as u64;
+                i += 1;
+            }
             if let Some(c) = counters {
-                c.edges_scanned.add(ns.len() as u64);
+                c.edges_scanned.add(scanned);
             }
-            if ns.len() >= HUB_DEGREE {
-                (0..ns.len()).into_par_iter().for_each(body);
-            } else {
-                (0..ns.len()).for_each(body);
-            }
-        });
+            buf
+        })
+        .collect();
+
+    if !output {
+        return VertexSubset::empty(n);
     }
 
-    let mut next = filter(&out, |&x| x != NONE_SLOT);
-    if deduplicate && !next.is_empty() {
-        let seen = AtomicBitVec::new(n);
-        next = filter(&next, |&v| seen.set(v as usize));
+    // Prefix-sum stitch: one copy of each winner into an exact-size vector.
+    let mut starts: Vec<usize> = buffers.iter().map(Vec::len).collect();
+    let mut acc = 0usize;
+    for s in starts.iter_mut() {
+        let next = acc + *s;
+        *s = acc;
+        acc = next;
     }
+    let mut next: Vec<u32> = Vec::with_capacity(acc);
+    {
+        let spare = next.spare_capacity_mut();
+        let ptr = SendPtr(spare.as_mut_ptr().cast::<u32>());
+        buffers.par_iter().enumerate().for_each(|(b, buf)| {
+            let p = ptr;
+            // SAFETY: scan offsets are disjoint across blocks and their sum
+            // equals the reserved capacity.
+            unsafe { std::ptr::copy_nonoverlapping(buf.as_ptr(), p.0.add(starts[b]), buf.len()) };
+        });
+    }
+    // SAFETY: exactly `acc` slots were initialized.
+    unsafe { next.set_len(acc) };
     VertexSubset::from_sparse(n, next)
 }
 
 /// Pull traversal over all vertices. Each target is owned by one thread,
 /// so the non-atomic [`EdgeMapFn::update`] is used and the in-edge scan
-/// stops as soon as `cond` fails (BFS: parent found).
-pub fn edge_map_dense<W, F>(g: &Graph<W>, flags: &[bool], f: &F, output: bool) -> VertexSubset
+/// stops as soon as `cond` fails (BFS: parent found). Frontier membership
+/// is one packed bit per source; each task owns one output word, so the
+/// produced bitset needs no atomics either.
+pub fn edge_map_dense<W, F>(g: &Graph<W>, bits: &BitSet, f: &F, output: bool) -> VertexSubset
 where
     W: Copy + Send + Sync + Default,
     F: EdgeMapFn<W>,
 {
-    dense_impl(g, flags, f, output, None)
+    dense_impl(g, bits, f, output, None)
 }
 
 fn dense_impl<W, F>(
     g: &Graph<W>,
-    flags: &[bool],
+    bits: &BitSet,
     f: &F,
     output: bool,
     counters: Option<&EdgeCounters>,
@@ -352,31 +406,44 @@ where
     F: EdgeMapFn<W>,
 {
     let n = g.num_vertices();
-    debug_assert_eq!(flags.len(), n);
-    let mut next = vec![false; n];
-    next.par_iter_mut().enumerate().for_each(|(v, slot)| {
-        let v = v as VertexId;
-        let ns = g.in_neighbors(v);
-        let mut scanned = 0usize;
-        if f.cond(v) {
-            let ws = g.in_weights(v);
-            for (j, &u) in ns.iter().enumerate() {
-                scanned = j + 1;
-                if flags[u as usize] && f.update(u, v, wt(ws, j)) && output {
-                    *slot = true;
+    debug_assert_eq!(bits.len(), n);
+    let nwords = bits.words().len();
+    let words: Vec<u64> = (0..nwords)
+        .into_par_iter()
+        .map(|wi| {
+            let lo = wi * 64;
+            let hi = (lo + 64).min(n);
+            let mut out_w = 0u64;
+            let mut scanned_w = 0u64;
+            let mut skipped_w = 0u64;
+            for v in lo..hi {
+                let vid = v as VertexId;
+                let ns = g.in_neighbors(vid);
+                let mut scanned = 0usize;
+                if f.cond(vid) {
+                    let ws = g.in_weights(vid);
+                    for (j, &u) in ns.iter().enumerate() {
+                        scanned = j + 1;
+                        if bits.get(u as usize) && f.update(u, vid, wt(ws, j)) && output {
+                            out_w |= 1u64 << (v - lo);
+                        }
+                        if !f.cond(vid) {
+                            break;
+                        }
+                    }
                 }
-                if !f.cond(v) {
-                    break;
-                }
+                scanned_w += scanned as u64;
+                skipped_w += (ns.len() - scanned) as u64;
             }
-        }
-        if let Some(c) = counters {
-            c.edges_scanned.add(scanned as u64);
-            c.edges_skipped.add((ns.len() - scanned) as u64);
-        }
-    });
+            if let Some(c) = counters {
+                c.edges_scanned.add(scanned_w);
+                c.edges_skipped.add(skipped_w);
+            }
+            out_w
+        })
+        .collect();
     if output {
-        VertexSubset::from_dense(n, next)
+        VertexSubset::from_bitset(n, BitSet::from_words(words, n))
     } else {
         VertexSubset::empty(n)
     }
@@ -384,10 +451,12 @@ where
 
 /// Write-based dense traversal: walk the out-edges of every frontier
 /// vertex using the dense representation. No transpose required, but
-/// updates race (atomic variant used) and there is no early exit.
+/// updates race (atomic variant used) and there is no early exit. A zero
+/// frontier word skips 64 non-members with a single load; hub vertices
+/// split their out-edges into [`EDGE_BLOCK`]-sized blocks.
 pub fn edge_map_dense_forward<W, F>(
     g: &Graph<W>,
-    flags: &[bool],
+    bits: &BitSet,
     f: &F,
     output: bool,
 ) -> VertexSubset
@@ -395,12 +464,12 @@ where
     W: Copy + Send + Sync + Default,
     F: EdgeMapFn<W>,
 {
-    dense_forward_impl(g, flags, f, output, None)
+    dense_forward_impl(g, bits, f, output, None)
 }
 
 fn dense_forward_impl<W, F>(
     g: &Graph<W>,
-    flags: &[bool],
+    bits: &BitSet,
     f: &F,
     output: bool,
     counters: Option<&EdgeCounters>,
@@ -410,19 +479,25 @@ where
     F: EdgeMapFn<W>,
 {
     let n = g.num_vertices();
-    debug_assert_eq!(flags.len(), n);
-    let mut next = vec![false; n];
+    debug_assert_eq!(bits.len(), n);
+    let mut next = BitSet::new(n);
     {
-        let anext = as_atomic_bool(&mut next);
-        (0..n).into_par_iter().for_each(|u| {
-            if flags[u] {
-                let u = u as VertexId;
+        let anext = next.as_atomic();
+        bits.words().par_iter().enumerate().for_each(|(wi, &w0)| {
+            if w0 == 0 {
+                return;
+            }
+            let mut w = w0;
+            while w != 0 {
+                let u = (wi * 64) as u32 + w.trailing_zeros();
+                w &= w - 1;
                 let ns = g.out_neighbors(u);
                 let ws = g.out_weights(u);
                 if let Some(c) = counters {
                     c.edges_scanned.add(ns.len() as u64);
                 }
-                for (j, &v) in ns.iter().enumerate() {
+                let body = |j: usize| {
+                    let v = ns[j];
                     if f.cond(v) {
                         let won = f.update_atomic(u, v, wt(ws, j));
                         if let Some(c) = counters {
@@ -432,15 +507,25 @@ where
                             }
                         }
                         if won && output {
-                            anext[v as usize].store(true, Ordering::Relaxed);
+                            anext[(v >> 6) as usize].fetch_or(1u64 << (v & 63), Ordering::Relaxed);
                         }
                     }
+                };
+                if ns.len() > EDGE_BLOCK {
+                    let nb = ns.len().div_ceil(EDGE_BLOCK);
+                    (0..nb).into_par_iter().for_each(|b| {
+                        let lo = b * EDGE_BLOCK;
+                        let hi = ((b + 1) * EDGE_BLOCK).min(ns.len());
+                        (lo..hi).for_each(&body);
+                    });
+                } else {
+                    (0..ns.len()).for_each(&body);
                 }
             }
         });
     }
     if output {
-        VertexSubset::from_dense(n, next)
+        VertexSubset::from_bitset(n, next)
     } else {
         VertexSubset::empty(n)
     }
@@ -754,5 +839,70 @@ mod tests {
         let mut fr = VertexSubset::single(200, 0);
         let _ = edge_map_traced(&g, &mut fr, &f, EdgeMapOptions::new(), &mut stats);
         assert!(stats.rounds[0].time_ns > 0);
+    }
+
+    #[test]
+    fn sparse_push_spanning_many_edge_blocks_matches_reference() {
+        // A hub whose degree is many EDGE_BLOCKs plus a tail of small
+        // vertices: exercises the partition-point start, the mid-hub block
+        // boundaries, and the stitch across non-uniform buffer sizes.
+        let hub_deg = 3 * EDGE_BLOCK + 17;
+        let n = hub_deg + 10;
+        let mut edges: Vec<(u32, u32)> = (0..hub_deg as u32).map(|j| (0, j + 1)).collect();
+        for k in 0..9u32 {
+            edges.push((1 + k, n as u32 - 1));
+        }
+        let g = build_graph(n, &edges, BuildOptions::directed());
+        let frontier: Vec<u32> = (0..10u32).collect();
+        let expect = reference_neighborhood(&g, &frontier);
+        for t in [Traversal::Sparse, Traversal::Auto] {
+            assert_eq!(neighborhood_via(&g, &frontier, t), expect, "traversal {t:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_frontier_with_zero_degree_sources() {
+        // Sources with no out-edges share prefix-sum offsets with their
+        // neighbors; the block walk must neither visit their (empty) edge
+        // ranges twice nor lose the edges around them.
+        let g = build_graph(6, &[(0, 5), (3, 4)], BuildOptions::directed());
+        let f = edge_fn(|_, _, _: ()| true, |_| true);
+        let mut fr = VertexSubset::from_sparse(6, vec![0, 1, 2, 3]);
+        let out =
+            edge_map_with(&g, &mut fr, &f, EdgeMapOptions::new().traversal(Traversal::Sparse));
+        assert_eq!(out.to_vec_sorted(), vec![4, 5]);
+    }
+
+    #[test]
+    fn recorded_sparse_round_reports_exact_output_bytes() {
+        // Star from 0: 7 out-edges, but only 3 targets pass cond. The old
+        // sentinel scheme allocated 4*7 output bytes; chunked compaction
+        // reports exactly 4*(|U| + |output|).
+        let g = star(8);
+        let f = edge_fn(|_, _, _: ()| true, |d: u32| d.is_multiple_of(2));
+        let mut stats = TraversalStats::new();
+        let mut fr = VertexSubset::single(8, 0);
+        let opts = EdgeMapOptions::new().traversal(Traversal::Sparse);
+        let _ = edge_map_traced(&g, &mut fr, &f, opts, &mut stats);
+        let r = stats.rounds[0];
+        assert_eq!(r.output_vertices, 3);
+        assert_eq!(r.frontier_bytes, 4 * (1 + 3));
+    }
+
+    #[test]
+    fn recorded_dense_round_reports_packed_bitset_bytes() {
+        let g = erdos_renyi(1000, 10_000, 2, true);
+        let f = edge_fn(|_, _, _: ()| true, |_| true);
+        let mut stats = TraversalStats::new();
+        let mut fr = VertexSubset::all(1000);
+        let opts = EdgeMapOptions::new().traversal(Traversal::Dense);
+        let _ = edge_map_traced(&g, &mut fr, &f, opts, &mut stats);
+        let words = 1000usize.div_ceil(64) as u64 * 8;
+        assert_eq!(stats.rounds[0].frontier_bytes, 2 * words, "input + output bitset");
+
+        // Without output only the input side is streamed.
+        let mut fr = VertexSubset::all(1000);
+        let _ = edge_map_traced(&g, &mut fr, &f, opts.no_output(), &mut stats);
+        assert_eq!(stats.rounds[1].frontier_bytes, words);
     }
 }

@@ -91,7 +91,7 @@ impl std::str::FromStr for Op {
 pub enum ReprKind {
     /// Member-ID list.
     Sparse,
-    /// Boolean flag array of length `n`.
+    /// Packed bitset of `n` bits (one bit per vertex).
     Dense,
 }
 
@@ -149,6 +149,12 @@ pub struct RoundStat {
     pub converted: bool,
     /// Number of vertices in the output subset (0 when output is skipped).
     pub output_vertices: u64,
+    /// Frontier-representation bytes the operation streamed: input plus
+    /// produced output. Sparse push reads 4 bytes per frontier entry and
+    /// writes exactly 4 per output vertex (chunk-compacted, no sentinel
+    /// slots); dense modes stream the packed `⌈n/64⌉·8`-byte bitset each
+    /// way. Vertex ops report the bytes of the representation they walked.
+    pub frontier_bytes: u64,
     /// Wall-clock nanoseconds for the whole operation (0 when the recorder
     /// was disabled mid-flight — never the case for [`TraversalStats`]).
     pub time_ns: u64,
@@ -184,6 +190,7 @@ impl RoundStat {
             output_repr: repr,
             converted: false,
             output_vertices,
+            frontier_bytes: 0,
             time_ns: 0,
             cas_attempts: 0,
             cas_wins: 0,
@@ -326,6 +333,7 @@ mod tests {
             output_repr: ReprKind::Sparse,
             converted: false,
             output_vertices: out,
+            frontier_bytes: 4 * (1 + out),
             time_ns: 42,
             cas_attempts: 10,
             cas_wins: out,

@@ -19,7 +19,7 @@ use crate::stats::{Mode, Op, ReprKind, RoundStat, TraversalStats};
 use std::fmt::Write as _;
 
 /// Column order shared by the CSV header and the JSON key order.
-pub const COLUMNS: [&str; 17] = [
+pub const COLUMNS: [&str; 18] = [
     "round",
     "op",
     "mode",
@@ -32,6 +32,7 @@ pub const COLUMNS: [&str; 17] = [
     "output_repr",
     "converted",
     "output_vertices",
+    "frontier_bytes",
     "time_ns",
     "cas_attempts",
     "cas_wins",
@@ -51,7 +52,7 @@ pub fn to_json_lines(stats: &TraversalStats) -> String {
                 "\"frontier_vertices\":{},\"frontier_out_edges\":{},",
                 "\"work\":{},\"threshold\":{},\"forced\":{},",
                 "\"input_repr\":\"{}\",\"output_repr\":\"{}\",\"converted\":{},",
-                "\"output_vertices\":{},\"time_ns\":{},",
+                "\"output_vertices\":{},\"frontier_bytes\":{},\"time_ns\":{},",
                 "\"cas_attempts\":{},\"cas_wins\":{},",
                 "\"edges_scanned\":{},\"edges_skipped\":{}}}\n"
             ),
@@ -67,6 +68,7 @@ pub fn to_json_lines(stats: &TraversalStats) -> String {
             r.output_repr,
             r.converted,
             r.output_vertices,
+            r.frontier_bytes,
             r.time_ns,
             r.cas_attempts,
             r.cas_wins,
@@ -84,7 +86,7 @@ pub fn to_csv(stats: &TraversalStats) -> String {
     for (i, r) in stats.rounds.iter().enumerate() {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             i,
             r.op,
             r.mode,
@@ -97,6 +99,7 @@ pub fn to_csv(stats: &TraversalStats) -> String {
             r.output_repr,
             r.converted,
             r.output_vertices,
+            r.frontier_bytes,
             r.time_ns,
             r.cas_attempts,
             r.cas_wins,
@@ -165,6 +168,7 @@ impl<'a> Record<'a> {
             output_repr: self.get("output_repr")?.parse::<ReprKind>()?,
             converted: self.bool("converted")?,
             output_vertices: self.u64("output_vertices")?,
+            frontier_bytes: self.u64("frontier_bytes")?,
             time_ns: self.u64("time_ns")?,
             cas_attempts: self.u64("cas_attempts")?,
             cas_wins: self.u64("cas_wins")?,
@@ -350,6 +354,7 @@ mod tests {
             output_repr: ReprKind::Sparse,
             converted: false,
             output_vertices: 9,
+            frontier_bytes: 40,
             time_ns: 1234,
             cas_attempts: 9,
             cas_wins: 9,
@@ -368,6 +373,7 @@ mod tests {
             output_repr: ReprKind::Dense,
             converted: true,
             output_vertices: 80,
+            frontier_bytes: 256,
             time_ns: 5678,
             cas_attempts: 0,
             cas_wins: 0,

@@ -9,31 +9,50 @@ use std::time::Instant;
 /// Applies `f` to every member of `subset` in parallel.
 ///
 /// Works on whichever representation the subset currently has (no
-/// conversion): sparse iterates the member list, dense iterates all
-/// vertices and skips non-members.
+/// conversion): sparse iterates the member list, dense decodes the packed
+/// bitset word-at-a-time, skipping 64 non-members per zero word.
 pub fn vertex_map(subset: &VertexSubset, f: impl Fn(VertexId) + Sync) {
     if let Some(vs) = subset.sparse() {
         vs.par_iter().for_each(|&v| f(v));
-    } else if let Some(flags) = subset.dense() {
-        flags.par_iter().enumerate().for_each(|(v, &b)| {
-            if b {
-                f(v as VertexId);
+    } else if let Some(bits) = subset.dense() {
+        bits.words().par_iter().enumerate().for_each(|(wi, &w0)| {
+            let mut w = w0;
+            while w != 0 {
+                f((wi * 64) as VertexId + w.trailing_zeros());
+                w &= w - 1;
             }
         });
     }
 }
 
 /// Returns the members of `subset` for which `f` returns `true`, applying
-/// `f` exactly once per member. Preserves the input's representation.
+/// `f` exactly once per member. Preserves the input's representation; the
+/// dense path maps each input word to one output word, so no atomics and
+/// no per-vertex writes.
 pub fn vertex_filter(subset: &VertexSubset, f: impl Fn(VertexId) -> bool + Sync) -> VertexSubset {
     let n = subset.num_vertices();
     if let Some(vs) = subset.sparse() {
         let kept = ligra_parallel::pack::filter(vs, |&v| f(v));
         VertexSubset::from_sparse(n, kept)
-    } else if let Some(flags) = subset.dense() {
-        let out: Vec<bool> =
-            flags.par_iter().enumerate().map(|(v, &b)| b && f(v as VertexId)).collect();
-        VertexSubset::from_dense(n, out)
+    } else if let Some(bits) = subset.dense() {
+        let words: Vec<u64> = bits
+            .words()
+            .par_iter()
+            .enumerate()
+            .map(|(wi, &w0)| {
+                let mut out = 0u64;
+                let mut w = w0;
+                while w != 0 {
+                    let b = w.trailing_zeros();
+                    if f((wi * 64) as VertexId + b) {
+                        out |= 1u64 << b;
+                    }
+                    w &= w - 1;
+                }
+                out
+            })
+            .collect();
+        VertexSubset::from_bitset(n, ligra_parallel::bitvec::BitSet::from_words(words, n))
     } else {
         unreachable!()
     }
@@ -65,6 +84,7 @@ pub fn vertex_map_recorded<R: Recorder>(
         repr_of(subset),
         subset.len() as u64,
     );
+    r.frontier_bytes = subset.repr_bytes();
     r.time_ns = start.elapsed().as_nanos() as u64;
     rec.record(r);
 }
@@ -86,6 +106,7 @@ pub fn vertex_filter_recorded<R: Recorder>(
         repr_of(subset),
         out.len() as u64,
     );
+    r.frontier_bytes = subset.repr_bytes() + out.repr_bytes();
     r.time_ns = start.elapsed().as_nanos() as u64;
     rec.record(r);
     out
@@ -96,8 +117,20 @@ pub fn vertex_filter_recorded<R: Recorder>(
 pub fn vertex_map_reduce_f64(subset: &VertexSubset, f: impl Fn(VertexId) -> f64 + Sync) -> f64 {
     if let Some(vs) = subset.sparse() {
         vs.par_iter().map(|&v| f(v)).sum()
-    } else if let Some(flags) = subset.dense() {
-        flags.par_iter().enumerate().map(|(v, &b)| if b { f(v as VertexId) } else { 0.0 }).sum()
+    } else if let Some(bits) = subset.dense() {
+        bits.words()
+            .par_iter()
+            .enumerate()
+            .map(|(wi, &w0)| {
+                let mut sum = 0.0;
+                let mut w = w0;
+                while w != 0 {
+                    sum += f((wi * 64) as VertexId + w.trailing_zeros());
+                    w &= w - 1;
+                }
+                sum
+            })
+            .sum()
     } else {
         unreachable!()
     }

@@ -4,23 +4,30 @@
 //!
 //! * **Sparse** — an array of the member vertex IDs. Cheap to iterate when
 //!   `|U| ≪ n`; the representation sparse `edgeMap` consumes and produces.
-//! * **Dense** — a boolean array of length `n`. O(1) membership tests; the
-//!   representation the dense (pull) traversal consumes and produces.
+//! * **Dense** — a packed [`BitSet`] of `n` bits. O(1) membership tests;
+//!   the representation the dense (pull) traversal consumes and produces.
+//!   One bit per vertex means a full-frontier stream touches `n/8` bytes
+//!   instead of the `n` a `Vec<bool>` would, and empty regions are skipped
+//!   64 vertices per zero word.
 //!
-//! Conversions run in parallel (`pack_index` one way, a scatter the other)
-//! and are performed lazily by `edgeMap` when the direction heuristic picks
-//! the representation it doesn't have — precisely the behaviour of the
-//! original system's `vertexSubset::toSparse`/`toDense`.
+//! Conversions run in parallel (`pack_index_bits` one way, a blocked scatter
+//! the other) and are performed lazily by `edgeMap` when the direction
+//! heuristic picks the representation it doesn't have — precisely the
+//! behaviour of the original system's `vertexSubset::toSparse`/`toDense`.
+//! A sparse list that is known to be in ascending order (the common case:
+//! every dense→sparse conversion produces one) is flagged, which makes
+//! [`VertexSubset::contains`] a binary search instead of a linear scan and
+//! lets `to_dense` scatter with plain (non-atomic) word writes.
 
 use ligra_graph::VertexId;
-use ligra_parallel::pack::pack_index;
-use rayon::prelude::*;
+use ligra_parallel::bitvec::BitSet;
+use ligra_parallel::pack::pack_index_bits;
 
 /// The two frontier representations.
 #[derive(Debug, Clone)]
 enum Repr {
     Sparse(Vec<VertexId>),
-    Dense(Vec<bool>),
+    Dense(BitSet),
 }
 
 /// A subset of the vertices `0..n`.
@@ -28,13 +35,16 @@ enum Repr {
 pub struct VertexSubset {
     n: usize,
     len: usize,
+    /// True iff a sparse representation is known to be in ascending order.
+    /// (Meaningless while dense — the bitset is inherently ordered.)
+    sorted: bool,
     repr: Repr,
 }
 
 impl VertexSubset {
     /// The empty subset of a graph with `n` vertices.
     pub fn empty(n: usize) -> Self {
-        VertexSubset { n, len: 0, repr: Repr::Sparse(Vec::new()) }
+        VertexSubset { n, len: 0, sorted: true, repr: Repr::Sparse(Vec::new()) }
     }
 
     /// The singleton `{v}`.
@@ -43,24 +53,27 @@ impl VertexSubset {
     /// Panics if `v >= n`.
     pub fn single(n: usize, v: VertexId) -> Self {
         assert!((v as usize) < n, "vertex {v} out of range (n = {n})");
-        VertexSubset { n, len: 1, repr: Repr::Sparse(vec![v]) }
+        VertexSubset { n, len: 1, sorted: true, repr: Repr::Sparse(vec![v]) }
     }
 
     /// The full vertex set `0..n` (dense).
     pub fn all(n: usize) -> Self {
-        VertexSubset { n, len: n, repr: Repr::Dense(vec![true; n]) }
+        VertexSubset { n, len: n, sorted: true, repr: Repr::Dense(BitSet::full(n)) }
     }
 
     /// Builds a sparse subset from a list of member IDs.
     ///
     /// Callers must not pass duplicates — `len()` counts entries. (Debug
     /// builds verify membership range; duplicates are the caller's
-    /// contract, as in the original system.)
+    /// contract, as in the original system.) An ascending list is detected
+    /// here once, unlocking binary-search `contains` and the non-atomic
+    /// dense conversion.
     pub fn from_sparse(n: usize, mut vs: Vec<VertexId>) -> Self {
         debug_assert!(vs.iter().all(|&v| (v as usize) < n));
         vs.shrink_to_fit();
         let len = vs.len();
-        VertexSubset { n, len, repr: Repr::Sparse(vs) }
+        let sorted = vs.is_sorted();
+        VertexSubset { n, len, sorted, repr: Repr::Sparse(vs) }
     }
 
     /// Builds a dense subset from a boolean membership array.
@@ -69,14 +82,22 @@ impl VertexSubset {
     /// Panics if `flags.len() != n`.
     pub fn from_dense(n: usize, flags: Vec<bool>) -> Self {
         assert_eq!(flags.len(), n, "dense representation must have length n");
-        let len = flags.par_iter().filter(|&&b| b).count();
-        VertexSubset { n, len, repr: Repr::Dense(flags) }
+        VertexSubset::from_bitset(n, BitSet::from_bools(&flags))
+    }
+
+    /// Builds a dense subset directly from a packed bit set.
+    ///
+    /// # Panics
+    /// Panics if `bits.len() != n`.
+    pub fn from_bitset(n: usize, bits: BitSet) -> Self {
+        assert_eq!(bits.len(), n, "dense representation must have length n");
+        let len = bits.count_ones();
+        VertexSubset { n, len, sorted: true, repr: Repr::Dense(bits) }
     }
 
     /// Builds the subset `{ v : pred(v) }` in parallel.
     pub fn from_fn(n: usize, pred: impl Fn(VertexId) -> bool + Sync) -> Self {
-        let flags: Vec<bool> = (0..n).into_par_iter().map(|v| pred(v as VertexId)).collect();
-        VertexSubset::from_dense(n, flags)
+        VertexSubset::from_bitset(n, BitSet::from_fn(n, |v| pred(v as VertexId)))
     }
 
     /// Size of the universe `n`.
@@ -103,34 +124,33 @@ impl VertexSubset {
         matches!(self.repr, Repr::Sparse(_))
     }
 
-    /// Membership test. O(1) dense, O(|U|) sparse.
+    /// Membership test. O(1) dense, O(log |U|) sorted sparse, O(|U|) only
+    /// for an unsorted sparse list.
     pub fn contains(&self, v: VertexId) -> bool {
         match &self.repr {
+            Repr::Sparse(vs) if self.sorted => vs.binary_search(&v).is_ok(),
             Repr::Sparse(vs) => vs.contains(&v),
-            Repr::Dense(flags) => flags[v as usize],
+            Repr::Dense(bits) => bits.get(v as usize),
         }
     }
 
     /// Converts to the sparse representation (no-op if already sparse).
     pub fn to_sparse(&mut self) {
-        if let Repr::Dense(flags) = &self.repr {
-            let vs = pack_index(flags);
+        if let Repr::Dense(bits) = &self.repr {
+            let vs = pack_index_bits(bits);
             debug_assert_eq!(vs.len(), self.len);
+            self.sorted = true;
             self.repr = Repr::Sparse(vs);
         }
     }
 
     /// Converts to the dense representation (no-op if already dense).
+    ///
+    /// A sorted sparse list scatters with plain word writes over disjoint
+    /// blocks; only an unsorted list needs the atomic (`fetch_or`) path.
     pub fn to_dense(&mut self) {
         if let Repr::Sparse(vs) = &self.repr {
-            let mut flags = vec![false; self.n];
-            {
-                let aflags = ligra_parallel::atomics::as_atomic_bool(&mut flags);
-                vs.par_iter().for_each(|&v| {
-                    aflags[v as usize].store(true, std::sync::atomic::Ordering::Relaxed);
-                });
-            }
-            self.repr = Repr::Dense(flags);
+            self.repr = Repr::Dense(BitSet::from_ids(self.n, vs, self.sorted));
         }
     }
 
@@ -143,12 +163,27 @@ impl VertexSubset {
         }
     }
 
-    /// The membership flags; converts to dense first.
-    pub fn as_bools(&mut self) -> &[bool] {
+    /// The packed membership bits; converts to dense first.
+    pub fn as_bits(&mut self) -> &BitSet {
         self.to_dense();
         match &self.repr {
-            Repr::Dense(flags) => flags,
+            Repr::Dense(bits) => bits,
             Repr::Sparse(_) => unreachable!(),
+        }
+    }
+
+    /// The membership flags as one byte per vertex (test/debug adapter;
+    /// the traversals consume [`VertexSubset::as_bits`]).
+    pub fn to_bools(&self) -> Vec<bool> {
+        match &self.repr {
+            Repr::Dense(bits) => bits.to_bools(),
+            Repr::Sparse(vs) => {
+                let mut flags = vec![false; self.n];
+                for &v in vs {
+                    flags[v as usize] = true;
+                }
+                flags
+            }
         }
     }
 
@@ -160,22 +195,41 @@ impl VertexSubset {
         }
     }
 
-    /// The membership flags if currently dense.
-    pub fn dense(&self) -> Option<&[bool]> {
+    /// True iff currently sparse and the ID list is known to be ascending.
+    #[inline]
+    pub fn is_sorted_sparse(&self) -> bool {
+        self.sorted && self.is_sparse()
+    }
+
+    /// The packed membership bits if currently dense.
+    pub fn dense(&self) -> Option<&BitSet> {
         match &self.repr {
-            Repr::Dense(flags) => Some(flags),
+            Repr::Dense(bits) => Some(bits),
             Repr::Sparse(_) => None,
+        }
+    }
+
+    /// Bytes the current representation occupies (sparse: 4 per entry;
+    /// dense: the packed `n/8`). This is what a traversal streaming the
+    /// frontier reads — the telemetry `frontier_bytes` field is built on it.
+    pub fn repr_bytes(&self) -> u64 {
+        match &self.repr {
+            Repr::Sparse(vs) => 4 * vs.len() as u64,
+            Repr::Dense(bits) => bits.bytes() as u64,
         }
     }
 
     /// Member IDs in ascending order (for tests/reporting; converts a copy).
     pub fn to_vec_sorted(&self) -> Vec<VertexId> {
-        let mut vs = match &self.repr {
-            Repr::Sparse(vs) => vs.clone(),
-            Repr::Dense(flags) => pack_index(flags),
-        };
-        vs.sort_unstable();
-        vs
+        match &self.repr {
+            Repr::Sparse(vs) if self.sorted => vs.clone(),
+            Repr::Sparse(vs) => {
+                let mut vs = vs.clone();
+                vs.sort_unstable();
+                vs
+            }
+            Repr::Dense(bits) => pack_index_bits(bits),
+        }
     }
 }
 
@@ -246,12 +300,53 @@ mod tests {
         assert_eq!(s.as_slice().len(), len);
         s.to_dense();
         assert_eq!(s.len(), len);
-        assert_eq!(s.as_bools().iter().filter(|&&b| b).count(), len);
+        assert_eq!(s.as_bits().count_ones(), len);
     }
 
     #[test]
-    fn as_bools_of_sparse() {
-        let mut s = VertexSubset::from_sparse(6, vec![1, 4]);
-        assert_eq!(s.as_bools(), &[false, true, false, false, true, false]);
+    fn to_bools_of_sparse() {
+        let s = VertexSubset::from_sparse(6, vec![1, 4]);
+        assert_eq!(s.to_bools(), &[false, true, false, false, true, false]);
+    }
+
+    #[test]
+    fn contains_on_sorted_and_unsorted_sparse() {
+        // Sorted list: binary-search path.
+        let s = VertexSubset::from_sparse(100, vec![3, 17, 41, 99]);
+        assert!(s.is_sorted_sparse());
+        for v in 0..100u32 {
+            assert_eq!(s.contains(v), [3, 17, 41, 99].contains(&v), "v={v}");
+        }
+        // Unsorted list: linear-scan fallback, same answers.
+        let u = VertexSubset::from_sparse(100, vec![99, 3, 41, 17]);
+        assert!(!u.is_sorted_sparse());
+        for v in 0..100u32 {
+            assert_eq!(u.contains(v), s.contains(v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn to_dense_of_unsorted_sparse() {
+        let mut u = VertexSubset::from_sparse(200, vec![150, 3, 64, 63]);
+        u.to_dense();
+        assert_eq!(u.to_vec_sorted(), vec![3, 63, 64, 150]);
+    }
+
+    #[test]
+    fn repr_bytes_tracks_representation() {
+        let mut s = VertexSubset::from_sparse(640, vec![1, 2, 3]);
+        assert_eq!(s.repr_bytes(), 12, "sparse: 4 bytes per entry");
+        s.to_dense();
+        assert_eq!(s.repr_bytes(), 80, "dense: n/8 bytes packed");
+    }
+
+    #[test]
+    fn from_bitset_counts_members() {
+        let mut bits = BitSet::new(70);
+        bits.set(0);
+        bits.set(69);
+        let s = VertexSubset::from_bitset(70, bits);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.to_vec_sorted(), vec![0, 69]);
     }
 }

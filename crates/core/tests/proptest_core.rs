@@ -53,6 +53,41 @@ proptest! {
     }
 
     #[test]
+    fn bitset_dense_frontier_agrees_with_sparse_frontier(
+        (n, edges, frontier) in graph_and_frontier(),
+        symmetric in any::<bool>(),
+        modulus in 1u32..4,
+    ) {
+        // The packed-bitset input representation must be invisible to the
+        // traversal result: feeding the same frontier as a sorted sparse
+        // list and as a bitset must yield identical output sets under every
+        // mode, including Auto's heuristic pick.
+        let opts = if symmetric { BuildOptions::symmetric() } else { BuildOptions::directed() };
+        let g = build_graph(n, &edges, opts);
+        for t in [Traversal::Sparse, Traversal::Dense, Traversal::DenseForward, Traversal::Auto] {
+            let f = edge_fn(|_s, _d, _w: ()| true, |d: u32| d.is_multiple_of(modulus));
+            let mut sparse_fr = VertexSubset::from_sparse(n, frontier.clone());
+            let from_sparse = edge_map_with(
+                &g, &mut sparse_fr, &f,
+                EdgeMapOptions::new().traversal(t).deduplicate(true),
+            );
+            let mut dense_fr = VertexSubset::from_sparse(n, frontier.clone());
+            dense_fr.to_dense();
+            prop_assert!(!dense_fr.is_sparse());
+            let from_dense = edge_map_with(
+                &g, &mut dense_fr, &f,
+                EdgeMapOptions::new().traversal(t).deduplicate(true),
+            );
+            prop_assert_eq!(
+                from_sparse.to_vec_sorted(),
+                from_dense.to_vec_sorted(),
+                "traversal {:?}",
+                t
+            );
+        }
+    }
+
+    #[test]
     fn cond_restricts_targets_identically(
         (n, edges, frontier) in graph_and_frontier(),
         modulus in 1u32..5,

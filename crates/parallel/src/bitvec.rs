@@ -5,8 +5,16 @@
 //! flipped it, which gives the same "exactly one winner" guarantee as a CAS
 //! on a byte but with 8x less memory traffic.
 
+use crate::atomics::as_atomic_u64;
+use crate::utils::{block_range, num_blocks, SendPtr, GRANULARITY};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of `u64` words needed for `len` bits.
+#[inline]
+pub const fn words_for(len: usize) -> usize {
+    len.div_ceil(64)
+}
 
 /// Fixed-size bit vector with atomic set/clear/test.
 #[derive(Debug)]
@@ -93,6 +101,206 @@ impl Clone for AtomicBitVec {
     }
 }
 
+/// A packed, single-owner bit vector: one bit per element in `u64` words.
+///
+/// This is the dense `vertexSubset` representation — 8× less memory traffic
+/// than a `Vec<bool>` when a traversal streams the whole membership array,
+/// and empty regions skip 64 vertices per word test. Unlike
+/// [`AtomicBitVec`], mutation goes through `&mut self` (plain stores); for
+/// the racy scatter paths take the [`BitSet::as_atomic`] word view.
+///
+/// Invariant: bits at positions `>= len` in the last word are always zero,
+/// so whole-word operations (popcount, zero-word skip) need no tail masking.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates a bit set of `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        BitSet { words: vec![0; words_for(len)], len }
+    }
+
+    /// Creates a bit set of `len` bits, all set.
+    pub fn full(len: usize) -> Self {
+        let mut words = vec![!0u64; words_for(len)];
+        if let Some(last) = words.last_mut() {
+            if !len.is_multiple_of(64) {
+                *last = (1u64 << (len % 64)) - 1;
+            }
+        }
+        BitSet { words, len }
+    }
+
+    /// Wraps an already-packed word array holding `len` bits.
+    ///
+    /// # Panics
+    /// Panics if `words.len() != words_for(len)`. Debug builds also verify
+    /// the tail-bits-zero invariant.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), words_for(len), "word count does not match length");
+        if let Some(&last) = words.last() {
+            debug_assert!(
+                len.is_multiple_of(64) || last >> (len % 64) == 0,
+                "bits beyond len must be zero"
+            );
+        }
+        BitSet { words, len }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the set has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size of the packed representation in bytes.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 != 0
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// The packed words (bit `i` is word `i / 64`, position `i % 64`).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Atomic view of the words, for racy scatters (`fetch_or`).
+    #[inline]
+    pub fn as_atomic(&mut self) -> &[AtomicU64] {
+        as_atomic_u64(&mut self.words)
+    }
+
+    /// Number of set bits (parallel popcount; no tail masking needed by the
+    /// invariant).
+    pub fn count_ones(&self) -> usize {
+        self.words.par_iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Builds the set `{ i : pred(i) }` in parallel, one word per task.
+    pub fn from_fn(len: usize, pred: impl Fn(usize) -> bool + Sync) -> Self {
+        let words = (0..words_for(len))
+            .into_par_iter()
+            .map(|wi| {
+                let lo = wi * 64;
+                let hi = (lo + 64).min(len);
+                let mut w = 0u64;
+                for i in lo..hi {
+                    if pred(i) {
+                        w |= 1u64 << (i - lo);
+                    }
+                }
+                w
+            })
+            .collect();
+        BitSet { words, len }
+    }
+
+    /// Builds from a boolean slice.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        BitSet::from_fn(bits.len(), |i| bits[i])
+    }
+
+    /// Converts to a `Vec<bool>` (one byte per bit).
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).into_par_iter().map(|i| self.get(i)).collect()
+    }
+
+    /// Scatters a list of member IDs into a packed set of `len` bits.
+    ///
+    /// When `sorted` is true the IDs mapping to one word are consecutive, so
+    /// each parallel block owns the words its range touches first and writes
+    /// them with plain stores — no atomics on the conversion path `edgeMap`
+    /// hits at every representation flip. Unsorted IDs fall back to a
+    /// `fetch_or` scatter (distinct IDs may share a word, so plain disjoint
+    /// writes are impossible).
+    ///
+    /// Duplicates are allowed in either path (they re-set the same bit).
+    pub fn from_ids(len: usize, ids: &[u32], sorted: bool) -> Self {
+        debug_assert!(ids.iter().all(|&v| (v as usize) < len));
+        let mut bs = BitSet::new(len);
+        if ids.is_empty() {
+            return bs;
+        }
+        if sorted {
+            debug_assert!(ids.is_sorted());
+            let n = ids.len();
+            let nblocks = num_blocks(n, GRANULARITY);
+            let ptr = SendPtr(bs.words.as_mut_ptr());
+            (0..nblocks).into_par_iter().for_each(|b| {
+                let r = block_range(n, nblocks, b);
+                let mut i = r.start;
+                // A word split across the block boundary belongs to the
+                // block where its run of IDs starts; skip our share of it.
+                if b > 0 {
+                    let prev = ids[r.start - 1] >> 6;
+                    while i < r.end && ids[i] >> 6 == prev {
+                        i += 1;
+                    }
+                }
+                if i == r.end {
+                    return;
+                }
+                let p = ptr;
+                let mut cur = ids[i] >> 6;
+                let mut acc = 0u64;
+                while i < n {
+                    let w = ids[i] >> 6;
+                    if w != cur {
+                        if i >= r.end {
+                            break;
+                        }
+                        // SAFETY: the run of IDs for word `cur` starts in
+                        // this block's range, so no other block writes it.
+                        unsafe { *p.0.add(cur as usize) = acc };
+                        cur = w;
+                        acc = 0;
+                    }
+                    acc |= 1u64 << (ids[i] & 63);
+                    i += 1;
+                }
+                unsafe { *p.0.add(cur as usize) = acc };
+            });
+        } else {
+            let aw = bs.as_atomic();
+            ids.par_iter().for_each(|&v| {
+                aw[(v >> 6) as usize].fetch_or(1u64 << (v & 63), Ordering::Relaxed);
+            });
+        }
+        bs
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +357,102 @@ mod tests {
         assert_eq!(bv.count_ones(), 1000);
         bv.clear_all();
         assert_eq!(bv.count_ones(), 0);
+    }
+
+    #[test]
+    fn bitset_empty() {
+        let bs = BitSet::new(0);
+        assert!(bs.is_empty());
+        assert_eq!(bs.count_ones(), 0);
+        assert_eq!(bs.bytes(), 0);
+        assert!(bs.to_bools().is_empty());
+    }
+
+    #[test]
+    fn bitset_set_get_clear_across_word_boundaries() {
+        let mut bs = BitSet::new(130);
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!bs.get(i));
+            bs.set(i);
+            assert!(bs.get(i));
+        }
+        assert_eq!(bs.count_ones(), 8);
+        bs.clear(64);
+        assert!(!bs.get(64));
+        assert_eq!(bs.count_ones(), 7);
+    }
+
+    #[test]
+    fn bitset_full_masks_tail_bits() {
+        for len in [1usize, 63, 64, 65, 128, 130, 1000] {
+            let bs = BitSet::full(len);
+            assert_eq!(bs.count_ones(), len, "len={len}");
+            assert!((0..len).all(|i| bs.get(i)));
+            if !len.is_multiple_of(64) {
+                assert_eq!(bs.words().last().unwrap() >> (len % 64), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_bytes_is_packed_size() {
+        assert_eq!(BitSet::new(64).bytes(), 8);
+        assert_eq!(BitSet::new(65).bytes(), 16);
+        assert_eq!(BitSet::new(1024).bytes(), 128);
+    }
+
+    #[test]
+    fn bitset_bools_roundtrip() {
+        let bits: Vec<bool> = (0..10_000).map(|i| hash32(i).is_multiple_of(3)).collect();
+        let bs = BitSet::from_bools(&bits);
+        assert_eq!(bs.count_ones(), bits.iter().filter(|&&b| b).count());
+        assert_eq!(bs.to_bools(), bits);
+    }
+
+    #[test]
+    fn bitset_from_fn_matches_pred() {
+        let bs = BitSet::from_fn(5000, |i| i.is_multiple_of(7));
+        assert!((0..5000).all(|i| bs.get(i) == i.is_multiple_of(7)));
+    }
+
+    #[test]
+    fn bitset_from_words_rejects_bad_count() {
+        let r = std::panic::catch_unwind(|| BitSet::from_words(vec![0u64; 3], 64));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bitset_from_ids_sorted_and_unsorted_agree() {
+        // Large enough to split into many blocks, with dense word-sharing
+        // runs so the boundary-ownership skip is exercised.
+        let sorted: Vec<u32> = (0..200_000u32).filter(|&v| !hash32(v).is_multiple_of(3)).collect();
+        let mut shuffled = sorted.clone();
+        shuffled.sort_unstable_by_key(|&v| hash32(v));
+        let n = 200_000;
+        let a = BitSet::from_ids(n, &sorted, true);
+        let b = BitSet::from_ids(n, &shuffled, false);
+        assert_eq!(a, b);
+        assert_eq!(a.count_ones(), sorted.len());
+        assert!(sorted.iter().all(|&v| a.get(v as usize)));
+    }
+
+    #[test]
+    fn bitset_from_ids_handles_duplicates_and_empties() {
+        assert_eq!(BitSet::from_ids(100, &[], true).count_ones(), 0);
+        let bs = BitSet::from_ids(100, &[5, 5, 5, 70], true);
+        assert_eq!(bs.count_ones(), 2);
+        assert!(bs.get(5) && bs.get(70));
+    }
+
+    #[test]
+    fn bitset_atomic_view_scatter() {
+        let mut bs = BitSet::new(300);
+        {
+            let aw = bs.as_atomic();
+            (0..300usize).into_par_iter().filter(|i| i.is_multiple_of(2)).for_each(|i| {
+                aw[i / 64].fetch_or(1u64 << (i % 64), Ordering::Relaxed);
+            });
+        }
+        assert_eq!(bs.count_ones(), 150);
     }
 }

@@ -23,7 +23,8 @@
 //! * [`histogram`] — parallel bounded-key counting (degree histograms).
 //! * [`atomics`] — `write_min`/`write_max`, priority update, `AtomicF64`,
 //!   and slice-as-atomic views.
-//! * [`bitvec`] — a concurrently writable bit vector (`fetch_or`-based).
+//! * [`bitvec`] — bit vectors: a concurrently writable one
+//!   (`fetch_or`-based) and a packed single-owner [`BitSet`].
 //! * [`counter`] — cache-padded per-thread event counters (telemetry).
 //! * [`hash`] — deterministic avalanche hashes used by the graph generators.
 
@@ -41,10 +42,10 @@ pub mod scan;
 pub mod utils;
 
 pub use atomics::{priority_min, priority_write, write_max_u32, write_min_u32, AtomicF64};
-pub use bitvec::AtomicBitVec;
+pub use bitvec::{AtomicBitVec, BitSet};
 pub use counter::StripedU64;
 pub use hash::{hash32, hash64, mix64};
-pub use pack::{filter, pack, pack_index};
+pub use pack::{filter, pack, pack_index, pack_index_bits};
 pub use reduce::{max_index, min_index, reduce, sum_u64, sum_usize};
 pub use scan::{plus_scan_inclusive_u32, prefix_sums, scan_exclusive, scan_inplace_exclusive};
 pub use utils::{num_threads, with_threads, GRANULARITY};

@@ -7,7 +7,7 @@
 //! the standard one: per-block counts, exclusive scan of counts, then a
 //! second pass copying survivors to their final offsets.
 
-use crate::utils::{block_range, num_blocks, GRANULARITY};
+use crate::utils::{block_range, num_blocks, SendPtr, GRANULARITY};
 use rayon::prelude::*;
 
 /// Keeps `xs[i]` iff `flags[i]`, preserving order.
@@ -31,6 +31,58 @@ pub fn filter<T: Copy + Send + Sync>(xs: &[T], pred: impl Fn(&T) -> bool + Sync)
 pub fn pack_index(flags: &[bool]) -> Vec<u32> {
     debug_assert!(flags.len() <= u32::MAX as usize);
     pack_with(flags.len(), |i| flags[i], |i| i as u32)
+}
+
+/// Returns the indices of the set bits of a packed bit set, in order.
+///
+/// The dense→sparse `vertexSubset` conversion for the bitset representation:
+/// per-block popcounts replace the per-element flag test of [`pack_index`],
+/// and the write pass decodes set bits with `trailing_zeros`, skipping
+/// 64 positions per zero word.
+pub fn pack_index_bits(bits: &crate::bitvec::BitSet) -> Vec<u32> {
+    debug_assert!(bits.len() <= u32::MAX as usize);
+    let words = bits.words();
+    let nw = words.len();
+    if nw == 0 {
+        return Vec::new();
+    }
+    // Block over words; GRANULARITY bits of work per sequential grain.
+    let nblocks = num_blocks(nw, GRANULARITY / 64);
+    let mut counts: Vec<usize> = (0..nblocks)
+        .into_par_iter()
+        .map(|b| block_range(nw, nblocks, b).map(|wi| words[wi].count_ones() as usize).sum())
+        .collect();
+    let mut acc = 0usize;
+    for c in counts.iter_mut() {
+        let next = acc + *c;
+        *c = acc;
+        acc = next;
+    }
+    let total = acc;
+
+    let mut out: Vec<u32> = Vec::with_capacity(total);
+    {
+        let spare = out.spare_capacity_mut();
+        let ptr = SendPtr(spare.as_mut_ptr());
+        (0..nblocks).into_par_iter().for_each(|b| {
+            let mut o = counts[b];
+            let p = ptr;
+            for wi in block_range(nw, nblocks, b) {
+                let mut w = words[wi];
+                while w != 0 {
+                    let i = (wi * 64) as u32 + w.trailing_zeros();
+                    // SAFETY: offsets from the scan are disjoint across
+                    // blocks and total <= capacity.
+                    unsafe { (*p.0.add(o)).write(i) };
+                    o += 1;
+                    w &= w - 1;
+                }
+            }
+        });
+    }
+    // SAFETY: exactly `total` slots were initialized.
+    unsafe { out.set_len(total) };
+    out
 }
 
 /// Shared engine: keeps `produce(i)` for every `i in 0..n` with `keep(i)`.
@@ -92,11 +144,6 @@ where
     out
 }
 
-#[derive(Clone, Copy)]
-struct SendPtr<T>(*mut T);
-unsafe impl<T> Send for SendPtr<T> {}
-unsafe impl<T> Sync for SendPtr<T> {}
-
 /// Splits `xs` into `(kept, rejected)` by `pred`, both order-preserving.
 pub fn partition<T: Copy + Send + Sync>(
     xs: &[T],
@@ -151,6 +198,16 @@ mod tests {
         let expect: Vec<u32> = (0..50_000u32).filter(|&i| flags[i as usize]).collect();
         assert_eq!(idx, expect);
         assert!(idx.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn pack_index_bits_matches_pack_index() {
+        use crate::bitvec::BitSet;
+        for n in [0usize, 1, 63, 64, 65, 2048, 50_000] {
+            let flags: Vec<bool> = (0..n).map(|i| hash32(i as u32).is_multiple_of(5)).collect();
+            let bits = BitSet::from_bools(&flags);
+            assert_eq!(pack_index_bits(&bits), pack_index(&flags), "n={n}");
+        }
     }
 
     #[test]

@@ -17,6 +17,17 @@ use rayon::prelude::*;
 /// primitives perform.
 pub const GRANULARITY: usize = 2048;
 
+/// A raw pointer that parallel blocks may share.
+///
+/// The standard PBBS compaction shape — per-block counts, exclusive scan,
+/// then parallel writes to disjoint offset ranges — needs a mutable pointer
+/// captured by many tasks at once. Safety rests entirely on the caller
+/// guaranteeing the blocks write disjoint slots.
+#[derive(Clone, Copy)]
+pub struct SendPtr<T>(pub *mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
 /// Number of worker threads in the current rayon pool.
 #[inline]
 pub fn num_threads() -> usize {

@@ -58,7 +58,7 @@ fn main() {
     // `threshold`), the direction it chose, and the contention counters.
     println!("\nper-round trace:");
     println!(
-        "{:>5} {:>8} {:>9} {:>4} {:>9} {:>9} {:>8} {:>7} {:>7}",
+        "{:>5} {:>8} {:>9} {:>4} {:>9} {:>9} {:>8} {:>7} {:>5} {:>7}",
         "round",
         "vertices",
         "out-edges",
@@ -67,11 +67,12 @@ fn main() {
         "mode",
         "cas_win",
         "scanned",
+        "bytes",
         "time_ns"
     );
     for (i, r) in stats.edge_map_rounds().enumerate() {
         println!(
-            "{:>5} {:>8} {:>9} {:>4} {:>9} {:>9} {:>8} {:>7} {:>7}",
+            "{:>5} {:>8} {:>9} {:>4} {:>9} {:>9} {:>8} {:>7} {:>5} {:>7}",
             i + 1,
             r.frontier_vertices,
             r.frontier_out_edges,
@@ -80,6 +81,7 @@ fn main() {
             r.mode.to_string(),
             format!("{}/{}", r.cas_wins, r.cas_attempts),
             r.edges_scanned,
+            r.frontier_bytes,
             r.time_ns,
         );
     }

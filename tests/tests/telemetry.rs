@@ -78,6 +78,37 @@ fn dense_pull_scans_at_most_all_in_edges() {
 }
 
 #[test]
+fn frontier_bytes_pin_exact_push_output_and_packed_dense_reads() {
+    // Pins the memory-traffic contract of the representation work: the
+    // sparse push allocates exactly |output| slots (4 bytes each, no
+    // sentinel padding between frontier and result), and every dense round
+    // streams the n/8-byte packed bitset — once in, once out.
+    let g = rmat(&RmatOptions::paper(12));
+    let n = g.num_vertices() as u64;
+    let packed = n.div_ceil(64) * 8;
+    let mut stats = TraversalStats::new();
+    let _ = apps::bfs_traced(&g, 0, EdgeMapOptions::default(), &mut stats);
+    let mut saw = (false, false);
+    for r in stats.edge_map_rounds() {
+        if r.frontier_vertices == 0 {
+            assert_eq!(r.frontier_bytes, 0);
+            continue;
+        }
+        match r.mode {
+            Mode::Sparse => {
+                assert_eq!(r.frontier_bytes, 4 * (r.frontier_vertices + r.output_vertices));
+                saw.0 = true;
+            }
+            Mode::Dense | Mode::DenseForward => {
+                assert_eq!(r.frontier_bytes, 2 * packed);
+                saw.1 = true;
+            }
+        }
+    }
+    assert!(saw.0 && saw.1, "BFS on rMat must exercise both sparse and dense rounds");
+}
+
+#[test]
 fn real_traces_round_trip_through_both_formats() {
     let g = rmat(&RmatOptions::paper(10));
     let mut stats = TraversalStats::new();
