@@ -152,6 +152,11 @@ pub fn bc_traced<R: Recorder>(
         let rev = g.reversed();
         let back_opts = opts.no_output();
         for level in levels.iter_mut().rev() {
+            // The backward sweep iterates stored levels, not the edgeMap
+            // output, so it yields to cancellation explicitly per level.
+            if opts.is_cancelled() {
+                break;
+            }
             // BC_Back_Vertex_F: mark processed and add the σ⁻¹ term.
             vertex_map_recorded(
                 level,

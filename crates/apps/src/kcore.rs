@@ -88,10 +88,12 @@ pub fn kcore_traced<R: Recorder>(g: &Graph, opts: EdgeMapOptions, stats: &mut R)
         let f = PeelF { degrees, alive: alive_cells };
 
         let mut k = 1u32;
-        while num_alive > 0 {
+        // Peeling is driven by the alive count, not the edgeMap output
+        // (no_output is set), so both loops yield to cancellation here.
+        while num_alive > 0 && !opts.is_cancelled() {
             // Peel every vertex below k, repeatedly: removals can drag
             // further vertices below k within the same k-phase.
-            loop {
+            while !opts.is_cancelled() {
                 let peel = VertexSubset::from_fn(n, |v| {
                     alive_cells[v as usize].load(Ordering::Relaxed) == 1
                         && degrees[v as usize].load(Ordering::Relaxed) < k

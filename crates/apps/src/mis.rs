@@ -147,7 +147,9 @@ pub fn mis_traced<R: Recorder>(
         let blocked_cells = ligra_parallel::atomics::as_atomic_u32(&mut blocked);
         let mut undecided = VertexSubset::all(n);
 
-        while !undecided.is_empty() {
+        // Both edgeMap passes run with no_output, so the undecided set —
+        // not the edgeMap result — drives the loop; yield explicitly.
+        while !undecided.is_empty() && !opts.is_cancelled() {
             rounds += 1;
             // Clear round-local blocked flags of the undecided set.
             vertex_map_recorded(

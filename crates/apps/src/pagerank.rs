@@ -87,7 +87,9 @@ pub fn pagerank_traced<R: Recorder>(
     let mut err = f64::INFINITY;
     let mut frontier = VertexSubset::all(n);
     let mut shares = vec![0.0f64; n];
-    while iterations < max_iters && err >= eps {
+    // The iteration count, not the frontier, drives this loop, so the
+    // cancellation token must be consulted here — the round boundary.
+    while iterations < max_iters && err >= eps && !opts.is_cancelled() {
         iterations += 1;
         {
             // shares[s] = p[s] / deg⁺(s), computed once per iteration.
@@ -149,7 +151,7 @@ pub fn pagerank_delta_traced<R: Recorder>(
     let mut iterations = 0usize;
     let opts = opts.no_output();
     let mut shares = vec![0.0f64; n];
-    while iterations < max_iters && !frontier.is_empty() {
+    while iterations < max_iters && !frontier.is_empty() && !opts.is_cancelled() {
         iterations += 1;
         {
             // Only frontier members push, so only their shares are needed.

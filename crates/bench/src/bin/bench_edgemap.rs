@@ -3,7 +3,8 @@
 //! streamed (the `frontier_bytes` telemetry column).
 //!
 //! A BFS round sweep over the paper's rMat input, once per policy
-//! (hybrid, sparse-only, dense-only, dense-forward-only). For every
+//! (auto, sparse, dense, dense-forward — set `LIGRA_TRAVERSAL` to
+//! restrict the sweep to one of them). For every
 //! recorded round the binary re-checks the representation contract:
 //! sparse push rounds report exactly `4 * (|U| + |output|)` bytes (the
 //! output vector is exact-size — no sentinel slots), dense rounds report
@@ -19,12 +20,14 @@ use ligra_apps as apps;
 use ligra_graph::generators::rmat;
 use ligra_graph::generators::rmat::RmatOptions;
 
-const POLICIES: [(&str, Traversal); 4] = [
-    ("hybrid", Traversal::Auto),
-    ("sparse-only", Traversal::Sparse),
-    ("dense-only", Traversal::Dense),
-    ("dense-fwd", Traversal::DenseForward),
-];
+/// The policies to sweep: all of them, unless `LIGRA_TRAVERSAL` pins one.
+fn policies() -> Vec<Traversal> {
+    if std::env::var_os("LIGRA_TRAVERSAL").is_some() {
+        vec![ligra_bench::traversal_from_env()]
+    } else {
+        Traversal::ALL.to_vec()
+    }
+}
 
 struct ModeRow {
     policy: &'static str,
@@ -138,10 +141,10 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for (name, t) in POLICIES {
+    for t in policies() {
         // Warm the traversal (page-in, pool spin-up) before the recorded run.
         let _ = apps::bfs_with(&g, 0, EdgeMapOptions::new().traversal(t));
-        let row = sweep(&g, 0, name, t);
+        let row = sweep(&g, 0, t.name(), t);
         println!(
             "{:<12} {:>7} {:>16} {:>16} {:>16} {:>14}",
             row.policy,

@@ -81,6 +81,12 @@ fn edge_map_impl<C: Codec, F: EdgeMapFn<()>, R: Recorder>(
     let n = g.num_vertices();
     assert_eq!(frontier.num_vertices(), n, "frontier universe does not match the graph");
 
+    // Cancellation contract mirrors the uncompressed path: a cancelled
+    // token makes the round a no-op with an empty result, unrecorded.
+    if opts.is_cancelled() {
+        return VertexSubset::empty(n);
+    }
+
     let tracing = rec.enabled();
     let start = tracing.then(Instant::now);
 

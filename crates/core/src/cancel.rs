@@ -1,0 +1,124 @@
+//! Cooperative cancellation for frontier computations.
+//!
+//! A [`CancelToken`] is a shared atomic flag plus an optional deadline.
+//! Threaded through [`crate::EdgeMapOptions`], it is consulted by
+//! `edgeMap` at the start of every round (and by the applications at
+//! their own loop boundaries), so a long-running traversal stops at the
+//! *next round boundary* rather than running to completion — the
+//! granularity contract a serving layer needs: a cancelled query never
+//! tears down mid-round state, it simply produces an empty next frontier
+//! and lets the driving loop drain.
+//!
+//! The token is `Sync` and designed to be shared: a query engine keeps one
+//! handle (typically inside an `Arc`) to flip from another thread while the
+//! traversal holds a plain reference via its options.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Shared cancellation flag with an optional deadline.
+///
+/// `is_cancelled` reports true once either [`CancelToken::cancel`] has been
+/// called or the deadline (fixed at construction) has passed. Checking is a
+/// relaxed atomic load plus, when a deadline exists, one monotonic-clock
+/// read — cheap enough for once-per-round use, far too cheap to matter.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; cancels only via [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that auto-cancels once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken { flag: AtomicBool::new(false), deadline: Some(deadline) }
+    }
+
+    /// A token that auto-cancels `timeout` from now. A zero timeout yields
+    /// a token that is already expired — useful for admission-time
+    /// rejection tests and "just probe the cache" submissions.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Self::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token was cancelled explicitly (not via deadline).
+    pub fn cancel_requested(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Whether work observing this token should stop at its next boundary.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The deadline, if one was set at construction.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Time left until the deadline (`None` when no deadline is set;
+    /// `Some(ZERO)` once it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(!t.cancel_requested());
+        assert_eq!(t.deadline(), None);
+        assert_eq!(t.remaining(), None);
+    }
+
+    #[test]
+    fn cancel_flips_once_and_stays() {
+        let t = CancelToken::new();
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(t.cancel_requested());
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn zero_timeout_is_immediately_expired() {
+        let t = CancelToken::with_timeout(Duration::ZERO);
+        assert!(t.is_cancelled());
+        assert!(!t.cancel_requested(), "deadline expiry is not an explicit cancel");
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn future_deadline_is_live_until_it_passes() {
+        let t = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.remaining().unwrap() > Duration::from_secs(3000));
+        t.cancel(); // explicit cancel still wins before the deadline
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let t = std::sync::Arc::new(CancelToken::new());
+        let t2 = t.clone();
+        let h = std::thread::spawn(move || t2.cancel());
+        h.join().unwrap();
+        assert!(t.is_cancelled());
+    }
+}

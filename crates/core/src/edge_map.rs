@@ -147,6 +147,14 @@ where
     let n = g.num_vertices();
     assert_eq!(frontier.num_vertices(), n, "frontier universe does not match the graph");
 
+    // Cooperative cancellation: a cancelled (or deadline-expired) token
+    // turns this round into an empty result, so frontier-driven loops
+    // drain at the round boundary without touching any edge. Nothing is
+    // recorded — the round did not run.
+    if opts.is_cancelled() {
+        return VertexSubset::empty(n);
+    }
+
     let tracing = rec.enabled();
     let start = tracing.then(Instant::now);
 
@@ -714,6 +722,36 @@ mod tests {
             let out = edge_map_with(&g, &mut fr, &f, EdgeMapOptions::new().traversal(t));
             assert_eq!(out.to_vec_sorted(), vec![2], "traversal {t:?}");
         }
+    }
+
+    #[test]
+    fn cancelled_round_is_a_recordless_no_op() {
+        use crate::cancel::CancelToken;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let g = star(16);
+        let hits = AtomicUsize::new(0);
+        let f = edge_fn(
+            |_, _, _: ()| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                true
+            },
+            |_| true,
+        );
+        let token = CancelToken::new();
+        token.cancel();
+        let mut stats = TraversalStats::new();
+        let mut fr = VertexSubset::single(16, 0);
+        let out =
+            edge_map_traced(&g, &mut fr, &f, EdgeMapOptions::new().cancel(&token), &mut stats);
+        assert!(out.is_empty(), "cancelled round must produce an empty frontier");
+        assert_eq!(hits.load(Ordering::Relaxed), 0, "no edge may be touched");
+        assert_eq!(stats.num_rounds(), 0, "a skipped round records nothing");
+
+        // A live token changes nothing.
+        let live = CancelToken::new();
+        let mut fr = VertexSubset::single(16, 0);
+        let out = edge_map_with(&g, &mut fr, &f, EdgeMapOptions::new().cancel(&live));
+        assert_eq!(out.len(), 15);
     }
 
     #[test]

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod cancel;
 pub mod edge_map;
 pub mod options;
 pub mod stats;
@@ -57,6 +58,7 @@ pub mod traits;
 pub mod vertex_map;
 pub mod vertex_subset;
 
+pub use crate::cancel::CancelToken;
 pub use crate::edge_map::{
     edge_map, edge_map_dense, edge_map_dense_forward, edge_map_recorded, edge_map_sparse,
     edge_map_traced, edge_map_with,

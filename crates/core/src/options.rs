@@ -1,5 +1,7 @@
 //! `edgeMap` tuning knobs.
 
+use crate::cancel::CancelToken;
+
 /// Which traversal `edgeMap` should use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Traversal {
@@ -17,9 +19,52 @@ pub enum Traversal {
     DenseForward,
 }
 
+impl Traversal {
+    /// All traversal policies, in the order benches sweep them.
+    pub const ALL: [Traversal; 4] =
+        [Traversal::Auto, Traversal::Sparse, Traversal::Dense, Traversal::DenseForward];
+
+    /// The canonical name [`std::fmt::Display`] renders (and
+    /// [`std::str::FromStr`] accepts, along with a few aliases).
+    pub fn name(self) -> &'static str {
+        match self {
+            Traversal::Auto => "auto",
+            Traversal::Sparse => "sparse",
+            Traversal::Dense => "dense",
+            Traversal::DenseForward => "dense-forward",
+        }
+    }
+}
+
+impl std::fmt::Display for Traversal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Traversal {
+    type Err = String;
+
+    /// Parses a policy name. Canonical names are the [`Traversal::name`]
+    /// strings; the historical bench labels (`hybrid`, `sparse-only`,
+    /// `dense-only`, `dense-fwd`) are accepted as aliases. Matching is
+    /// case-insensitive.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" | "hybrid" => Ok(Traversal::Auto),
+            "sparse" | "sparse-only" | "push" => Ok(Traversal::Sparse),
+            "dense" | "dense-only" | "pull" => Ok(Traversal::Dense),
+            "dense-forward" | "dense_forward" | "dense-fwd" => Ok(Traversal::DenseForward),
+            other => Err(format!(
+                "unknown traversal {other:?} (expected auto, sparse, dense, or dense-forward)"
+            )),
+        }
+    }
+}
+
 /// Options for [`crate::edge_map_with`].
 #[derive(Debug, Clone, Copy)]
-pub struct EdgeMapOptions {
+pub struct EdgeMapOptions<'a> {
     /// Direction-switch threshold; `None` means the paper's default
     /// `m / 20`.
     pub threshold: Option<u64>,
@@ -35,20 +80,27 @@ pub struct EdgeMapOptions {
     /// `no_output` flag) — used by PageRank, whose next frontier is
     /// computed by a separate `vertexFilter`.
     pub output: bool,
+    /// Cooperative cancellation: when the token reports cancelled,
+    /// `edgeMap` returns an empty subset instead of running the round, so
+    /// frontier-driven loops drain at the next round boundary. Applications
+    /// with loops not driven by the `edgeMap` output (PageRank, k-core,
+    /// MIS, BC's backward sweep) check the same token themselves.
+    pub cancel: Option<&'a CancelToken>,
 }
 
-impl Default for EdgeMapOptions {
+impl Default for EdgeMapOptions<'_> {
     fn default() -> Self {
         EdgeMapOptions {
             threshold: None,
             deduplicate: false,
             traversal: Traversal::Auto,
             output: true,
+            cancel: None,
         }
     }
 }
 
-impl EdgeMapOptions {
+impl<'a> EdgeMapOptions<'a> {
     /// Default options (auto direction, `m/20` threshold, no dedup).
     pub fn new() -> Self {
         Self::default()
@@ -78,6 +130,18 @@ impl EdgeMapOptions {
         self
     }
 
+    /// Attaches a cancellation token checked at every round boundary.
+    pub fn cancel(mut self, token: &'a CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether the attached token (if any) has requested a stop.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::is_cancelled)
+    }
+
     /// The effective threshold for a graph with `m` edges.
     #[inline]
     pub fn effective_threshold(&self, m: usize) -> u64 {
@@ -102,5 +166,34 @@ mod tests {
         assert!(o.deduplicate);
         assert_eq!(o.traversal, Traversal::Sparse);
         assert!(!o.output);
+        assert!(o.cancel.is_none());
+        assert!(!o.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_token_threads_through() {
+        let token = CancelToken::new();
+        let o = EdgeMapOptions::new().cancel(&token);
+        assert!(!o.is_cancelled());
+        token.cancel();
+        assert!(o.is_cancelled());
+    }
+
+    #[test]
+    fn traversal_display_round_trips() {
+        for t in Traversal::ALL {
+            assert_eq!(t.to_string().parse::<Traversal>().unwrap(), t);
+            assert_eq!(t.to_string(), t.name());
+        }
+    }
+
+    #[test]
+    fn traversal_parse_accepts_bench_aliases() {
+        assert_eq!("hybrid".parse::<Traversal>().unwrap(), Traversal::Auto);
+        assert_eq!("sparse-only".parse::<Traversal>().unwrap(), Traversal::Sparse);
+        assert_eq!("dense-only".parse::<Traversal>().unwrap(), Traversal::Dense);
+        assert_eq!("dense-fwd".parse::<Traversal>().unwrap(), Traversal::DenseForward);
+        assert_eq!("DENSE".parse::<Traversal>().unwrap(), Traversal::Dense);
+        assert!("diagonal".parse::<Traversal>().is_err());
     }
 }

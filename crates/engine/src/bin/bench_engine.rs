@@ -1,0 +1,257 @@
+//! `bench_engine`: closed-loop load generator for the query engine.
+//!
+//! For each concurrency level, spawns that many client threads; every
+//! client submits a query drawn round-robin from a small mix, waits for
+//! it, and immediately submits the next — classic closed-loop load. Per
+//! level it reports throughput and queue-wait/turnaround percentiles,
+//! plus how many queries were rejected, cancelled, or missed their
+//! deadline, to stdout and `BENCH_engine.json`.
+//!
+//! ```text
+//! bench_engine [--quick] [--out PATH]
+//! ```
+//!
+//! `LIGRA_SCALE=small|paper` and `LIGRA_TRAVERSAL=...` are honored like
+//! the other bench binaries; `--quick` is the small CI configuration.
+
+use ligra::Traversal;
+use ligra_engine::{Engine, EngineConfig, Query, QueryStatus, SubmitError};
+use ligra_graph::generators::{rmat, RmatOptions};
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct LevelResult {
+    concurrency: usize,
+    queries: u64,
+    rejected: u64,
+    cancelled: u64,
+    deadline_misses: u64,
+    elapsed_s: f64,
+    throughput_qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    queue_wait_p95_ms: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// The per-client query mix: cheap point lookups with a couple of
+/// heavier analytics sprinkled in, sources spread across the graph.
+fn pick_query(i: u64, n: u32) -> Query {
+    match i % 8 {
+        0..=2 => Query::Bfs { source: (i.wrapping_mul(2654435761) % n as u64) as u32 },
+        3 | 4 => Query::Bc { source: (i.wrapping_mul(40503) % n as u64) as u32 },
+        5 => Query::Cc,
+        6 => Query::PageRank { iters: 5 },
+        _ => Query::Radii { seed: i },
+    }
+}
+
+fn run_level(
+    engine: &Arc<Engine>,
+    level_idx: usize,
+    concurrency: usize,
+    per_client: u64,
+    deadline: Duration,
+    n: u32,
+) -> LevelResult {
+    let rejected = AtomicU64::new(0);
+    let cancelled = AtomicU64::new(0);
+    let deadline_misses = AtomicU64::new(0);
+    let start = Instant::now();
+    let mut turnaround_ms: Vec<f64> = Vec::new();
+    let mut queue_wait_ms: Vec<f64> = Vec::new();
+
+    std::thread::scope(|scope| {
+        let mut clients = Vec::new();
+        for c in 0..concurrency {
+            let engine = Arc::clone(engine);
+            let rejected = &rejected;
+            let cancelled = &cancelled;
+            let deadline_misses = &deadline_misses;
+            clients.push(scope.spawn(move || {
+                let mut turnaround = Vec::with_capacity(per_client as usize);
+                let mut queue_wait = Vec::with_capacity(per_client as usize);
+                for i in 0..per_client {
+                    // Salt the stream per (level, client) so the cache sees
+                    // some repeats (Cc, PageRank) without absorbing the
+                    // whole sweep.
+                    let q = pick_query((level_idx as u64 * 131 + c as u64) * per_client + i, n);
+                    let t0 = Instant::now();
+                    let h = match engine.submit(q, Some(deadline)) {
+                        Ok(h) => h,
+                        Err(SubmitError::QueueFull) => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        Err(e) => panic!("submit failed: {e}"),
+                    };
+                    let status = h.wait();
+                    let total = t0.elapsed();
+                    turnaround.push(total.as_secs_f64() * 1e3);
+                    if let Some(span) = h.span() {
+                        queue_wait.push(span.queue_wait_ns as f64 / 1e6);
+                    }
+                    match status {
+                        QueryStatus::Cancelled => {
+                            cancelled.fetch_add(1, Ordering::Relaxed);
+                            // A deadline miss is a cancel we didn't ask for.
+                            deadline_misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                        QueryStatus::Done => {
+                            if total > deadline + Duration::from_millis(50) {
+                                // Finished, but starved well past its deadline
+                                // without the token tripping — flag it.
+                                deadline_misses.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        s => panic!("unexpected terminal status {s}"),
+                    }
+                }
+                (turnaround, queue_wait)
+            }));
+        }
+        for cl in clients {
+            let (t, q) = cl.join().expect("client thread");
+            turnaround_ms.extend(t);
+            queue_wait_ms.extend(q);
+        }
+    });
+
+    let elapsed_s = start.elapsed().as_secs_f64();
+    turnaround_ms.sort_by(|a, b| a.total_cmp(b));
+    queue_wait_ms.sort_by(|a, b| a.total_cmp(b));
+    let queries = turnaround_ms.len() as u64;
+    LevelResult {
+        concurrency,
+        queries,
+        rejected: rejected.load(Ordering::Relaxed),
+        cancelled: cancelled.load(Ordering::Relaxed),
+        deadline_misses: deadline_misses.load(Ordering::Relaxed),
+        elapsed_s,
+        throughput_qps: queries as f64 / elapsed_s,
+        p50_ms: percentile(&turnaround_ms, 0.50),
+        p95_ms: percentile(&turnaround_ms, 0.95),
+        p99_ms: percentile(&turnaround_ms, 0.99),
+        queue_wait_p95_ms: percentile(&queue_wait_ms, 0.95),
+    }
+}
+
+fn main() {
+    let mut quick = std::env::var("LIGRA_SCALE").is_ok_and(|s| s == "small");
+    let mut out_path = String::from("BENCH_engine.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = it.next().expect("--out needs a value"),
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    let traversal: Traversal = std::env::var("LIGRA_TRAVERSAL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(Traversal::Auto);
+
+    let (log_n, per_client, deadline_ms) = if quick { (11, 12, 10_000) } else { (14, 24, 30_000) };
+    let workers = ligra_parallel::utils::num_threads().clamp(2, 8);
+    let mut levels: Vec<usize> =
+        [1usize, 2, 4, 8, workers * 2].into_iter().filter(|&c| c <= workers * 2).collect();
+    levels.dedup();
+
+    let g = rmat(&RmatOptions::paper(log_n));
+    let n = g.num_vertices() as u32;
+    let m = g.num_edges();
+    eprintln!(
+        "bench_engine: rmat 2^{log_n} ({n} vertices, {m} edges), {workers} workers, \
+         traversal {traversal}, deadline {deadline_ms} ms"
+    );
+
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers,
+        queue_capacity: 256,
+        cache_capacity: 64,
+        default_deadline: None,
+        traversal,
+    }));
+    engine.install_graph(Arc::new(g));
+
+    // Warm-up on a salt no level uses, so level 1 isn't pre-cached.
+    for i in 0..8 {
+        let h = engine.submit(pick_query(0x00dd_0000 + i, n), None).expect("warmup submit");
+        assert_eq!(h.wait(), QueryStatus::Done);
+    }
+
+    let deadline = Duration::from_millis(deadline_ms);
+    let mut results = Vec::new();
+    for (li, &c) in levels.iter().enumerate() {
+        let r = run_level(&engine, li, c, per_client, deadline, n);
+        eprintln!(
+            "  c={:<3} {:>6.1} q/s  p50 {:>7.2} ms  p95 {:>7.2} ms  p99 {:>7.2} ms  \
+             queue-wait p95 {:>7.2} ms  rejected {}  deadline-misses {}",
+            r.concurrency,
+            r.throughput_qps,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            r.queue_wait_p95_ms,
+            r.rejected,
+            r.deadline_misses,
+        );
+        results.push(r);
+    }
+
+    let stats = engine.stats();
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"graph\": {{\"family\": \"rmat\", \"log_n\": {log_n}, \"vertices\": {n}, \
+         \"edges\": {m}}},\n  \"workers\": {workers},\n  \"traversal\": \"{traversal}\",\n  \
+         \"deadline_ms\": {deadline_ms},\n  \"per_client\": {per_client},\n  \
+         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"levels\": [\n",
+        stats.cache_hits, stats.cache_misses
+    ));
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"concurrency\": {}, \"queries\": {}, \"rejected\": {}, \"cancelled\": {}, \
+             \"deadline_misses\": {}, \"elapsed_s\": {:.3}, \"throughput_qps\": {:.2}, \
+             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"queue_wait_p95_ms\": {:.3}}}{}\n",
+            r.concurrency,
+            r.queries,
+            r.rejected,
+            r.cancelled,
+            r.deadline_misses,
+            r.elapsed_s,
+            r.throughput_qps,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            r.queue_wait_p95_ms,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let mut f = std::fs::File::create(&out_path).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write results");
+    eprintln!("bench_engine: wrote {out_path}");
+
+    // The point of concurrency: more clients must not mean less work done.
+    let first = results.first().expect("at least one level");
+    let best = results.iter().map(|r| r.throughput_qps).fold(0.0f64, f64::max);
+    assert!(
+        best >= first.throughput_qps * 0.9,
+        "throughput collapsed under concurrency: best {best:.1} q/s vs single-client {:.1} q/s",
+        first.throughput_qps
+    );
+    let starved: u64 = results.iter().map(|r| r.deadline_misses).sum();
+    assert_eq!(starved, 0, "queries starved past their deadline");
+}

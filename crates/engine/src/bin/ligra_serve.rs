@@ -1,0 +1,395 @@
+//! `ligra-serve`: a JSONL front-end for the concurrent query engine.
+//!
+//! One request per line, one flat-JSON response per line, over stdin
+//! (default) or a localhost TCP socket (`--listen`). A third mode,
+//! `--client ADDR`, pumps stdin lines to a running server and prints the
+//! responses — a dependency-free smoke client for scripts and CI.
+//!
+//! ```text
+//! ligra-serve [--listen ADDR | --client ADDR]
+//!             [--workers N] [--queue N] [--cache N]
+//!             [--traversal auto|sparse|dense|dense-forward]
+//!             [--graph PATH [--directed] [--weighted]]
+//! ```
+//!
+//! The traversal policy may also come from `LIGRA_TRAVERSAL` (the flag
+//! wins). Requests:
+//!
+//! ```text
+//! {"op":"load","path":"g.adj","symmetric":true,"weighted":false}
+//! {"op":"gen","family":"rmat","log_n":12,"seed":1,"weighted":false}
+//! {"op":"submit","query":"bfs","source":0,"deadline_ms":100}
+//! {"op":"poll","id":3}        {"op":"wait","id":3}
+//! {"op":"cancel","id":3}      {"op":"span","id":3}
+//! {"op":"stats"}              {"op":"trace"}
+//! {"op":"shutdown"}
+//! ```
+
+use ligra::Traversal;
+use ligra_engine::{
+    error_response, Engine, EngineConfig, JsonObj, Query, QueryHandle, Request, SubmitError,
+};
+use ligra_graph::generators::{
+    erdos_renyi, grid3d, random_local, random_weights, rmat, RmatOptions,
+};
+use ligra_graph::io::{load_graph, read_weighted_adjacency_graph};
+use ligra_graph::Graph;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    listen: Option<String>,
+    client: Option<String>,
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    traversal: Traversal,
+    graph: Option<String>,
+    symmetric: bool,
+    weighted: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ligra-serve [--listen ADDR | --client ADDR] [--workers N] [--queue N] \
+         [--cache N] [--traversal POLICY] [--graph PATH [--directed] [--weighted]]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: None,
+        client: None,
+        workers: 2,
+        queue: 64,
+        cache: 32,
+        traversal: std::env::var("LIGRA_TRAVERSAL")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(Traversal::Auto),
+        graph: None,
+        symmetric: true,
+        weighted: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match a.as_str() {
+            "--listen" => args.listen = Some(value("--listen")),
+            "--client" => args.client = Some(value("--client")),
+            "--workers" => args.workers = value("--workers").parse().expect("--workers"),
+            "--queue" => args.queue = value("--queue").parse().expect("--queue"),
+            "--cache" => args.cache = value("--cache").parse().expect("--cache"),
+            "--traversal" => {
+                args.traversal = value("--traversal").parse().unwrap_or_else(|e| panic!("{e}"))
+            }
+            "--graph" => args.graph = Some(value("--graph")),
+            "--directed" => args.symmetric = false,
+            "--weighted" => args.weighted = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    if args.listen.is_some() && args.client.is_some() {
+        eprintln!("--listen and --client are mutually exclusive");
+        usage();
+    }
+    args
+}
+
+fn load_into(engine: &Engine, path: &str, symmetric: bool, weighted: bool) -> Result<u64, String> {
+    if weighted {
+        let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let g = read_weighted_adjacency_graph(file, symmetric).map_err(|e| e.to_string())?;
+        Ok(engine.install_weighted(Arc::new(g)))
+    } else {
+        let g = load_graph(path, symmetric).map_err(|e| e.to_string())?;
+        Ok(engine.install_graph(Arc::new(g)))
+    }
+}
+
+fn generate(req: &Request) -> Result<Graph, String> {
+    let seed = req.u64_or("seed", 1)?;
+    match req.str("family")? {
+        "rmat" => {
+            let log_n = req.u64_or("log_n", 12)? as u32;
+            Ok(rmat(&RmatOptions::paper(log_n)))
+        }
+        "grid3d" => {
+            let side = req.u64_or("side", 16)? as usize;
+            Ok(grid3d(side))
+        }
+        "random-local" | "random_local" => {
+            let n = req.u64_or("n", 10_000)? as usize;
+            let deg = req.u64_or("deg", 8)? as usize;
+            Ok(random_local(n, deg, seed))
+        }
+        "erdos-renyi" | "er" => {
+            let n = req.u64_or("n", 10_000)? as usize;
+            let m = req.u64_or("m", 50_000)? as usize;
+            Ok(erdos_renyi(n, m, seed, true))
+        }
+        other => Err(format!("unknown family {other:?} (rmat|grid3d|random-local|erdos-renyi)")),
+    }
+}
+
+fn query_from(req: &Request) -> Result<Query, String> {
+    let source = req.u64_or("source", 0)? as u32;
+    let seed = req.u64_or("seed", 1)?;
+    match req.str("query")? {
+        "bfs" => Ok(Query::Bfs { source }),
+        "bc" => Ok(Query::Bc { source }),
+        "cc" => Ok(Query::Cc),
+        "pagerank" => Ok(Query::PageRank { iters: req.u64_or("max_iters", 20)? as u32 }),
+        "radii" => Ok(Query::Radii { seed }),
+        "bellman-ford" | "bellman_ford" => Ok(Query::BellmanFord { source }),
+        "kcore" | "k-core" => Ok(Query::KCore),
+        "mis" => Ok(Query::Mis { seed }),
+        other => Err(format!(
+            "unknown query {other:?} (bfs|bc|cc|pagerank|radii|bellman-ford|kcore|mis)"
+        )),
+    }
+}
+
+fn graph_response(epoch: u64) -> String {
+    JsonObj::new().bool("ok", true).u64("epoch", epoch).finish()
+}
+
+fn status_response(h: &QueryHandle) -> JsonObj {
+    let status = h.status();
+    let mut obj = JsonObj::new().bool("ok", true).u64("id", h.id()).str("status", status.name());
+    if let Some(span) = h.span() {
+        obj = obj.bool("cache_hit", span.cache_hit).u64("edge_map_rounds", span.rounds);
+    }
+    if let Some(result) = h.result() {
+        for (k, v) in result.summary() {
+            // Summaries are numbers or bools rendered as strings; emit
+            // numeric-looking ones raw so clients get real numbers.
+            obj = if v.parse::<f64>().is_ok() || v == "true" || v == "false" {
+                obj.raw(k, &v)
+            } else {
+                obj.str(k, &v)
+            };
+        }
+    }
+    if let Some(err) = h.error() {
+        obj = obj.str("error", &err);
+    }
+    obj
+}
+
+fn span_response(engine: &Engine, id: u64) -> String {
+    match engine.span(id) {
+        None => error_response(&format!("no finished span for id {id}")),
+        Some(s) => JsonObj::new()
+            .bool("ok", true)
+            .u64("id", s.id)
+            .str("query", &s.query)
+            .u64("epoch", s.epoch)
+            .str("status", s.status.name())
+            .bool("cache_hit", s.cache_hit)
+            .u64("queue_wait_ns", s.queue_wait_ns)
+            .u64("run_ns", s.run_ns)
+            .u64("rounds", s.rounds)
+            .u64("events", s.events)
+            .finish(),
+    }
+}
+
+fn stats_response(engine: &Engine) -> String {
+    let s = engine.stats();
+    JsonObj::new()
+        .bool("ok", true)
+        .u64("epoch", s.epoch.unwrap_or(0))
+        .u64("queued", s.queued as u64)
+        .u64("running", s.running)
+        .u64("submitted", s.submitted)
+        .u64("rejected", s.rejected)
+        .u64("completed", s.completed)
+        .u64("cancelled", s.cancelled)
+        .u64("failed", s.failed)
+        .u64("cache_hits", s.cache_hits)
+        .u64("cache_misses", s.cache_misses)
+        .u64("cache_len", s.cache_len as u64)
+        .u64("workers", engine.workers() as u64)
+        .u64("queue_capacity", engine.queue_capacity() as u64)
+        .finish()
+}
+
+fn trace_response(engine: &Engine) -> String {
+    let spans = engine.spans();
+    let mut arr = String::from("[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            arr.push(',');
+        }
+        arr.push_str(&ligra_engine::span::span_to_json(s));
+    }
+    arr.push(']');
+    JsonObj::new().bool("ok", true).u64("spans", spans.len() as u64).raw("trace", &arr).finish()
+}
+
+/// Handles one request line; the bool is "keep serving".
+fn handle_line(engine: &Engine, line: &str) -> (String, bool) {
+    let req = match Request::parse(line) {
+        Ok(r) => r,
+        Err(e) => return (error_response(&e), true),
+    };
+    let op = match req.str("op") {
+        Ok(op) => op,
+        Err(e) => return (error_response(&e), true),
+    };
+    let resp = match op {
+        "load" => (|| {
+            let path = req.str("path")?;
+            let symmetric = req.bool_or("symmetric", true)?;
+            let weighted = req.bool_or("weighted", false)?;
+            load_into(engine, path, symmetric, weighted).map(graph_response)
+        })(),
+        "gen" => (|| {
+            let g = generate(&req)?;
+            let (n, m) = (g.num_vertices(), g.num_edges());
+            let epoch = if req.bool_or("weighted", false)? {
+                let max_w = req.u64_or("max_w", 20)? as i32;
+                let wg = random_weights(&g, max_w, req.u64_or("seed", 1)?);
+                engine.install_weighted(Arc::new(wg))
+            } else {
+                engine.install_graph(Arc::new(g))
+            };
+            Ok(JsonObj::new()
+                .bool("ok", true)
+                .u64("epoch", epoch)
+                .u64("vertices", n as u64)
+                .u64("edges", m as u64)
+                .finish())
+        })(),
+        "submit" => (|| {
+            let query = query_from(&req)?;
+            let deadline = match req.get("deadline_ms") {
+                None => None,
+                Some(_) => Some(Duration::from_millis(req.u64_or("deadline_ms", 0)?)),
+            };
+            match engine.submit(query, deadline) {
+                Ok(h) => Ok(status_response(&h).finish()),
+                Err(SubmitError::QueueFull) => Err("queue full".to_string()),
+                Err(SubmitError::NoGraph) => Err("no graph installed".to_string()),
+            }
+        })(),
+        "poll" | "wait" | "cancel" => (|| {
+            let id = req.u64_or("id", 0)?;
+            let h = engine.handle(id).ok_or_else(|| format!("unknown id {id}"))?;
+            match op {
+                "cancel" => h.cancel(),
+                "wait" => {
+                    let _ = h.wait();
+                }
+                _ => {}
+            }
+            Ok(status_response(&h).finish())
+        })(),
+        "span" => Ok(span_response(engine, req.u64_or("id", 0).unwrap_or(0))),
+        "stats" => Ok(stats_response(engine)),
+        "trace" => Ok(trace_response(engine)),
+        "ping" => Ok(JsonObj::new().bool("ok", true).str("pong", "ligra-serve").finish()),
+        "shutdown" => {
+            return (JsonObj::new().bool("ok", true).str("status", "shutting-down").finish(), false)
+        }
+        other => Err(format!("unknown op {other:?}")),
+    };
+    (resp.unwrap_or_else(|e| error_response(&e)), true)
+}
+
+fn serve_stream<R: BufRead, W: Write>(engine: &Engine, reader: R, mut writer: W) -> bool {
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (resp, keep_going) = handle_line(engine, &line);
+        if writeln!(writer, "{resp}").and_then(|()| writer.flush()).is_err() {
+            break;
+        }
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+fn run_client(addr: &str) {
+    let stream = TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect {addr}: {e}"));
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = BufWriter::new(stream);
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.expect("read stdin");
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(writer, "{line}").and_then(|()| writer.flush()).expect("send request");
+        let mut resp = String::new();
+        if reader.read_line(&mut resp).expect("read response") == 0 {
+            break;
+        }
+        print!("{resp}");
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(addr) = &args.client {
+        run_client(addr);
+        return;
+    }
+
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: args.workers,
+        queue_capacity: args.queue,
+        cache_capacity: args.cache,
+        default_deadline: None,
+        traversal: args.traversal,
+    }));
+    if let Some(path) = &args.graph {
+        let epoch = load_into(&engine, path, args.symmetric, args.weighted)
+            .unwrap_or_else(|e| panic!("preload {path}: {e}"));
+        eprintln!("ligra-serve: loaded {path} at epoch {epoch}");
+    }
+
+    match &args.listen {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_stream(&engine, stdin.lock(), stdout.lock());
+        }
+        Some(addr) => {
+            let listener = TcpListener::bind(addr).unwrap_or_else(|e| panic!("bind {addr}: {e}"));
+            eprintln!("ligra-serve: listening on {}", listener.local_addr().unwrap());
+            for stream in listener.incoming() {
+                let stream = match stream {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                    let keep = serve_stream(&engine, reader, BufWriter::new(stream));
+                    if !keep {
+                        // `shutdown` was acknowledged and flushed; end the
+                        // whole server, not just this connection.
+                        std::process::exit(0);
+                    }
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! A long-lived concurrent query engine over Ligra graph snapshots.
+//!
+//! The traversal crates answer one query on one graph in one call; this
+//! crate turns them into a *service*:
+//!
+//! * [`snapshot`] — immutable epoch-stamped graph versions behind `Arc`,
+//!   so graph installs never disturb in-flight queries;
+//! * [`query`] — the typed query vocabulary (BFS, BC, CC, PageRank,
+//!   Radii, Bellman-Ford, k-core, MIS) and its dispatch onto the traced
+//!   apps, with validation instead of panics;
+//! * [`scheduler`] — bounded admission queue, fixed worker pool,
+//!   per-query deadlines, and cooperative cancellation that yields at
+//!   edgeMap round boundaries via [`ligra::CancelToken`];
+//! * [`cache`] — an LRU of results keyed `(epoch, query)`;
+//! * [`span`] — per-query lifecycle telemetry (queue wait, run time,
+//!   rounds executed before completion or cancellation);
+//! * [`wire`] — the flat-JSONL request/response format spoken by the
+//!   `ligra-serve` binary.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod query;
+pub mod scheduler;
+pub mod snapshot;
+pub mod span;
+pub mod wire;
+
+pub use cache::ResultCache;
+pub use query::{Query, QueryOutput, PAGERANK_ALPHA};
+pub use scheduler::{Engine, EngineConfig, EngineStats, QueryHandle, SubmitError};
+pub use snapshot::{GraphStore, Snapshot};
+pub use span::{spans_to_json_lines, QuerySpan, QueryStatus, RoundCounter};
+pub use wire::{error_response, JsonObj, Request};

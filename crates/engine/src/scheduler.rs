@@ -1,0 +1,633 @@
+//! The engine proper: a bounded admission queue feeding a fixed pool of
+//! worker threads, with per-query deadlines, cooperative cancellation,
+//! and an epoch-keyed result cache.
+//!
+//! Design points:
+//!
+//! * **Admission control.** `submit` rejects (`QueueFull`) instead of
+//!   blocking when the queue is at capacity — a serving front-end should
+//!   shed load at the edge, not accumulate unbounded backlog.
+//! * **Snapshot binding.** The snapshot is captured at submit time, so a
+//!   graph installed mid-flight never changes what an admitted query
+//!   computes on; its epoch keys the cache entry.
+//! * **Cancellation.** Each query gets a [`CancelToken`] (optionally
+//!   with a deadline). Workers pre-check it at dequeue — a query whose
+//!   deadline expired while queued is retired without running — and
+//!   thread it through `EdgeMapOptions`, so a running query yields at
+//!   the next edgeMap round boundary. Partial results of cancelled
+//!   queries are discarded, never cached.
+//! * **Spans.** Every query leaves one [`QuerySpan`] with queue wait,
+//!   run time, and edgeMap rounds executed — the observability contract
+//!   the serving layer's `trace` op exposes.
+
+use crate::cache::ResultCache;
+use crate::query::{Query, QueryOutput};
+use crate::snapshot::{GraphStore, Snapshot};
+use crate::span::{QuerySpan, QueryStatus, RoundCounter};
+use ligra::{CancelToken, EdgeMapOptions, Traversal};
+use ligra_graph::{Graph, WeightedGraph};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Engine tunables.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads executing queries (the concurrency cap).
+    pub workers: usize,
+    /// Maximum queries waiting for a worker before `submit` rejects.
+    pub queue_capacity: usize,
+    /// Result-cache entries.
+    pub cache_capacity: usize,
+    /// Deadline applied to queries submitted without one (`None` = no
+    /// deadline).
+    pub default_deadline: Option<Duration>,
+    /// Traversal policy handed to every query's `EdgeMapOptions`.
+    pub traversal: Traversal,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 32,
+            default_deadline: None,
+            traversal: Traversal::Auto,
+        }
+    }
+}
+
+/// Why `submit` refused a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No graph has been installed yet.
+    NoGraph,
+    /// The admission queue is at capacity; retry later.
+    QueueFull,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::NoGraph => f.write_str("no graph installed"),
+            SubmitError::QueueFull => f.write_str("admission queue full"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Counters the serving layer reports under `stats`.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Current snapshot epoch (`None` before the first install).
+    pub epoch: Option<u64>,
+    /// Queries waiting for a worker right now.
+    pub queued: usize,
+    /// Queries executing right now.
+    pub running: u64,
+    /// Queries accepted (including cache hits).
+    pub submitted: u64,
+    /// Queries rejected by admission control.
+    pub rejected: u64,
+    /// Queries finished with a result.
+    pub completed: u64,
+    /// Queries cancelled before or during execution.
+    pub cancelled: u64,
+    /// Queries that failed validation.
+    pub failed: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Result-cache entries held.
+    pub cache_len: usize,
+}
+
+struct JobState {
+    status: QueryStatus,
+    result: Option<Arc<QueryOutput>>,
+    error: Option<String>,
+    span: Option<QuerySpan>,
+}
+
+struct Job {
+    id: u64,
+    query: Query,
+    snapshot: Arc<Snapshot>,
+    token: CancelToken,
+    submitted: Instant,
+    state: Mutex<JobState>,
+    done: Condvar,
+}
+
+impl Job {
+    fn set_status(&self, status: QueryStatus) {
+        self.state.lock().unwrap().status = status;
+    }
+
+    fn finish(
+        &self,
+        status: QueryStatus,
+        result: Option<Arc<QueryOutput>>,
+        error: Option<String>,
+        span: QuerySpan,
+    ) {
+        let mut st = self.state.lock().unwrap();
+        st.status = status;
+        st.result = result;
+        st.error = error;
+        st.span = Some(span);
+        drop(st);
+        self.done.notify_all();
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+    running: AtomicU64,
+}
+
+struct Shared {
+    config: EngineConfig,
+    store: GraphStore,
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    queue_cv: Condvar,
+    cache: Mutex<ResultCache>,
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    spans: Mutex<Vec<QuerySpan>>,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    counters: Counters,
+}
+
+/// Handle to one submitted query.
+#[derive(Clone)]
+pub struct QueryHandle {
+    job: Arc<Job>,
+}
+
+impl std::fmt::Debug for QueryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryHandle")
+            .field("id", &self.job.id)
+            .field("status", &self.status())
+            .finish()
+    }
+}
+
+impl QueryHandle {
+    /// Engine-assigned id.
+    pub fn id(&self) -> u64 {
+        self.job.id
+    }
+
+    /// Current status.
+    pub fn status(&self) -> QueryStatus {
+        self.job.state.lock().unwrap().status
+    }
+
+    /// Requests cooperative cancellation; the query yields at its next
+    /// round boundary (or is retired at dequeue if still queued).
+    pub fn cancel(&self) {
+        self.job.token.cancel();
+    }
+
+    /// Blocks until the query reaches a terminal state.
+    pub fn wait(&self) -> QueryStatus {
+        let mut st = self.job.state.lock().unwrap();
+        while !st.status.is_terminal() {
+            st = self.job.done.wait(st).unwrap();
+        }
+        st.status
+    }
+
+    /// Blocks up to `timeout`; `None` if still not terminal.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<QueryStatus> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.job.state.lock().unwrap();
+        while !st.status.is_terminal() {
+            let left = deadline.checked_duration_since(Instant::now())?;
+            let (guard, res) = self.job.done.wait_timeout(st, left).unwrap();
+            st = guard;
+            if res.timed_out() && !st.status.is_terminal() {
+                return None;
+            }
+        }
+        Some(st.status)
+    }
+
+    /// The result, once `Done`.
+    pub fn result(&self) -> Option<Arc<QueryOutput>> {
+        self.job.state.lock().unwrap().result.clone()
+    }
+
+    /// The validation error, once `Failed`.
+    pub fn error(&self) -> Option<String> {
+        self.job.state.lock().unwrap().error.clone()
+    }
+
+    /// The lifecycle span, once terminal.
+    pub fn span(&self) -> Option<QuerySpan> {
+        self.job.state.lock().unwrap().span.clone()
+    }
+}
+
+/// The concurrent query engine. Dropping it drains the queue and joins
+/// the workers.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Starts `config.workers` worker threads.
+    pub fn new(config: EngineConfig) -> Self {
+        let workers_n = config.workers.max(1);
+        let cache = ResultCache::new(config.cache_capacity);
+        let shared = Arc::new(Shared {
+            config,
+            store: GraphStore::new(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            cache: Mutex::new(cache),
+            jobs: Mutex::new(HashMap::new()),
+            spans: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+        });
+        let workers = (0..workers_n)
+            .map(|i| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ligra-engine-{i}"))
+                    .spawn(move || worker_loop(&sh))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Engine { shared, workers }
+    }
+
+    /// Installs an unweighted graph; returns the new epoch.
+    pub fn install_graph(&self, g: Arc<Graph>) -> u64 {
+        self.shared.store.install_graph(g)
+    }
+
+    /// Installs a weighted graph; returns the new epoch.
+    pub fn install_weighted(&self, g: Arc<WeightedGraph>) -> u64 {
+        self.shared.store.install_weighted(g)
+    }
+
+    /// The current snapshot epoch, if a graph is installed.
+    pub fn current_epoch(&self) -> Option<u64> {
+        self.shared.store.current().map(|s| s.epoch())
+    }
+
+    /// Submits a query against the current snapshot. `deadline` (if any,
+    /// else the config default) starts counting immediately — time spent
+    /// queued is charged against it. Returns a handle; cache hits come
+    /// back already `Done`.
+    pub fn submit(
+        &self,
+        query: Query,
+        deadline: Option<Duration>,
+    ) -> Result<QueryHandle, SubmitError> {
+        let sh = &self.shared;
+        let snapshot = sh.store.current().ok_or(SubmitError::NoGraph)?;
+        let deadline = deadline.or(sh.config.default_deadline);
+        let token = match deadline {
+            Some(d) => CancelToken::with_timeout(d),
+            None => CancelToken::new(),
+        };
+        let id = sh.next_id.fetch_add(1, Ordering::Relaxed);
+        let key = (snapshot.epoch(), query.clone());
+        let cached = sh.cache.lock().unwrap().get(&key);
+
+        let job = Arc::new(Job {
+            id,
+            query,
+            snapshot,
+            token,
+            submitted: Instant::now(),
+            state: Mutex::new(JobState {
+                status: QueryStatus::Queued,
+                result: None,
+                error: None,
+                span: None,
+            }),
+            done: Condvar::new(),
+        });
+
+        if let Some(result) = cached {
+            // Served without touching the queue: terminal immediately.
+            let span = QuerySpan {
+                id,
+                query: job.query.name().to_string(),
+                epoch: job.snapshot.epoch(),
+                status: QueryStatus::Done,
+                cache_hit: true,
+                queue_wait_ns: 0,
+                run_ns: 0,
+                rounds: 0,
+                events: 0,
+            };
+            job.finish(QueryStatus::Done, Some(result), None, span.clone());
+            sh.counters.submitted.fetch_add(1, Ordering::Relaxed);
+            sh.counters.completed.fetch_add(1, Ordering::Relaxed);
+            sh.spans.lock().unwrap().push(span);
+            sh.jobs.lock().unwrap().insert(id, Arc::clone(&job));
+            return Ok(QueryHandle { job });
+        }
+
+        {
+            let mut q = sh.queue.lock().unwrap();
+            if q.len() >= sh.config.queue_capacity {
+                sh.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::QueueFull);
+            }
+            q.push_back(Arc::clone(&job));
+        }
+        sh.queue_cv.notify_one();
+        sh.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        sh.jobs.lock().unwrap().insert(id, Arc::clone(&job));
+        Ok(QueryHandle { job })
+    }
+
+    /// Looks up a previously submitted query by id.
+    pub fn handle(&self, id: u64) -> Option<QueryHandle> {
+        self.shared.jobs.lock().unwrap().get(&id).map(|job| QueryHandle { job: Arc::clone(job) })
+    }
+
+    /// Aggregate counters for the `stats` op.
+    pub fn stats(&self) -> EngineStats {
+        let sh = &self.shared;
+        let (cache_hits, cache_misses, cache_len) = {
+            let c = sh.cache.lock().unwrap();
+            (c.hits(), c.misses(), c.len())
+        };
+        EngineStats {
+            epoch: self.current_epoch(),
+            queued: sh.queue.lock().unwrap().len(),
+            running: sh.counters.running.load(Ordering::Relaxed),
+            submitted: sh.counters.submitted.load(Ordering::Relaxed),
+            rejected: sh.counters.rejected.load(Ordering::Relaxed),
+            completed: sh.counters.completed.load(Ordering::Relaxed),
+            cancelled: sh.counters.cancelled.load(Ordering::Relaxed),
+            failed: sh.counters.failed.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            cache_len,
+        }
+    }
+
+    /// All spans recorded so far, submission order.
+    pub fn spans(&self) -> Vec<QuerySpan> {
+        self.shared.spans.lock().unwrap().clone()
+    }
+
+    /// The span of one query, if it has reached a terminal state.
+    pub fn span(&self, id: u64) -> Option<QuerySpan> {
+        self.handle(id).and_then(|h| h.span())
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The configured admission-queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.config.queue_capacity
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(sh: &Shared) {
+    loop {
+        let job = {
+            let mut q = sh.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if sh.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = sh.queue_cv.wait(q).unwrap();
+            }
+        };
+        sh.counters.running.fetch_add(1, Ordering::Relaxed);
+        run_job(sh, &job);
+    }
+}
+
+fn run_job(sh: &Shared, job: &Job) {
+    let queue_wait_ns = job.submitted.elapsed().as_nanos() as u64;
+    let mut span = QuerySpan {
+        id: job.id,
+        query: job.query.name().to_string(),
+        epoch: job.snapshot.epoch(),
+        status: QueryStatus::Running,
+        cache_hit: false,
+        queue_wait_ns,
+        run_ns: 0,
+        rounds: 0,
+        events: 0,
+    };
+
+    // Pre-run check: a deadline can expire (or a cancel arrive) while the
+    // query sits in the queue; don't burn a worker on it.
+    if job.token.is_cancelled() {
+        span.status = QueryStatus::Cancelled;
+        sh.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        sh.spans.lock().unwrap().push(span.clone());
+        // Gauge before notification: a waiter that observes the terminal
+        // status must also observe this query as no longer running.
+        sh.counters.running.fetch_sub(1, Ordering::Relaxed);
+        job.finish(QueryStatus::Cancelled, None, None, span);
+        return;
+    }
+
+    job.set_status(QueryStatus::Running);
+    let opts = EdgeMapOptions::new().traversal(sh.config.traversal).cancel(&job.token);
+    let mut counter = RoundCounter::default();
+    let start = Instant::now();
+    let outcome = job.query.run(&job.snapshot, opts, &mut counter);
+    span.run_ns = start.elapsed().as_nanos() as u64;
+    span.rounds = counter.edge_map_rounds;
+    span.events = counter.events;
+
+    let (status, result, error) = match outcome {
+        Err(msg) => {
+            sh.counters.failed.fetch_add(1, Ordering::Relaxed);
+            (QueryStatus::Failed, None, Some(msg))
+        }
+        Ok(_) if job.token.is_cancelled() => {
+            // The app drained at a round boundary; its partial state is
+            // not a valid answer. Discard, never cache.
+            sh.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            (QueryStatus::Cancelled, None, None)
+        }
+        Ok(out) => {
+            let result = Arc::new(out);
+            sh.cache
+                .lock()
+                .unwrap()
+                .insert((job.snapshot.epoch(), job.query.clone()), Arc::clone(&result));
+            sh.counters.completed.fetch_add(1, Ordering::Relaxed);
+            (QueryStatus::Done, Some(result), None)
+        }
+    };
+    span.status = status;
+    sh.spans.lock().unwrap().push(span.clone());
+    // Gauge before notification (see the pre-run cancel path above).
+    sh.counters.running.fetch_sub(1, Ordering::Relaxed);
+    job.finish(status, result, error, span);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ligra_graph::generators::rmat::RmatOptions;
+    use ligra_graph::generators::{grid3d, rmat};
+
+    fn engine(workers: usize, queue: usize) -> Engine {
+        Engine::new(EngineConfig {
+            workers,
+            queue_capacity: queue,
+            cache_capacity: 8,
+            default_deadline: None,
+            traversal: Traversal::Auto,
+        })
+    }
+
+    #[test]
+    fn submit_before_install_is_rejected() {
+        let e = engine(1, 4);
+        assert_eq!(e.submit(Query::Cc, None).unwrap_err(), SubmitError::NoGraph);
+    }
+
+    #[test]
+    fn basic_query_round_trip() {
+        let e = engine(2, 8);
+        let epoch = e.install_graph(Arc::new(grid3d(6)));
+        let h = e.submit(Query::Bfs { source: 0 }, None).unwrap();
+        assert_eq!(h.wait(), QueryStatus::Done);
+        let span = h.span().unwrap();
+        assert_eq!(span.epoch, epoch);
+        assert!(!span.cache_hit);
+        assert!(span.rounds > 0);
+        match h.result().unwrap().as_ref() {
+            QueryOutput::Bfs(r) => assert_eq!(r.reached, 216),
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeat_query_on_same_epoch_hits_cache() {
+        let e = engine(1, 8);
+        e.install_graph(Arc::new(grid3d(5)));
+        let h1 = e.submit(Query::Bfs { source: 3 }, None).unwrap();
+        assert_eq!(h1.wait(), QueryStatus::Done);
+        let h2 = e.submit(Query::Bfs { source: 3 }, None).unwrap();
+        assert_eq!(h2.wait(), QueryStatus::Done);
+        assert!(h2.span().unwrap().cache_hit);
+        // Same Arc — not a recompute.
+        assert!(Arc::ptr_eq(&h1.result().unwrap(), &h2.result().unwrap()));
+        let stats = e.stats();
+        assert_eq!(stats.cache_hits, 1);
+        // New epoch invalidates.
+        e.install_graph(Arc::new(grid3d(5)));
+        let h3 = e.submit(Query::Bfs { source: 3 }, None).unwrap();
+        assert_eq!(h3.wait(), QueryStatus::Done);
+        assert!(!h3.span().unwrap().cache_hit);
+    }
+
+    #[test]
+    fn zero_deadline_cancels_within_a_round_boundary() {
+        let e = engine(1, 8);
+        e.install_graph(Arc::new(rmat(&RmatOptions::paper(10))));
+        let h = e.submit(Query::PageRank { iters: 1_000_000 }, Some(Duration::ZERO)).unwrap();
+        assert_eq!(h.wait(), QueryStatus::Cancelled);
+        let span = h.span().unwrap();
+        assert_eq!(span.status, QueryStatus::Cancelled);
+        // At most one round can slip in between the dequeue pre-check and
+        // the first token consultation at a round boundary.
+        assert!(span.rounds <= 1, "expected <=1 round before cancel, got {}", span.rounds);
+        assert!(h.result().is_none(), "cancelled query must not expose a partial result");
+        assert_eq!(e.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn explicit_cancel_stops_a_long_query() {
+        let e = engine(1, 8);
+        e.install_graph(Arc::new(rmat(&RmatOptions::paper(11))));
+        let h = e.submit(Query::PageRank { iters: 1_000_000 }, None).unwrap();
+        // Let it start, then pull the plug.
+        std::thread::sleep(Duration::from_millis(30));
+        h.cancel();
+        let status = h.wait();
+        assert_eq!(status, QueryStatus::Cancelled);
+        assert!(e.span(h.id()).is_some());
+    }
+
+    #[test]
+    fn admission_queue_rejects_when_full() {
+        let e = engine(1, 1);
+        e.install_graph(Arc::new(rmat(&RmatOptions::paper(10))));
+        // Saturate: one long query runs, one waits, further submits bounce.
+        let _h1 = e.submit(Query::PageRank { iters: 10_000 }, None).unwrap();
+        let mut rejected = 0;
+        for _ in 0..20 {
+            match e.submit(Query::PageRank { iters: 10_001 }, None) {
+                Err(SubmitError::QueueFull) => rejected += 1,
+                Ok(_) => {}
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(rejected > 0, "bounded queue never rejected");
+        assert!(e.stats().rejected > 0);
+    }
+
+    #[test]
+    fn failed_validation_reports_error() {
+        let e = engine(1, 4);
+        e.install_graph(Arc::new(grid3d(3)));
+        let h = e.submit(Query::Bfs { source: 1_000_000 }, None).unwrap();
+        assert_eq!(h.wait(), QueryStatus::Failed);
+        assert!(h.error().unwrap().contains("out of range"));
+        assert_eq!(e.stats().failed, 1);
+    }
+
+    #[test]
+    fn concurrent_queries_all_complete() {
+        let e = engine(4, 64);
+        e.install_graph(Arc::new(rmat(&RmatOptions::paper(9))));
+        let handles: Vec<_> =
+            (0..16).map(|i| e.submit(Query::Bfs { source: i * 7 % 512 }, None).unwrap()).collect();
+        for h in &handles {
+            assert_eq!(h.wait(), QueryStatus::Done);
+        }
+        let stats = e.stats();
+        assert_eq!(stats.completed, 16);
+        assert_eq!(e.spans().len(), 16);
+    }
+}

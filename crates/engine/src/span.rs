@@ -1,0 +1,162 @@
+//! Per-query spans: the engine-level complement of the per-round
+//! telemetry in `ligra::stats`.
+//!
+//! Every submitted query leaves exactly one `QuerySpan` behind — queue
+//! wait, run time, edgeMap rounds executed (the acceptance probe for
+//! cancellation: a cancelled query reports how many rounds it got
+//! through before yielding), terminal status, and whether it was served
+//! from the result cache. Export follows the flat-JSONL convention of
+//! `ligra::trace`: one object per line, string and integer fields only.
+
+use ligra::stats::{Op, RoundStat};
+use ligra::Recorder;
+
+/// Terminal (and transient) states of a submitted query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Finished; result available.
+    Done,
+    /// Cancelled (explicitly or by deadline); partial result discarded.
+    Cancelled,
+    /// The query was invalid for the snapshot it ran against.
+    Failed,
+}
+
+impl QueryStatus {
+    /// Stable lowercase name used on the wire and in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryStatus::Queued => "queued",
+            QueryStatus::Running => "running",
+            QueryStatus::Done => "done",
+            QueryStatus::Cancelled => "cancelled",
+            QueryStatus::Failed => "failed",
+        }
+    }
+
+    /// Whether the query has reached a final state.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, QueryStatus::Done | QueryStatus::Cancelled | QueryStatus::Failed)
+    }
+}
+
+impl std::fmt::Display for QueryStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One query's lifecycle record.
+#[derive(Debug, Clone)]
+pub struct QuerySpan {
+    /// Engine-assigned query id.
+    pub id: u64,
+    /// Query name (`bfs`, `pagerank`, ...).
+    pub query: String,
+    /// Snapshot epoch the query was bound to.
+    pub epoch: u64,
+    /// Terminal status.
+    pub status: QueryStatus,
+    /// Served from the result cache without running.
+    pub cache_hit: bool,
+    /// Nanoseconds between admission and a worker picking the query up.
+    pub queue_wait_ns: u64,
+    /// Nanoseconds of execution (0 for cache hits and pre-run cancels).
+    pub run_ns: u64,
+    /// edgeMap rounds executed before completion or cancellation.
+    pub rounds: u64,
+    /// All recorded telemetry events (edgeMap + vertexMap/filter).
+    pub events: u64,
+}
+
+/// Serializes spans in the repo's flat-JSONL trace style: one object per
+/// line, fixed key order, no nesting.
+pub fn spans_to_json_lines(spans: &[QuerySpan]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str(&span_to_json(s));
+        out.push('\n');
+    }
+    out
+}
+
+/// One span as a single flat JSON object (no trailing newline).
+pub fn span_to_json(s: &QuerySpan) -> String {
+    format!(
+        "{{\"id\":{},\"query\":\"{}\",\"epoch\":{},\"status\":\"{}\",\"cache_hit\":{},\
+         \"queue_wait_ns\":{},\"run_ns\":{},\"rounds\":{},\"events\":{}}}",
+        s.id,
+        s.query,
+        s.epoch,
+        s.status,
+        s.cache_hit,
+        s.queue_wait_ns,
+        s.run_ns,
+        s.rounds,
+        s.events
+    )
+}
+
+/// A [`Recorder`] that counts rounds instead of storing them: the engine
+/// wants "how many edgeMap rounds did this query execute" (cheap, O(1)
+/// memory) rather than the full per-round trace.
+#[derive(Debug, Default)]
+pub struct RoundCounter {
+    /// Recorded `Op::EdgeMap` events.
+    pub edge_map_rounds: u64,
+    /// All recorded events.
+    pub events: u64,
+}
+
+impl Recorder for RoundCounter {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, round: RoundStat) {
+        self.events += 1;
+        if round.op == Op::EdgeMap {
+            self.edge_map_rounds += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ligra::EdgeMapOptions;
+    use ligra_apps::bfs_traced;
+    use ligra_graph::generators::path;
+
+    #[test]
+    fn round_counter_counts_bfs_depth() {
+        let g = path(6);
+        let mut rc = RoundCounter::default();
+        let r = bfs_traced(&g, 0, EdgeMapOptions::new(), &mut rc);
+        assert_eq!(rc.edge_map_rounds as usize, r.rounds);
+        assert!(rc.events >= rc.edge_map_rounds);
+    }
+
+    #[test]
+    fn span_json_is_one_flat_line() {
+        let s = QuerySpan {
+            id: 7,
+            query: "bfs".into(),
+            epoch: 2,
+            status: QueryStatus::Cancelled,
+            cache_hit: false,
+            queue_wait_ns: 10,
+            run_ns: 20,
+            rounds: 3,
+            events: 9,
+        };
+        let line = span_to_json(&s);
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"status\":\"cancelled\""));
+        assert!(line.contains("\"rounds\":3"));
+    }
+}

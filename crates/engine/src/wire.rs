@@ -1,0 +1,282 @@
+//! The serving wire format: one flat JSON object per line, both ways.
+//!
+//! Requests are parsed by a small character-level scanner rather than a
+//! JSON library (the repo carries no serde): a single object of
+//! string/number/bool fields, no nesting, no arrays, and — like
+//! `ligra::trace` — no escape sequences inside strings. That keeps the
+//! grammar small enough to verify by eye while still allowing `:` and
+//! `,` inside quoted values (file paths), which a split-based parser
+//! could not. Responses are built with [`JsonObj`], which escapes
+//! outgoing strings so arbitrary error text stays well-formed.
+
+use std::collections::HashMap;
+use std::str::FromStr;
+
+/// One parsed request: field name → raw value. String values are
+/// unquoted; numbers and booleans keep their literal spelling.
+#[derive(Debug, Clone, Default)]
+pub struct Request {
+    fields: HashMap<String, String>,
+}
+
+impl Request {
+    /// Parses one request line. Errors name the offending position.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let mut fields = HashMap::new();
+        let b: Vec<char> = line.chars().collect();
+        let mut i = 0usize;
+        skip_ws(&b, &mut i);
+        expect(&b, &mut i, '{')?;
+        skip_ws(&b, &mut i);
+        if peek(&b, i) == Some('}') {
+            return trailing(&b, i + 1).map(|()| Request { fields });
+        }
+        loop {
+            skip_ws(&b, &mut i);
+            let key = parse_string(&b, &mut i)?;
+            skip_ws(&b, &mut i);
+            expect(&b, &mut i, ':')?;
+            skip_ws(&b, &mut i);
+            let value = if peek(&b, i) == Some('"') {
+                parse_string(&b, &mut i)?
+            } else {
+                parse_scalar(&b, &mut i)?
+            };
+            if fields.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate field {key:?}"));
+            }
+            skip_ws(&b, &mut i);
+            match next(&b, &mut i) {
+                Some(',') => continue,
+                Some('}') => return trailing(&b, i).map(|()| Request { fields }),
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+
+    /// Raw field value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).map(String::as_str)
+    }
+
+    /// Required string field.
+    pub fn str(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing field {key:?}"))
+    }
+
+    /// Optional numeric field with a default.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        self.parse_or(key, default)
+    }
+
+    /// Optional boolean field with a default.
+    pub fn bool_or(&self, key: &str, default: bool) -> Result<bool, String> {
+        self.parse_or(key, default)
+    }
+
+    fn parse_or<T: FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| format!("field {key:?}: cannot parse {raw:?}")),
+        }
+    }
+}
+
+fn peek(b: &[char], i: usize) -> Option<char> {
+    b.get(i).copied()
+}
+
+fn next(b: &[char], i: &mut usize) -> Option<char> {
+    let c = peek(b, *i);
+    if c.is_some() {
+        *i += 1;
+    }
+    c
+}
+
+fn skip_ws(b: &[char], i: &mut usize) {
+    while peek(b, *i).is_some_and(|c| c.is_ascii_whitespace()) {
+        *i += 1;
+    }
+}
+
+fn expect(b: &[char], i: &mut usize, want: char) -> Result<(), String> {
+    match next(b, i) {
+        Some(c) if c == want => Ok(()),
+        other => Err(format!("expected {want:?}, got {other:?}")),
+    }
+}
+
+fn trailing(b: &[char], mut i: usize) -> Result<(), String> {
+    skip_ws(b, &mut i);
+    match peek(b, i) {
+        None => Ok(()),
+        Some(c) => Err(format!("trailing input starting at {c:?}")),
+    }
+}
+
+fn parse_string(b: &[char], i: &mut usize) -> Result<String, String> {
+    expect(b, i, '"')?;
+    let mut s = String::new();
+    loop {
+        match next(b, i) {
+            Some('"') => return Ok(s),
+            Some('\\') => return Err("escape sequences are not supported".to_string()),
+            Some(c) if c.is_control() => return Err("control character in string".to_string()),
+            Some(c) => s.push(c),
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+fn parse_scalar(b: &[char], i: &mut usize) -> Result<String, String> {
+    let mut s = String::new();
+    while let Some(c) = peek(b, *i) {
+        if c == ',' || c == '}' || c.is_ascii_whitespace() {
+            break;
+        }
+        if !(c.is_ascii_alphanumeric() || matches!(c, '-' | '+' | '.' | '_')) {
+            return Err(format!("unexpected character {c:?} in scalar"));
+        }
+        s.push(c);
+        *i += 1;
+    }
+    if s.is_empty() {
+        return Err("empty value".to_string());
+    }
+    Ok(s)
+}
+
+/// Builder for one flat JSON response object.
+#[derive(Debug)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObj { buf: String::from("{") }
+    }
+
+    fn sep(&mut self) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+    }
+
+    /// Adds a string field, escaping quotes, backslashes, and control
+    /// characters.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.sep();
+        self.buf.push('"');
+        self.buf.push_str(key);
+        self.buf.push_str("\":\"");
+        for c in value.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                c if c.is_control() => self.buf.push_str(&format!("\\u{:04x}", c as u32)),
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds a pre-formatted (number/bool) field.
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.sep();
+        self.buf.push('"');
+        self.buf.push_str(key);
+        self.buf.push_str("\":");
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(self, key: &str, value: u64) -> Self {
+        self.raw(key, &value.to_string())
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    /// Closes the object.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObj {
+    fn default() -> Self {
+        JsonObj::new()
+    }
+}
+
+/// The standard error response.
+pub fn error_response(msg: &str) -> String {
+    JsonObj::new().bool("ok", false).str("error", msg).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_fields() {
+        let r = Request::parse(
+            r#"{"op":"submit","query":"bfs","source":42,"deadline_ms":0,"cached":true}"#,
+        )
+        .unwrap();
+        assert_eq!(r.str("op").unwrap(), "submit");
+        assert_eq!(r.u64_or("source", 0).unwrap(), 42);
+        assert_eq!(r.u64_or("deadline_ms", 9).unwrap(), 0);
+        assert!(r.bool_or("cached", false).unwrap());
+        assert_eq!(r.u64_or("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn paths_with_separators_survive() {
+        let r = Request::parse(r#"{"op":"load","path":"/data/graphs/rmat,v2:final.adj"}"#).unwrap();
+        assert_eq!(r.str("path").unwrap(), "/data/graphs/rmat,v2:final.adj");
+    }
+
+    #[test]
+    fn whitespace_and_empty_object_are_tolerated() {
+        let r = Request::parse("  { \"op\" : \"stats\" }  ").unwrap();
+        assert_eq!(r.str("op").unwrap(), "stats");
+        assert!(Request::parse("{}").unwrap().get("op").is_none());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            r#"{"op":}"#,
+            r#"{"op" "x"}"#,
+            r#"{"op":"a" trailing"#,
+            r#"{"op":"a"}{"op":"b"}"#,
+            r#"{"op":"a\nb"}"#, // escapes unsupported
+            r#"{"op":"a","op":"b"}"#,
+            r#"{"nested":{"x":1}}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn response_builder_escapes() {
+        let s = JsonObj::new()
+            .bool("ok", false)
+            .str("error", "expected \"op\", got \\x")
+            .u64("id", 3)
+            .finish();
+        assert_eq!(s, r#"{"ok":false,"error":"expected \"op\", got \\x","id":3}"#);
+    }
+}

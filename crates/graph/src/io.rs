@@ -64,17 +64,32 @@ impl<R: BufRead> Tokens<R> {
         Tokens { reader, buf: String::new() }
     }
 
-    /// Next whitespace-delimited token, or `None` at EOF.
+    /// Next whitespace-delimited token, or `None` at EOF. Blank lines are
+    /// plain whitespace, and a `#` outside a token comments out the rest
+    /// of its line (annotated files from preprocessing scripts load
+    /// as-is).
     fn next(&mut self) -> Result<Option<&str>, IoError> {
         self.buf.clear();
-        // Skip leading whitespace.
+        // Skip leading whitespace and `#`-to-end-of-line comments.
+        let mut in_comment = false;
         loop {
             let (skip, chunk_len) = {
                 let b = self.reader.fill_buf()?;
                 if b.is_empty() {
                     return Ok(None);
                 }
-                (b.iter().take_while(|c| c.is_ascii_whitespace()).count(), b.len())
+                let mut skip = 0;
+                for &c in b {
+                    if in_comment {
+                        in_comment = c != b'\n';
+                    } else if c == b'#' {
+                        in_comment = true;
+                    } else if !c.is_ascii_whitespace() {
+                        break;
+                    }
+                    skip += 1;
+                }
+                (skip, b.len())
             };
             self.reader.consume(skip);
             if skip < chunk_len {
@@ -319,6 +334,55 @@ mod tests {
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.out_neighbors(0), &[1]);
         assert_eq!(g.out_neighbors(1), &[2]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# graph exported by prep.py\n\nAdjacencyGraph  # header\n\n3 # n\n2 # m\n\
+                    \n0\n1 2  # offsets end, targets follow\n1\n2\n# trailing note\n";
+        let g = read_adjacency_graph(text.as_bytes(), true).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.out_neighbors(1), &[2]);
+    }
+
+    #[test]
+    fn annotated_file_round_trips_through_writer() {
+        let g = erdos_renyi(40, 200, 2, true);
+        let mut canonical = Vec::new();
+        write_adjacency_graph(&g, &mut canonical).unwrap();
+        // Splice comments and blank lines into the canonical text, then
+        // re-read and compare structure exactly.
+        let body = String::from_utf8(canonical.clone()).unwrap();
+        let mut noisy = String::from("# banner\n\n");
+        for (i, line) in body.lines().enumerate() {
+            noisy.push_str(line);
+            if i % 7 == 0 {
+                noisy.push_str("  # note");
+            }
+            noisy.push('\n');
+            if i % 11 == 0 {
+                noisy.push('\n');
+            }
+        }
+        let g2 = read_adjacency_graph(noisy.as_bytes(), true).unwrap();
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for v in 0..g.num_vertices() as u32 {
+            assert_eq!(g.out_neighbors(v), g2.out_neighbors(v));
+        }
+        // And the comment-free writer output of the re-read graph matches
+        // the original canonical bytes.
+        let mut rewritten = Vec::new();
+        write_adjacency_graph(&g2, &mut rewritten).unwrap();
+        assert_eq!(canonical, rewritten);
+    }
+
+    #[test]
+    fn comment_only_file_is_empty_not_a_panic() {
+        let text = "# nothing here\n# really\n";
+        assert!(matches!(read_adjacency_graph(text.as_bytes(), true), Err(IoError::Parse(_))));
     }
 
     #[test]

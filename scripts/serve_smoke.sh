@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Loopback smoke test for ligra-serve: starts the server on localhost TCP,
+# drives one client session through the JSONL protocol, and asserts the
+# acceptance-critical responses:
+#
+#   * a BFS completes with a result summary,
+#   * resubmitting it on the same epoch is a visible cache hit,
+#   * a query with an already-expired deadline (deadline_ms = 0) comes back
+#     cancelled having executed at most one edgeMap round,
+#   * the stats counters agree with all of the above.
+#
+# Usage: scripts/serve_smoke.sh [path-to-ligra-serve]
+set -euo pipefail
+
+BIN="${1:-./target/release/ligra-serve}"
+ADDR="${LIGRA_SMOKE_ADDR:-127.0.0.1:17421}"
+
+if [[ ! -x "$BIN" ]]; then
+    echo "serve_smoke: $BIN not found (build with: cargo build --release -p ligra-engine)" >&2
+    exit 1
+fi
+
+"$BIN" --listen "$ADDR" --workers 2 &
+SERVER_PID=$!
+cleanup() { kill "$SERVER_PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+# Wait for the listener to come up.
+up=0
+for _ in $(seq 1 100); do
+    if printf '{"op":"ping"}\n' | "$BIN" --client "$ADDR" 2>/dev/null | grep -q '"pong"'; then
+        up=1
+        break
+    fi
+    sleep 0.1
+done
+[[ "$up" == 1 ]] || { echo "serve_smoke: server never came up on $ADDR" >&2; exit 1; }
+
+OUT=$("$BIN" --client "$ADDR" <<'EOF'
+{"op":"gen","family":"rmat","log_n":12}
+{"op":"submit","query":"bfs","source":0}
+{"op":"wait","id":1}
+{"op":"submit","query":"bfs","source":0}
+{"op":"wait","id":2}
+{"op":"submit","query":"pagerank","max_iters":50,"deadline_ms":0}
+{"op":"wait","id":3}
+{"op":"span","id":3}
+{"op":"stats"}
+EOF
+)
+echo "$OUT"
+
+line() { echo "$OUT" | sed -n "${1}p"; }
+expect() { # expect <line-no> <grep-pattern> <label>
+    if ! line "$1" | grep -q "$2"; then
+        echo "serve_smoke: FAIL [$3] — response line $1 did not match '$2':" >&2
+        line "$1" >&2
+        exit 1
+    fi
+}
+
+expect 1 '"ok":true'                         "gen accepted"
+expect 1 '"vertices":4096'                   "gen size"
+expect 3 '"status":"done"'                   "bfs completes"
+expect 3 '"cache_hit":false'                 "first bfs is a miss"
+expect 3 '"reached":'                        "bfs carries a result summary"
+expect 5 '"status":"done"'                   "repeat bfs completes"
+expect 5 '"cache_hit":true'                  "repeat bfs on same epoch is a cache hit"
+expect 7 '"status":"cancelled"'              "0ms-deadline query is cancelled"
+expect 7 '"edge_map_rounds":[01]\b'          "cancelled within one round boundary"
+expect 8 '"status":"cancelled"'              "span records the cancellation"
+expect 8 '"rounds":[01],'                    "span round count at the boundary"
+expect 9 '"cache_hits":1'                    "stats count the hit"
+expect 9 '"cancelled":1'                     "stats count the cancellation"
+expect 9 '"completed":2'                     "stats count the completions"
+
+# Clean shutdown path: the server acknowledges, then exits.
+printf '{"op":"shutdown"}\n' | "$BIN" --client "$ADDR" | grep -q '"shutting-down"'
+for _ in $(seq 1 50); do
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "serve_smoke: FAIL — server still alive after shutdown op" >&2
+    exit 1
+fi
+trap - EXIT
+
+echo "serve_smoke: OK"

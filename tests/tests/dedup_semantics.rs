@@ -1,0 +1,131 @@
+//! Property-based tests for `EdgeMapOptions::deduplicate` — the paper's
+//! "remove duplicates" pass over sparse push output.
+//!
+//! Two user-function families bracket the semantics:
+//!
+//! * **Multi-winner** (Bellman–Ford-style): `update_atomic` may return
+//!   `true` for several in-edges of the same target in one round, so the
+//!   raw push output is a multiset. With `deduplicate(true)` the output
+//!   must be duplicate-free; with it off, only the *set* is specified.
+//! * **CAS-claiming** (BFS-style): the update wins at most once per
+//!   target, so the output is duplicate-free with deduplication off, and
+//!   turning it on must not change the result set.
+//!
+//! Coverage caveat: when the workspace is built with the offline vendored
+//! proptest stand-in (`.cargo/config.toml` patch, registry-less sandboxes
+//! only), cases come from a fixed name-derived seed, failures are not
+//! shrunk, and the explored input space is smaller than real proptest's.
+//! CI strips the patch and runs these same tests under real proptest.
+
+use ligra::{edge_fn, edge_map_with, EdgeMapOptions, Traversal, VertexSubset};
+use ligra_graph::{build_graph, BuildOptions, VertexId};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn graph_and_frontier() -> impl Strategy<Value = (usize, Vec<(u32, u32)>, Vec<u32>)> {
+    (2u32..50).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..300);
+        let frontier = proptest::collection::btree_set(0..n, 0..n as usize)
+            .prop_map(|s| s.into_iter().collect::<Vec<u32>>());
+        (Just(n as usize), edges, frontier)
+    })
+}
+
+/// Distinct out-neighbors of the frontier — the output *set* every run
+/// must produce regardless of deduplication.
+fn expected_neighborhood(g: &ligra_graph::Graph, frontier: &[u32]) -> Vec<u32> {
+    let mut expect: Vec<u32> =
+        frontier.iter().flat_map(|&u| g.out_neighbors(u).iter().copied()).collect();
+    expect.sort_unstable();
+    expect.dedup();
+    expect
+}
+
+fn sparse_push(g: &ligra_graph::Graph, frontier: &[u32], dedup: bool) -> VertexSubset {
+    let f = edge_fn(|_s, _d, _w: ()| true, |_| true);
+    let mut fr = VertexSubset::from_sparse(g.num_vertices(), frontier.to_vec());
+    edge_map_with(
+        g,
+        &mut fr,
+        &f,
+        EdgeMapOptions::new().traversal(Traversal::Sparse).deduplicate(dedup),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn multi_winner_output_is_duplicate_free_with_dedup(
+        (n, edges, frontier) in graph_and_frontier(),
+    ) {
+        // Parallel edges multiply the chances of duplicate emissions, so
+        // keep them (directed build, no canonicalization).
+        let g = build_graph(n, &edges, BuildOptions::directed());
+        let expect = expected_neighborhood(&g, &frontier);
+
+        // Deduplicated run: the sparse output list itself (not just the
+        // set) must be duplicate-free, and `len` must count members once.
+        let mut out = sparse_push(&g, &frontier, true);
+        let raw: Vec<VertexId> = out.as_slice().to_vec();
+        let mut uniq = raw.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(raw.len(), uniq.len(), "dedup output has duplicates");
+        prop_assert_eq!(out.len(), uniq.len());
+        prop_assert_eq!(uniq, expect.clone());
+
+        // Raw run: same set; the multiset may only be bigger.
+        let mut out_raw = sparse_push(&g, &frontier, false);
+        prop_assert!(out_raw.as_slice().len() >= raw.len());
+        let mut raw_set = out_raw.to_vec_sorted();
+        raw_set.dedup();
+        prop_assert_eq!(raw_set, expect);
+    }
+
+    #[test]
+    fn cas_claiming_output_ignores_dedup_setting(
+        (n, edges, frontier) in graph_and_frontier(),
+    ) {
+        let g = build_graph(n, &edges, BuildOptions::directed());
+        let expect = expected_neighborhood(&g, &frontier);
+
+        for dedup in [false, true] {
+            // Fresh claim array per run: a target is won by exactly one
+            // in-edge (BFS parent CAS), so even the raw sparse output is
+            // duplicate-free and deduplication must be a no-op.
+            let claims: Vec<AtomicU32> =
+                (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+            let f = edge_fn(
+                |s: VertexId, d: VertexId, _w: ()| {
+                    claims[d as usize]
+                        .compare_exchange(u32::MAX, s, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                },
+                |d: VertexId| claims[d as usize].load(Ordering::SeqCst) == u32::MAX,
+            );
+            let mut fr = VertexSubset::from_sparse(n, frontier.clone());
+            let mut out = edge_map_with(
+                &g,
+                &mut fr,
+                &f,
+                EdgeMapOptions::new().traversal(Traversal::Sparse).deduplicate(dedup),
+            );
+            let raw: Vec<VertexId> = out.as_slice().to_vec();
+            let mut uniq = raw.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            prop_assert_eq!(
+                raw.len(), uniq.len(),
+                "CAS output has duplicates (dedup={})", dedup
+            );
+            prop_assert_eq!(uniq, expect.clone(), "dedup={}", dedup);
+            // Every claimed parent really is a frontier in-neighbor.
+            for &d in &raw {
+                let p = claims[d as usize].load(Ordering::SeqCst);
+                prop_assert!(frontier.contains(&p));
+                prop_assert!(g.out_neighbors(p).contains(&d));
+            }
+        }
+    }
+}
