@@ -14,6 +14,7 @@
 use ligra::{edge_map_recorded, EdgeMapFn, EdgeMapOptions, NoopRecorder, Recorder, VertexSubset};
 use ligra_graph::{Graph, VertexId};
 use ligra_parallel::atomics::cas_u32;
+use ligra_parallel::checked_u32;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -108,7 +109,7 @@ pub fn bfs_traced<R: Recorder>(
         // paper's BFS returns only parents — distances are bookkeeping for
         // the tests and Table 2's reachability checks).
         for (level, fr) in level_sets.iter_mut().enumerate() {
-            let d = level as u32 + 1;
+            let d = checked_u32(level) + 1;
             let dist_cell = ligra_parallel::atomics::as_atomic_u32(&mut dist);
             ligra::vertex_map_recorded(
                 fr,
@@ -131,7 +132,7 @@ impl BfsResult {
         let n = g.num_vertices();
         assert_eq!(self.parent[source as usize], source);
         assert_eq!(self.dist[source as usize], 0);
-        (0..n as u32).into_par_iter().for_each(|v| {
+        (0..checked_u32(n)).into_par_iter().for_each(|v| {
             let p = self.parent[v as usize];
             if v == source {
                 return;
@@ -151,7 +152,7 @@ impl BfsResult {
             );
         });
         // Triangle inequality over every edge: dist[v] <= dist[u] + 1.
-        (0..n as u32).into_par_iter().for_each(|u| {
+        (0..checked_u32(n)).into_par_iter().for_each(|u| {
             let du = self.dist[u as usize];
             if du == UNREACHED {
                 return;

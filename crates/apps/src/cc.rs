@@ -13,6 +13,7 @@ use ligra::{
 };
 use ligra_graph::{Graph, VertexId};
 use ligra_parallel::atomics::write_min_u32;
+use ligra_parallel::checked_u32;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -95,8 +96,8 @@ pub fn cc(g: &Graph) -> CcResult {
 pub fn cc_traced<R: Recorder>(g: &Graph, opts: EdgeMapOptions, stats: &mut R) -> CcResult {
     assert!(g.is_symmetric(), "connected components requires a symmetric graph; symmetrize first");
     let n = g.num_vertices();
-    let mut ids: Vec<u32> = (0..n as u32).collect();
-    let mut prev_ids: Vec<u32> = (0..n as u32).collect();
+    let mut ids: Vec<u32> = (0..checked_u32(n)).collect();
+    let mut prev_ids: Vec<u32> = (0..checked_u32(n)).collect();
     let mut rounds = 0usize;
     {
         let ids = ligra_parallel::atomics::as_atomic_u32(&mut ids);

@@ -17,6 +17,7 @@
 use ligra::{edge_map_with, EdgeMapFn, EdgeMapOptions, VertexSubset};
 use ligra_graph::{build_graph, BuildOptions, Graph, VertexId};
 use ligra_parallel::atomics::cas_u32;
+use ligra_parallel::checked_u32;
 use ligra_parallel::hash::{hash_to_unit, mix64};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -63,6 +64,9 @@ pub fn ldd(g: &Graph, beta: f64, seed: u64) -> Vec<u32> {
         .into_par_iter()
         .map(|v| {
             let u = hash_to_unit(mix64(seed) ^ v).max(1e-12);
+            // The saturating f64->u32 cast is the intended clamp of the
+            // exponential sample, not an ID truncation.
+            // lint: allow(L4): float sample clamp, not an ID cast
             (-u.ln() / beta) as u32
         })
         .collect();
@@ -77,7 +81,7 @@ pub fn ldd(g: &Graph, beta: f64, seed: u64) -> Vec<u32> {
         let mut num_clustered = 0usize;
         while num_clustered < n {
             // Unvisited vertices whose shift has expired become centers.
-            let centers: Vec<u32> = (0..n as u32)
+            let centers: Vec<u32> = (0..checked_u32(n))
                 .into_par_iter()
                 .filter(|&v| {
                     shifts[v as usize] <= round
@@ -119,14 +123,14 @@ fn cc_ldd_rec(g: &Graph, seed: u64, depth: usize) -> Vec<u32> {
     let n = g.num_vertices();
     assert!(depth < 64, "contraction failed to make progress");
     if g.num_edges() == 0 {
-        return (0..n as u32).collect();
+        return (0..checked_u32(n)).collect();
     }
 
     let cluster = ldd(g, 0.2, mix64(seed ^ depth as u64));
 
     // Relabel cluster centers to a dense range [0, k).
     let is_center: Vec<bool> =
-        (0..n as u32).into_par_iter().map(|v| cluster[v as usize] == v).collect();
+        (0..checked_u32(n)).into_par_iter().map(|v| cluster[v as usize] == v).collect();
     let centers = ligra_parallel::pack::pack_index(&is_center);
     let k = centers.len();
     if k == n {
@@ -137,12 +141,12 @@ fn cc_ldd_rec(g: &Graph, seed: u64, depth: usize) -> Vec<u32> {
     }
     let mut dense_id = vec![0u32; n];
     for (i, &c) in centers.iter().enumerate() {
-        dense_id[c as usize] = i as u32;
+        dense_id[c as usize] = checked_u32(i);
     }
 
     // Inter-cluster edges, relabeled.
     let cluster_ref: &[u32] = &cluster;
-    let cross: Vec<(u32, u32)> = (0..n as u32)
+    let cross: Vec<(u32, u32)> = (0..checked_u32(n))
         .into_par_iter()
         .flat_map_iter(|u| {
             let cu = cluster_ref[u as usize];
@@ -160,7 +164,7 @@ fn cc_ldd_rec(g: &Graph, seed: u64, depth: usize) -> Vec<u32> {
     let sub = cc_ldd_rec(&contracted, seed, depth + 1);
 
     // Map back: component of v = component of its cluster center.
-    (0..n as u32)
+    (0..checked_u32(n))
         .into_par_iter()
         .map(|v| {
             let c = cluster[v as usize];
@@ -173,7 +177,7 @@ fn cc_ldd_rec(g: &Graph, seed: u64, depth: usize) -> Vec<u32> {
 /// of each component (matching [`crate::seq::seq_cc`]).
 fn canonicalize_min(n: usize, labels: &[u32]) -> Vec<u32> {
     let mut min_of = vec![u32::MAX; n];
-    for v in 0..n as u32 {
+    for v in 0..checked_u32(n) {
         let l = labels[v as usize] as usize;
         if v < min_of[l] {
             min_of[l] = v;
@@ -234,7 +238,7 @@ mod tests {
         let cluster = ldd(&g, 0.2, 7);
         let n = g.num_vertices();
         // Cover: every vertex labeled; centers label themselves.
-        for v in 0..n as u32 {
+        for v in 0..checked_u32(n) {
             let c = cluster[v as usize];
             assert_ne!(c, u32::MAX);
             assert_eq!(cluster[c as usize], c, "center of {v} is not its own center");
@@ -243,7 +247,7 @@ mod tests {
         // (walk: every non-center has a neighbor in the same cluster that
         // is one BFS hop closer to the center; verify weak version — some
         // neighbor shares the cluster).
-        for v in 0..n as u32 {
+        for v in 0..checked_u32(n) {
             let c = cluster[v as usize];
             if c != v {
                 assert!(

@@ -21,6 +21,7 @@ use crate::seq::seq_bfs;
 use ligra::EdgeMapOptions;
 use ligra::TraversalStats;
 use ligra_graph::Graph;
+use ligra_parallel::checked_u32;
 
 /// 2-approximation of all eccentricities: one BFS per component.
 ///
@@ -40,7 +41,7 @@ pub fn two_approx(g: &Graph) -> Vec<u32> {
     // vertex. Components are processed one after another; each BFS is the
     // parallel frontier BFS.
     let mut seen = std::collections::HashSet::new();
-    for v in 0..n as u32 {
+    for v in 0..checked_u32(n) {
         let root = labels[v as usize];
         if !seen.insert(root) {
             continue;
@@ -69,7 +70,7 @@ pub fn k_bfs_two_pass(g: &Graph, seed: u64) -> RadiiResult {
 
     // Pick the most eccentric vertices found by pass 1 as pass-2 sources.
     let mut by_est: Vec<u32> =
-        (0..n as u32).filter(|&v| first.radii[v as usize] != UNKNOWN_RADIUS).collect();
+        (0..checked_u32(n)).filter(|&v| first.radii[v as usize] != UNKNOWN_RADIUS).collect();
     by_est.sort_unstable_by_key(|&v| (std::cmp::Reverse(first.radii[v as usize]), v));
     by_est.truncate(SAMPLES.min(n));
     if by_est.is_empty() {
@@ -100,7 +101,7 @@ pub fn k_bfs_two_pass(g: &Graph, seed: u64) -> RadiiResult {
 pub fn exact(g: &Graph) -> Vec<u32> {
     assert!(g.is_symmetric());
     let n = g.num_vertices();
-    (0..n as u32)
+    (0..checked_u32(n))
         .map(|v| {
             let (dist, _) = seq_bfs(g, v);
             dist.into_iter().filter(|&d| d != crate::UNREACHED).max().unwrap_or(0)

@@ -13,6 +13,7 @@ use ligra::{
     VertexSubset,
 };
 use ligra_graph::{Graph, VertexId};
+use ligra_parallel::checked_u32;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Output of [`kcore`].
@@ -74,7 +75,7 @@ pub fn kcore(g: &Graph) -> KCoreResult {
 pub fn kcore_traced<R: Recorder>(g: &Graph, opts: EdgeMapOptions, stats: &mut R) -> KCoreResult {
     assert!(g.is_symmetric(), "k-core requires a symmetric graph");
     let n = g.num_vertices();
-    let mut degrees: Vec<u32> = (0..n as u32).map(|v| g.out_degree(v) as u32).collect();
+    let mut degrees: Vec<u32> = (0..checked_u32(n)).map(|v| checked_u32(g.out_degree(v))).collect();
     let mut alive: Vec<u32> = vec![1; n];
     let mut coreness: Vec<u32> = vec![0; n];
     let mut num_alive = n;
@@ -127,7 +128,7 @@ pub fn kcore_traced<R: Recorder>(g: &Graph, opts: EdgeMapOptions, stats: &mut R)
 pub fn seq_kcore(g: &Graph) -> Vec<u32> {
     assert!(g.is_symmetric());
     let n = g.num_vertices();
-    let mut degree: Vec<u32> = (0..n as u32).map(|v| g.out_degree(v) as u32).collect();
+    let mut degree: Vec<u32> = (0..checked_u32(n)).map(|v| checked_u32(g.out_degree(v))).collect();
     let max_deg = degree.iter().copied().max().unwrap_or(0) as usize;
 
     // Bucket sort vertices by degree.
@@ -142,7 +143,7 @@ pub fn seq_kcore(g: &Graph) -> Vec<u32> {
     let mut order = vec![0u32; n]; // sorted by current degree
     {
         let mut cursor = bucket_start.clone();
-        for v in 0..n as u32 {
+        for v in 0..checked_u32(n) {
             let d = degree[v as usize] as usize;
             order[cursor[d]] = v;
             pos[v as usize] = cursor[d];

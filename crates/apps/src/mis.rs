@@ -14,6 +14,7 @@ use ligra::{
     NoopRecorder, Recorder, VertexSubset,
 };
 use ligra_graph::{Graph, VertexId};
+use ligra_parallel::checked_u32;
 use ligra_parallel::hash::mix64;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -41,7 +42,7 @@ impl MisResult {
     /// maximal (every non-member has a member neighbor). Requires the same
     /// graph the result was computed on.
     pub fn validate(&self, g: &Graph) {
-        for v in 0..g.num_vertices() as u32 {
+        for v in 0..checked_u32(g.num_vertices()) {
             let ns = g.out_neighbors(v);
             if self.in_set[v as usize] {
                 for &u in ns {
@@ -201,7 +202,7 @@ pub fn seq_mis(g: &Graph) -> Vec<bool> {
     let n = g.num_vertices();
     let mut in_set = vec![false; n];
     let mut excluded = vec![false; n];
-    for v in 0..n as u32 {
+    for v in 0..checked_u32(n) {
         if !excluded[v as usize] {
             in_set[v as usize] = true;
             for &u in g.out_neighbors(v) {

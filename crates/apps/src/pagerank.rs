@@ -19,6 +19,7 @@ use ligra::{
 };
 use ligra_graph::{Graph, VertexId};
 use ligra_parallel::atomics::{as_atomic_f64, AtomicF64};
+use ligra_parallel::checked_u32;
 use ligra_parallel::reduce::reduce_with;
 use rayon::prelude::*;
 use std::sync::atomic::Ordering;
@@ -96,7 +97,7 @@ pub fn pagerank_traced<R: Recorder>(
             shares
                 .par_iter_mut()
                 .enumerate()
-                .for_each(|(s, slot)| *slot = p[s] / (g.out_degree(s as VertexId).max(1)) as f64);
+                .for_each(|(s, slot)| *slot = p[s] / (g.out_degree(checked_u32(s)).max(1)) as f64);
             let next_cells = as_atomic_f64(&mut next);
             let f = PrF { shares: &shares, next: next_cells };
             let _ = edge_map_recorded(g, &mut frontier, &f, opts, stats);

@@ -16,6 +16,7 @@ use ligra::{
     VertexSubset,
 };
 use ligra_graph::{Graph, VertexId};
+use ligra_parallel::checked_u32;
 use ligra_parallel::hash::hash_to_range;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
@@ -116,7 +117,7 @@ pub fn pick_sample(g: &Graph, seed: u64) -> Vec<VertexId> {
     // nowhere); hash-probe with a bounded attempt budget.
     let mut attempt = 0u64;
     while sample.len() < want && attempt < 64 * SAMPLES as u64 {
-        let v = hash_to_range(seed ^ attempt, n as u64) as VertexId;
+        let v = checked_u32(hash_to_range(seed ^ attempt, n as u64));
         attempt += 1;
         if g.out_degree(v) > 0 && picked.insert(v) {
             sample.push(v);
@@ -195,7 +196,7 @@ pub fn radii_from_sample<R: Recorder>(
                 visited: visited_cells,
                 next_visited: next_cells,
                 radii: radii_cells,
-                round: rounds as u32,
+                round: checked_u32(rounds),
             };
             frontier = edge_map_recorded(g, &mut frontier, &f, opts, stats);
             // Commit the masks of the changed vertices (paper's

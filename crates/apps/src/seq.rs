@@ -6,6 +6,7 @@
 //! parallel codes pinned to one thread.
 
 use ligra_graph::{Graph, VertexId, WeightedGraph};
+use ligra_parallel::checked_u32;
 use std::collections::VecDeque;
 
 /// Unreached marker for BFS distances/parents.
@@ -39,7 +40,7 @@ pub fn seq_bfs(g: &Graph, source: VertexId) -> (Vec<u32>, Vec<u32>) {
 /// algorithm converges to).
 pub fn seq_cc(g: &Graph) -> Vec<u32> {
     let n = g.num_vertices();
-    let mut uf: Vec<u32> = (0..n as u32).collect();
+    let mut uf: Vec<u32> = (0..checked_u32(n)).collect();
 
     fn find(uf: &mut [u32], mut x: u32) -> u32 {
         while uf[x as usize] != x {
@@ -50,7 +51,7 @@ pub fn seq_cc(g: &Graph) -> Vec<u32> {
         x
     }
 
-    for u in 0..n as u32 {
+    for u in 0..checked_u32(n) {
         for &v in g.out_neighbors(u) {
             let ru = find(&mut uf, u);
             let rv = find(&mut uf, v);
@@ -64,7 +65,7 @@ pub fn seq_cc(g: &Graph) -> Vec<u32> {
             }
         }
     }
-    (0..n as u32).map(|v| find(&mut uf, v)).collect()
+    (0..checked_u32(n)).map(|v| find(&mut uf, v)).collect()
 }
 
 /// Sequential PageRank with the paper's update rule (uniform start,
@@ -78,7 +79,7 @@ pub fn seq_pagerank(g: &Graph, alpha: f64, eps: f64, max_iters: usize) -> (Vec<f
     let base = (1.0 - alpha) / n as f64;
     for iter in 1..=max_iters {
         next.iter_mut().for_each(|x| *x = 0.0);
-        for u in 0..n as u32 {
+        for u in 0..checked_u32(n) {
             let deg = g.out_degree(u);
             if deg > 0 {
                 let share = p[u as usize] / deg as f64;
@@ -109,7 +110,7 @@ pub fn seq_bellman_ford(g: &WeightedGraph, source: VertexId) -> Option<Vec<i64>>
     dist[source as usize] = 0;
     for round in 0..n {
         let mut changed = false;
-        for u in 0..n as u32 {
+        for u in 0..checked_u32(n) {
             let du = dist[u as usize];
             if du == i64::MAX {
                 continue;
@@ -180,7 +181,7 @@ pub fn seq_brandes(g: &Graph, source: VertexId) -> Vec<f64> {
 /// when the sample covers each component. Isolated vertices get 0.
 pub fn seq_eccentricities(g: &Graph) -> Vec<u32> {
     let n = g.num_vertices();
-    (0..n as u32)
+    (0..checked_u32(n))
         .map(|v| {
             let (dist, _) = seq_bfs(g, v);
             dist.iter().filter(|&&d| d != UNREACHED).max().copied().unwrap_or(0)

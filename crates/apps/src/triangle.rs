@@ -10,6 +10,7 @@
 //! power-law graphs.
 
 use ligra_graph::{Graph, VertexId};
+use ligra_parallel::checked_u32;
 use rayon::prelude::*;
 
 /// Output of [`triangle_count`].
@@ -66,12 +67,12 @@ pub fn triangle_count(g: &Graph) -> TriangleResult {
     // Materialize the oriented lists once: O(m) space, reused by every
     // intersection.
     let oriented_lists: Vec<Vec<VertexId>> =
-        (0..n as u32).into_par_iter().map(|v| oriented(g, v)).collect();
+        (0..checked_u32(n)).into_par_iter().map(|v| oriented(g, v)).collect();
 
     let local: Vec<std::sync::atomic::AtomicU64> =
         (0..n).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
 
-    let triangles: u64 = (0..n as u32)
+    let triangles: u64 = (0..checked_u32(n))
         .into_par_iter()
         .map(|u| {
             let lu = &oriented_lists[u as usize];
@@ -100,7 +101,7 @@ pub fn triangle_count(g: &Graph) -> TriangleResult {
 pub fn seq_triangle_count(g: &Graph) -> u64 {
     assert!(g.is_symmetric());
     let mut count = 0u64;
-    for u in 0..g.num_vertices() as u32 {
+    for u in 0..checked_u32(g.num_vertices()) {
         let ns = g.out_neighbors(u);
         for (i, &v) in ns.iter().enumerate() {
             if v <= u {

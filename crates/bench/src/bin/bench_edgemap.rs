@@ -13,9 +13,14 @@
 //! (`BENCH_edgemap.json` by default) for CI artifact upload.
 //!
 //! Usage: `bench_edgemap [--quick] [--out PATH]`
+//!
+//! With `LIGRA_RACE_CHECK=1` (and a binary built with
+//! `--features race-check`) every recorded sweep also runs under the
+//! shadow-state race oracle with the BFS `Claim` contract, and each
+//! policy row is followed by its certification evidence.
 
 use ligra::stats::{Mode, Op};
-use ligra::{EdgeMapOptions, Traversal, TraversalStats};
+use ligra::{EdgeMapOptions, RaceOracle, Traversal, TraversalStats, WinContract};
 use ligra_apps as apps;
 use ligra_graph::generators::rmat;
 use ligra_graph::generators::rmat::RmatOptions;
@@ -47,11 +52,23 @@ fn median(mut xs: Vec<u64>) -> u64 {
 }
 
 /// One traced BFS sweep under `t`; verifies the frontier-bytes contract
-/// of every recorded round and reduces the trace to a summary row.
-fn sweep(g: &ligra_graph::Graph, source: u32, policy: &'static str, t: Traversal) -> ModeRow {
+/// of every recorded round and reduces the trace to a summary row. With
+/// an oracle attached, every round's updates also flow through the race
+/// shadow protocol.
+fn sweep(
+    g: &ligra_graph::Graph,
+    source: u32,
+    policy: &'static str,
+    t: Traversal,
+    oracle: Option<&RaceOracle>,
+) -> ModeRow {
     let packed = (g.num_vertices() as u64).div_ceil(64) * 8;
     let mut stats = TraversalStats::new();
-    let _ = apps::bfs_traced(g, source, EdgeMapOptions::new().traversal(t), &mut stats);
+    let mut opts = EdgeMapOptions::new().traversal(t);
+    if let Some(o) = oracle {
+        opts = opts.race_oracle(o);
+    }
+    let _ = apps::bfs_traced(g, source, opts, &mut stats);
 
     let rounds: Vec<_> = stats.rounds.iter().filter(|r| r.op == Op::EdgeMap).collect();
     for r in &rounds {
@@ -140,11 +157,24 @@ fn main() {
         "edges scanned"
     );
 
+    // LIGRA_RACE_CHECK=1: certify each sweep under the BFS Claim
+    // contract. The oracle hooks exist only in race-check builds; warn
+    // instead of silently reporting an empty certificate otherwise.
+    let race_check = std::env::var("LIGRA_RACE_CHECK").is_ok_and(|v| v == "1");
+    if race_check && !cfg!(feature = "race-check") {
+        eprintln!(
+            "bench_edgemap: LIGRA_RACE_CHECK=1 but this binary was built without the \
+             race-check feature; the oracle hooks are inert. Rebuild with \
+             `cargo run -p ligra-bench --features race-check --bin bench_edgemap`."
+        );
+    }
+
     let mut rows = Vec::new();
     for t in policies() {
         // Warm the traversal (page-in, pool spin-up) before the recorded run.
         let _ = apps::bfs_with(&g, 0, EdgeMapOptions::new().traversal(t));
-        let row = sweep(&g, 0, t.name(), t);
+        let oracle = race_check.then(|| RaceOracle::new(g.num_vertices(), WinContract::Claim));
+        let row = sweep(&g, 0, t.name(), t, oracle.as_ref());
         println!(
             "{:<12} {:>7} {:>16} {:>16} {:>16} {:>14}",
             row.policy,
@@ -154,6 +184,19 @@ fn main() {
             row.frontier_bytes,
             row.edges_scanned
         );
+        if let Some(o) = &oracle {
+            let report = o
+                .certify()
+                .unwrap_or_else(|e| panic!("race certification failed under {}: {e}", t.name()));
+            println!(
+                "  race-check[{}]: certified Claim — {} attempts, {} wins, {} overlaps, {} rounds",
+                t.name(),
+                report.attempts,
+                report.wins,
+                report.overlaps,
+                report.rounds
+            );
+        }
         rows.push(row);
     }
 

@@ -10,6 +10,7 @@ use crate::edge_map::edge_map_with;
 use ligra::{vertex_map, EdgeMapFn, EdgeMapOptions, VertexSubset};
 use ligra_graph::VertexId;
 use ligra_parallel::atomics::{as_atomic_f64, as_atomic_u32, cas_u32, write_min_u32, AtomicF64};
+use ligra_parallel::checked_u32;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -97,8 +98,8 @@ impl EdgeMapFn for CcF<'_> {
 pub fn cc<C: Codec>(g: &CompressedGraph<C>) -> Vec<u32> {
     assert!(g.is_symmetric(), "connected components requires a symmetric graph");
     let n = g.num_vertices();
-    let mut ids: Vec<u32> = (0..n as u32).collect();
-    let mut prev: Vec<u32> = (0..n as u32).collect();
+    let mut ids: Vec<u32> = (0..checked_u32(n)).collect();
+    let mut prev: Vec<u32> = (0..checked_u32(n)).collect();
     {
         let ids = as_atomic_u32(&mut ids);
         let prev = as_atomic_u32(&mut prev);
@@ -155,7 +156,7 @@ pub fn pagerank<C: Codec>(
         shares
             .par_iter_mut()
             .enumerate()
-            .for_each(|(s, slot)| *slot = p[s] / (g.out_degree(s as u32).max(1)) as f64);
+            .for_each(|(s, slot)| *slot = p[s] / (g.out_degree(checked_u32(s)).max(1)) as f64);
         {
             let cells = as_atomic_f64(&mut next);
             let f = PrF { shares: &shares, next: cells };

@@ -9,6 +9,7 @@
 
 use crate::codec::{ByteCode, Codec};
 use ligra_graph::{Graph, VertexId};
+use ligra_parallel::checked_u32;
 use ligra_parallel::scan::prefix_sums;
 use rayon::prelude::*;
 
@@ -29,7 +30,7 @@ impl<C: Codec> CompressedAdjacency<C> {
     /// builder guarantees this for deduplicated graphs).
     pub fn from_adjacency(adj: &ligra_graph::Adjacency<()>) -> Self {
         let n = adj.num_vertices();
-        let chunks: Vec<Vec<u8>> = (0..n as u32)
+        let chunks: Vec<Vec<u8>> = (0..checked_u32(n))
             .into_par_iter()
             .map(|v| {
                 let ns = adj.neighbors(v);
@@ -50,7 +51,7 @@ impl<C: Codec> CompressedAdjacency<C> {
         for c in &chunks {
             data.extend_from_slice(c);
         }
-        let degrees: Vec<u32> = (0..n as u32).map(|v| adj.degree(v) as u32).collect();
+        let degrees: Vec<u32> = (0..checked_u32(n)).map(|v| checked_u32(adj.degree(v))).collect();
         CompressedAdjacency { offsets, degrees, data, _codec: std::marker::PhantomData }
     }
 

@@ -11,6 +11,7 @@
 
 use crate::varint;
 use ligra_graph::VertexId;
+use ligra_parallel::checked_u32;
 
 /// An adjacency-list encoding scheme.
 pub trait Codec: Default + Clone + Send + Sync + 'static {
@@ -60,11 +61,11 @@ impl Iterator for ByteIter<'_> {
             self.first = false;
             let (diff, pos) = varint::decode_i64(self.data, self.pos);
             self.pos = pos;
-            (self.v as i64 + diff) as VertexId
+            checked_u32(self.v as i64 + diff)
         } else {
             let (gap, pos) = varint::decode_u64(self.data, self.pos);
             self.pos = pos;
-            self.prev + gap as VertexId
+            self.prev + checked_u32(gap)
         };
         self.prev = ngh;
         Some(ngh)
@@ -169,9 +170,9 @@ impl Iterator for NibbleIter<'_> {
         self.nib = nib;
         let ngh = if self.first {
             self.first = false;
-            (self.v as i64 + varint::unzigzag(raw)) as VertexId
+            checked_u32(self.v as i64 + varint::unzigzag(raw))
         } else {
-            self.prev + raw as VertexId
+            self.prev + checked_u32(raw)
         };
         self.prev = ngh;
         Some(ngh)
@@ -281,7 +282,7 @@ impl Iterator for ByteRleIter<'_> {
             self.first = false;
             let (diff, pos) = varint::decode_i64(self.data, self.pos);
             self.pos = pos;
-            let ngh = (self.v as i64 + diff) as VertexId;
+            let ngh = checked_u32(self.v as i64 + diff);
             self.prev = ngh;
             return Some(ngh);
         }
@@ -298,7 +299,7 @@ impl Iterator for ByteRleIter<'_> {
         self.pos += self.width;
         self.run_left -= 1;
 
-        let ngh = self.prev + raw as VertexId;
+        let ngh = self.prev + checked_u32(raw);
         self.prev = ngh;
         Some(ngh)
     }

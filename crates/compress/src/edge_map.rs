@@ -16,6 +16,7 @@ use crate::cgraph::CompressedGraph;
 use crate::codec::Codec;
 use ligra::edge_map::EDGE_BLOCK;
 use ligra::options::{EdgeMapOptions, Traversal};
+use ligra::race::RaceOracle;
 use ligra::stats::{
     EdgeCounters, Mode, NoopRecorder, Recorder, ReprKind, RoundStat, TraversalStats,
 };
@@ -23,6 +24,7 @@ use ligra::traits::EdgeMapFn;
 use ligra::vertex_subset::VertexSubset;
 use ligra_graph::VertexId;
 use ligra_parallel::bitvec::{AtomicBitVec, BitSet};
+use ligra_parallel::checked_u32;
 use ligra_parallel::scan::prefix_sums;
 use ligra_parallel::utils::SendPtr;
 use rayon::prelude::*;
@@ -106,7 +108,7 @@ fn edge_map_impl<C: Codec, F: EdgeMapFn<()>, R: Recorder>(
                 let mut sum = 0u64;
                 let mut w = w0;
                 while w != 0 {
-                    sum += g.out_degree((wi * 64) as u32 + w.trailing_zeros()) as u64;
+                    sum += g.out_degree(checked_u32(wi * 64) + w.trailing_zeros()) as u64;
                     w &= w - 1;
                 }
                 sum
@@ -135,13 +137,23 @@ fn edge_map_impl<C: Codec, F: EdgeMapFn<()>, R: Recorder>(
     let counters = tracing.then(EdgeCounters::new);
     let c = counters.as_ref();
 
+    // Round boundary for the race oracle, mirroring `ligra::edge_map`.
+    #[cfg(feature = "race-check")]
+    if let Some(o) = opts.oracle {
+        o.begin_round();
+    }
+
     let result = if frontier.is_empty() {
         VertexSubset::empty(n)
     } else {
         match mode {
-            Mode::Sparse => sparse(g, frontier.as_slice(), f, opts.deduplicate, opts.output, c),
-            Mode::Dense => dense(g, frontier.as_bits(), f, opts.output, c),
-            Mode::DenseForward => dense_forward(g, frontier.as_bits(), f, opts.output, c),
+            Mode::Sparse => {
+                sparse(g, frontier.as_slice(), f, opts.deduplicate, opts.output, c, opts.oracle)
+            }
+            Mode::Dense => dense(g, frontier.as_bits(), f, opts.output, c, opts.oracle),
+            Mode::DenseForward => {
+                dense_forward(g, frontier.as_bits(), f, opts.output, c, opts.oracle)
+            }
         }
     };
 
@@ -192,7 +204,10 @@ fn sparse<C: Codec, F: EdgeMapFn<()>>(
     deduplicate: bool,
     output: bool,
     counters: Option<&EdgeCounters>,
+    oracle: Option<&RaceOracle>,
 ) -> VertexSubset {
+    #[cfg(not(feature = "race-check"))]
+    let _ = oracle;
     let n = g.num_vertices();
     let degrees: Vec<u64> = vs.par_iter().map(|&u| g.out_degree(u) as u64).collect();
     let (offsets, total) = prefix_sums(&degrees);
@@ -225,7 +240,15 @@ fn sparse<C: Codec, F: EdgeMapFn<()>>(
                 scanned += g.out_degree(u) as u64;
                 for v in g.out_neighbors(u) {
                     if f.cond(v) {
+                        #[cfg(feature = "race-check")]
+                        if let Some(o) = oracle {
+                            o.enter_atomic(u, v);
+                        }
                         let won = f.update_atomic(u, v, ());
+                        #[cfg(feature = "race-check")]
+                        if let Some(o) = oracle {
+                            o.exit_atomic(u, v, won);
+                        }
                         if let Some(c) = counters {
                             c.cas_attempts.incr();
                             if won {
@@ -279,7 +302,10 @@ fn dense<C: Codec, F: EdgeMapFn<()>>(
     f: &F,
     output: bool,
     counters: Option<&EdgeCounters>,
+    oracle: Option<&RaceOracle>,
 ) -> VertexSubset {
+    #[cfg(not(feature = "race-check"))]
+    let _ = oracle;
     let n = g.num_vertices();
     debug_assert_eq!(bits.len(), n);
     let nwords = bits.words().len();
@@ -292,13 +318,24 @@ fn dense<C: Codec, F: EdgeMapFn<()>>(
             let mut scanned_w = 0u64;
             let mut skipped_w = 0u64;
             for v in lo..hi {
-                let vid = v as VertexId;
+                let vid = checked_u32(v);
                 let mut scanned = 0u64;
                 if f.cond(vid) {
                     for u in g.in_neighbors(vid) {
                         scanned += 1;
-                        if bits.get(u as usize) && f.update(u, vid, ()) && output {
-                            out_w |= 1u64 << (v - lo);
+                        if bits.get(u as usize) {
+                            #[cfg(feature = "race-check")]
+                            if let Some(o) = oracle {
+                                o.enter_exclusive(u, vid);
+                            }
+                            let won = f.update(u, vid, ());
+                            #[cfg(feature = "race-check")]
+                            if let Some(o) = oracle {
+                                o.exit_exclusive(u, vid, won);
+                            }
+                            if won && output {
+                                out_w |= 1u64 << (v - lo);
+                            }
                         }
                         if !f.cond(vid) {
                             break;
@@ -328,7 +365,10 @@ fn dense_forward<C: Codec, F: EdgeMapFn<()>>(
     f: &F,
     output: bool,
     counters: Option<&EdgeCounters>,
+    oracle: Option<&RaceOracle>,
 ) -> VertexSubset {
+    #[cfg(not(feature = "race-check"))]
+    let _ = oracle;
     let n = g.num_vertices();
     debug_assert_eq!(bits.len(), n);
     let mut next = BitSet::new(n);
@@ -340,14 +380,22 @@ fn dense_forward<C: Codec, F: EdgeMapFn<()>>(
             }
             let mut w = w0;
             while w != 0 {
-                let u = (wi * 64) as u32 + w.trailing_zeros();
+                let u = checked_u32(wi * 64) + w.trailing_zeros();
                 w &= w - 1;
                 if let Some(c) = counters {
                     c.edges_scanned.add(g.out_degree(u) as u64);
                 }
                 for v in g.out_neighbors(u) {
                     if f.cond(v) {
+                        #[cfg(feature = "race-check")]
+                        if let Some(o) = oracle {
+                            o.enter_atomic(u, v);
+                        }
                         let won = f.update_atomic(u, v, ());
+                        #[cfg(feature = "race-check")]
+                        if let Some(o) = oracle {
+                            o.exit_atomic(u, v, won);
+                        }
                         if let Some(c) = counters {
                             c.cas_attempts.incr();
                             if won {

@@ -38,6 +38,7 @@
 //! forced and the heuristic doesn't need it.
 
 use crate::options::{EdgeMapOptions, Traversal};
+use crate::race::RaceOracle;
 use crate::stats::{
     EdgeCounters, Mode, NoopRecorder, Recorder, ReprKind, RoundStat, TraversalStats,
 };
@@ -45,6 +46,7 @@ use crate::traits::EdgeMapFn;
 use crate::vertex_subset::VertexSubset;
 use ligra_graph::{Graph, VertexId};
 use ligra_parallel::bitvec::{AtomicBitVec, BitSet};
+use ligra_parallel::checked_u32;
 use ligra_parallel::scan::prefix_sums;
 use ligra_parallel::utils::SendPtr;
 use rayon::prelude::*;
@@ -183,16 +185,26 @@ where
     let counters = tracing.then(EdgeCounters::new);
     let c = counters.as_ref();
 
+    // A new round starts: reset the oracle's per-round win ledger so a
+    // Claim-contract function may legitimately re-win targets it claimed
+    // in earlier rounds (Bellman–Ford relaxations, k-core decrements).
+    #[cfg(feature = "race-check")]
+    if let Some(o) = opts.oracle {
+        o.begin_round();
+    }
+
     let result = if frontier.is_empty() {
         VertexSubset::empty(n)
     } else {
         match mode {
             Mode::Sparse => {
                 let vs = frontier.as_slice();
-                sparse_impl(g, vs, f, opts.deduplicate, opts.output, c)
+                sparse_impl(g, vs, f, opts.deduplicate, opts.output, c, opts.oracle)
             }
-            Mode::Dense => dense_impl(g, frontier.as_bits(), f, opts.output, c),
-            Mode::DenseForward => dense_forward_impl(g, frontier.as_bits(), f, opts.output, c),
+            Mode::Dense => dense_impl(g, frontier.as_bits(), f, opts.output, c, opts.oracle),
+            Mode::DenseForward => {
+                dense_forward_impl(g, frontier.as_bits(), f, opts.output, c, opts.oracle)
+            }
         }
     };
 
@@ -256,7 +268,7 @@ fn frontier_degree_sum<W: Copy + Send + Sync>(g: &Graph<W>, frontier: &VertexSub
                 let mut sum = 0u64;
                 let mut w = w0;
                 while w != 0 {
-                    let v = (wi * 64) as u32 + w.trailing_zeros();
+                    let v = checked_u32(wi * 64) + w.trailing_zeros();
                     w &= w - 1;
                     sum += g.out_degree(v) as u64;
                 }
@@ -281,7 +293,7 @@ where
     W: Copy + Send + Sync + Default,
     F: EdgeMapFn<W>,
 {
-    sparse_impl(g, vs, f, deduplicate, output, None)
+    sparse_impl(g, vs, f, deduplicate, output, None, None)
 }
 
 fn sparse_impl<W, F>(
@@ -291,11 +303,14 @@ fn sparse_impl<W, F>(
     deduplicate: bool,
     output: bool,
     counters: Option<&EdgeCounters>,
+    oracle: Option<&RaceOracle>,
 ) -> VertexSubset
 where
     W: Copy + Send + Sync + Default,
     F: EdgeMapFn<W>,
 {
+    #[cfg(not(feature = "race-check"))]
+    let _ = oracle;
     let n = g.num_vertices();
     // Offsets of each source's run within the frontier's edge range.
     let degrees: Vec<u64> = vs.par_iter().map(|&u| g.out_degree(u) as u64).collect();
@@ -339,7 +354,15 @@ where
                 let j1 = ns.len().min((hi - base) as usize);
                 for (j, &v) in ns.iter().enumerate().take(j1).skip(j0) {
                     if f.cond(v) {
+                        #[cfg(feature = "race-check")]
+                        if let Some(o) = oracle {
+                            o.enter_atomic(u, v);
+                        }
                         let won = f.update_atomic(u, v, wt(ws, j));
+                        #[cfg(feature = "race-check")]
+                        if let Some(o) = oracle {
+                            o.exit_atomic(u, v, won);
+                        }
                         if let Some(c) = counters {
                             c.cas_attempts.incr();
                             if won {
@@ -399,7 +422,7 @@ where
     W: Copy + Send + Sync + Default,
     F: EdgeMapFn<W>,
 {
-    dense_impl(g, bits, f, output, None)
+    dense_impl(g, bits, f, output, None, None)
 }
 
 fn dense_impl<W, F>(
@@ -408,11 +431,14 @@ fn dense_impl<W, F>(
     f: &F,
     output: bool,
     counters: Option<&EdgeCounters>,
+    oracle: Option<&RaceOracle>,
 ) -> VertexSubset
 where
     W: Copy + Send + Sync + Default,
     F: EdgeMapFn<W>,
 {
+    #[cfg(not(feature = "race-check"))]
+    let _ = oracle;
     let n = g.num_vertices();
     debug_assert_eq!(bits.len(), n);
     let nwords = bits.words().len();
@@ -425,15 +451,26 @@ where
             let mut scanned_w = 0u64;
             let mut skipped_w = 0u64;
             for v in lo..hi {
-                let vid = v as VertexId;
+                let vid = checked_u32(v);
                 let ns = g.in_neighbors(vid);
                 let mut scanned = 0usize;
                 if f.cond(vid) {
                     let ws = g.in_weights(vid);
                     for (j, &u) in ns.iter().enumerate() {
                         scanned = j + 1;
-                        if bits.get(u as usize) && f.update(u, vid, wt(ws, j)) && output {
-                            out_w |= 1u64 << (v - lo);
+                        if bits.get(u as usize) {
+                            #[cfg(feature = "race-check")]
+                            if let Some(o) = oracle {
+                                o.enter_exclusive(u, vid);
+                            }
+                            let won = f.update(u, vid, wt(ws, j));
+                            #[cfg(feature = "race-check")]
+                            if let Some(o) = oracle {
+                                o.exit_exclusive(u, vid, won);
+                            }
+                            if won && output {
+                                out_w |= 1u64 << (v - lo);
+                            }
                         }
                         if !f.cond(vid) {
                             break;
@@ -472,7 +509,7 @@ where
     W: Copy + Send + Sync + Default,
     F: EdgeMapFn<W>,
 {
-    dense_forward_impl(g, bits, f, output, None)
+    dense_forward_impl(g, bits, f, output, None, None)
 }
 
 fn dense_forward_impl<W, F>(
@@ -481,11 +518,14 @@ fn dense_forward_impl<W, F>(
     f: &F,
     output: bool,
     counters: Option<&EdgeCounters>,
+    oracle: Option<&RaceOracle>,
 ) -> VertexSubset
 where
     W: Copy + Send + Sync + Default,
     F: EdgeMapFn<W>,
 {
+    #[cfg(not(feature = "race-check"))]
+    let _ = oracle;
     let n = g.num_vertices();
     debug_assert_eq!(bits.len(), n);
     let mut next = BitSet::new(n);
@@ -497,7 +537,7 @@ where
             }
             let mut w = w0;
             while w != 0 {
-                let u = (wi * 64) as u32 + w.trailing_zeros();
+                let u = checked_u32(wi * 64) + w.trailing_zeros();
                 w &= w - 1;
                 let ns = g.out_neighbors(u);
                 let ws = g.out_weights(u);
@@ -507,7 +547,15 @@ where
                 let body = |j: usize| {
                     let v = ns[j];
                     if f.cond(v) {
+                        #[cfg(feature = "race-check")]
+                        if let Some(o) = oracle {
+                            o.enter_atomic(u, v);
+                        }
                         let won = f.update_atomic(u, v, wt(ws, j));
+                        #[cfg(feature = "race-check")]
+                        if let Some(o) = oracle {
+                            o.exit_atomic(u, v, won);
+                        }
                         if let Some(c) = counters {
                             c.cas_attempts.incr();
                             if won {

@@ -52,6 +52,7 @@
 pub mod cancel;
 pub mod edge_map;
 pub mod options;
+pub mod race;
 pub mod stats;
 pub mod trace;
 pub mod traits;
@@ -64,6 +65,7 @@ pub use crate::edge_map::{
     edge_map_traced, edge_map_with,
 };
 pub use crate::options::{EdgeMapOptions, Traversal};
+pub use crate::race::{OracleReport, RaceOracle, Violation, ViolationKind, WinContract};
 pub use crate::stats::{
     EdgeCounters, Mode, NoopRecorder, Op, Recorder, ReprKind, RoundStat, TraversalStats,
 };

@@ -1,6 +1,7 @@
 //! `edgeMap` tuning knobs.
 
 use crate::cancel::CancelToken;
+use crate::race::RaceOracle;
 
 /// Which traversal `edgeMap` should use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +87,11 @@ pub struct EdgeMapOptions<'a> {
     /// with loops not driven by the `edgeMap` output (PageRank, k-core,
     /// MIS, BC's backward sweep) check the same token themselves.
     pub cancel: Option<&'a CancelToken>,
+    /// Shadow-state race oracle certifying the update function's win
+    /// discipline. Recording only happens in builds with the core
+    /// `race-check` feature; without it the attached oracle is inert
+    /// (the traversal hooks compile away). See [`crate::race`].
+    pub oracle: Option<&'a RaceOracle>,
 }
 
 impl Default for EdgeMapOptions<'_> {
@@ -96,6 +102,7 @@ impl Default for EdgeMapOptions<'_> {
             traversal: Traversal::Auto,
             output: true,
             cancel: None,
+            oracle: None,
         }
     }
 }
@@ -133,6 +140,13 @@ impl<'a> EdgeMapOptions<'a> {
     /// Attaches a cancellation token checked at every round boundary.
     pub fn cancel(mut self, token: &'a CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a race oracle recording every update attempt (active
+    /// only under the `race-check` feature).
+    pub fn race_oracle(mut self, oracle: &'a RaceOracle) -> Self {
+        self.oracle = Some(oracle);
         self
     }
 
@@ -177,6 +191,14 @@ mod tests {
         assert!(!o.is_cancelled());
         token.cancel();
         assert!(o.is_cancelled());
+    }
+
+    #[test]
+    fn race_oracle_threads_through() {
+        let oracle = crate::race::RaceOracle::new(4, crate::race::WinContract::Claim);
+        let o = EdgeMapOptions::new().race_oracle(&oracle);
+        assert!(o.oracle.is_some());
+        assert!(EdgeMapOptions::new().oracle.is_none());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::stats::{Op, Recorder, ReprKind, RoundStat};
 use crate::vertex_subset::VertexSubset;
 use ligra_graph::VertexId;
+use ligra_parallel::checked_u32;
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -18,7 +19,7 @@ pub fn vertex_map(subset: &VertexSubset, f: impl Fn(VertexId) + Sync) {
         bits.words().par_iter().enumerate().for_each(|(wi, &w0)| {
             let mut w = w0;
             while w != 0 {
-                f((wi * 64) as VertexId + w.trailing_zeros());
+                f(checked_u32(wi * 64) + w.trailing_zeros());
                 w &= w - 1;
             }
         });
@@ -44,7 +45,7 @@ pub fn vertex_filter(subset: &VertexSubset, f: impl Fn(VertexId) -> bool + Sync)
                 let mut w = w0;
                 while w != 0 {
                     let b = w.trailing_zeros();
-                    if f((wi * 64) as VertexId + b) {
+                    if f(checked_u32(wi * 64) + b) {
                         out |= 1u64 << b;
                     }
                     w &= w - 1;
@@ -125,7 +126,7 @@ pub fn vertex_map_reduce_f64(subset: &VertexSubset, f: impl Fn(VertexId) -> f64 
                 let mut sum = 0.0;
                 let mut w = w0;
                 while w != 0 {
-                    sum += f((wi * 64) as VertexId + w.trailing_zeros());
+                    sum += f(checked_u32(wi * 64) + w.trailing_zeros());
                     w &= w - 1;
                 }
                 sum

@@ -21,6 +21,7 @@
 
 use ligra_graph::VertexId;
 use ligra_parallel::bitvec::BitSet;
+use ligra_parallel::checked_u32;
 use ligra_parallel::pack::pack_index_bits;
 
 /// The two frontier representations.
@@ -97,7 +98,7 @@ impl VertexSubset {
 
     /// Builds the subset `{ v : pred(v) }` in parallel.
     pub fn from_fn(n: usize, pred: impl Fn(VertexId) -> bool + Sync) -> Self {
-        VertexSubset::from_bitset(n, BitSet::from_fn(n, |v| pred(v as VertexId)))
+        VertexSubset::from_bitset(n, BitSet::from_fn(n, |v| pred(checked_u32(v))))
     }
 
     /// Size of the universe `n`.

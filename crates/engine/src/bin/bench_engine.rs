@@ -17,6 +17,7 @@
 use ligra::Traversal;
 use ligra_engine::{Engine, EngineConfig, Query, QueryStatus, SubmitError};
 use ligra_graph::generators::{rmat, RmatOptions};
+use ligra_parallel::checked_u32;
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -48,8 +49,8 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 /// heavier analytics sprinkled in, sources spread across the graph.
 fn pick_query(i: u64, n: u32) -> Query {
     match i % 8 {
-        0..=2 => Query::Bfs { source: (i.wrapping_mul(2654435761) % n as u64) as u32 },
-        3 | 4 => Query::Bc { source: (i.wrapping_mul(40503) % n as u64) as u32 },
+        0..=2 => Query::Bfs { source: checked_u32(i.wrapping_mul(2654435761) % n as u64) },
+        3 | 4 => Query::Bc { source: checked_u32(i.wrapping_mul(40503) % n as u64) },
         5 => Query::Cc,
         6 => Query::PageRank { iters: 5 },
         _ => Query::Radii { seed: i },
@@ -169,7 +170,7 @@ fn main() {
     levels.dedup();
 
     let g = rmat(&RmatOptions::paper(log_n));
-    let n = g.num_vertices() as u32;
+    let n = checked_u32(g.num_vertices());
     let m = g.num_edges();
     eprintln!(
         "bench_engine: rmat 2^{log_n} ({n} vertices, {m} edges), {workers} workers, \

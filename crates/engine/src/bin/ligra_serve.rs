@@ -115,11 +115,16 @@ fn load_into(engine: &Engine, path: &str, symmetric: bool, weighted: bool) -> Re
     }
 }
 
+/// Narrows a request-supplied integer, reporting (not panicking on) overflow.
+fn to_u32(x: u64, field: &str) -> Result<u32, String> {
+    u32::try_from(x).map_err(|_| format!("{field} {x} exceeds u32 range"))
+}
+
 fn generate(req: &Request) -> Result<Graph, String> {
     let seed = req.u64_or("seed", 1)?;
     match req.str("family")? {
         "rmat" => {
-            let log_n = req.u64_or("log_n", 12)? as u32;
+            let log_n = to_u32(req.u64_or("log_n", 12)?, "log_n")?;
             Ok(rmat(&RmatOptions::paper(log_n)))
         }
         "grid3d" => {
@@ -141,13 +146,15 @@ fn generate(req: &Request) -> Result<Graph, String> {
 }
 
 fn query_from(req: &Request) -> Result<Query, String> {
-    let source = req.u64_or("source", 0)? as u32;
+    let source = to_u32(req.u64_or("source", 0)?, "source")?;
     let seed = req.u64_or("seed", 1)?;
     match req.str("query")? {
         "bfs" => Ok(Query::Bfs { source }),
         "bc" => Ok(Query::Bc { source }),
         "cc" => Ok(Query::Cc),
-        "pagerank" => Ok(Query::PageRank { iters: req.u64_or("max_iters", 20)? as u32 }),
+        "pagerank" => {
+            Ok(Query::PageRank { iters: to_u32(req.u64_or("max_iters", 20)?, "max_iters")? })
+        }
         "radii" => Ok(Query::Radii { seed }),
         "bellman-ford" | "bellman_ford" => Ok(Query::BellmanFord { source }),
         "kcore" | "k-core" => Ok(Query::KCore),
@@ -373,7 +380,10 @@ fn main() {
         }
         Some(addr) => {
             let listener = TcpListener::bind(addr).unwrap_or_else(|e| panic!("bind {addr}: {e}"));
-            eprintln!("ligra-serve: listening on {}", listener.local_addr().unwrap());
+            eprintln!(
+                "ligra-serve: listening on {}",
+                listener.local_addr().expect("bound listener has a local addr")
+            );
             for stream in listener.incoming() {
                 let stream = match stream {
                     Ok(s) => s,

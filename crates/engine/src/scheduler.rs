@@ -126,7 +126,7 @@ struct Job {
 
 impl Job {
     fn set_status(&self, status: QueryStatus) {
-        self.state.lock().unwrap().status = status;
+        self.state.lock().expect("scheduler lock poisoned").status = status;
     }
 
     fn finish(
@@ -136,7 +136,7 @@ impl Job {
         error: Option<String>,
         span: QuerySpan,
     ) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock().expect("scheduler lock poisoned");
         st.status = status;
         st.result = result;
         st.error = error;
@@ -192,7 +192,7 @@ impl QueryHandle {
 
     /// Current status.
     pub fn status(&self) -> QueryStatus {
-        self.job.state.lock().unwrap().status
+        self.job.state.lock().expect("scheduler lock poisoned").status
     }
 
     /// Requests cooperative cancellation; the query yields at its next
@@ -203,9 +203,9 @@ impl QueryHandle {
 
     /// Blocks until the query reaches a terminal state.
     pub fn wait(&self) -> QueryStatus {
-        let mut st = self.job.state.lock().unwrap();
+        let mut st = self.job.state.lock().expect("scheduler lock poisoned");
         while !st.status.is_terminal() {
-            st = self.job.done.wait(st).unwrap();
+            st = self.job.done.wait(st).expect("scheduler lock poisoned");
         }
         st.status
     }
@@ -213,10 +213,11 @@ impl QueryHandle {
     /// Blocks up to `timeout`; `None` if still not terminal.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<QueryStatus> {
         let deadline = Instant::now() + timeout;
-        let mut st = self.job.state.lock().unwrap();
+        let mut st = self.job.state.lock().expect("scheduler lock poisoned");
         while !st.status.is_terminal() {
             let left = deadline.checked_duration_since(Instant::now())?;
-            let (guard, res) = self.job.done.wait_timeout(st, left).unwrap();
+            let (guard, res) =
+                self.job.done.wait_timeout(st, left).expect("scheduler lock poisoned");
             st = guard;
             if res.timed_out() && !st.status.is_terminal() {
                 return None;
@@ -227,17 +228,17 @@ impl QueryHandle {
 
     /// The result, once `Done`.
     pub fn result(&self) -> Option<Arc<QueryOutput>> {
-        self.job.state.lock().unwrap().result.clone()
+        self.job.state.lock().expect("scheduler lock poisoned").result.clone()
     }
 
     /// The validation error, once `Failed`.
     pub fn error(&self) -> Option<String> {
-        self.job.state.lock().unwrap().error.clone()
+        self.job.state.lock().expect("scheduler lock poisoned").error.clone()
     }
 
     /// The lifecycle span, once terminal.
     pub fn span(&self) -> Option<QuerySpan> {
-        self.job.state.lock().unwrap().span.clone()
+        self.job.state.lock().expect("scheduler lock poisoned").span.clone()
     }
 }
 
@@ -310,7 +311,7 @@ impl Engine {
         };
         let id = sh.next_id.fetch_add(1, Ordering::Relaxed);
         let key = (snapshot.epoch(), query.clone());
-        let cached = sh.cache.lock().unwrap().get(&key);
+        let cached = sh.cache.lock().expect("scheduler lock poisoned").get(&key);
 
         let job = Arc::new(Job {
             id,
@@ -343,13 +344,13 @@ impl Engine {
             job.finish(QueryStatus::Done, Some(result), None, span.clone());
             sh.counters.submitted.fetch_add(1, Ordering::Relaxed);
             sh.counters.completed.fetch_add(1, Ordering::Relaxed);
-            sh.spans.lock().unwrap().push(span);
-            sh.jobs.lock().unwrap().insert(id, Arc::clone(&job));
+            sh.spans.lock().expect("scheduler lock poisoned").push(span);
+            sh.jobs.lock().expect("scheduler lock poisoned").insert(id, Arc::clone(&job));
             return Ok(QueryHandle { job });
         }
 
         {
-            let mut q = sh.queue.lock().unwrap();
+            let mut q = sh.queue.lock().expect("scheduler lock poisoned");
             if q.len() >= sh.config.queue_capacity {
                 sh.counters.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(SubmitError::QueueFull);
@@ -358,25 +359,30 @@ impl Engine {
         }
         sh.queue_cv.notify_one();
         sh.counters.submitted.fetch_add(1, Ordering::Relaxed);
-        sh.jobs.lock().unwrap().insert(id, Arc::clone(&job));
+        sh.jobs.lock().expect("scheduler lock poisoned").insert(id, Arc::clone(&job));
         Ok(QueryHandle { job })
     }
 
     /// Looks up a previously submitted query by id.
     pub fn handle(&self, id: u64) -> Option<QueryHandle> {
-        self.shared.jobs.lock().unwrap().get(&id).map(|job| QueryHandle { job: Arc::clone(job) })
+        self.shared
+            .jobs
+            .lock()
+            .expect("scheduler lock poisoned")
+            .get(&id)
+            .map(|job| QueryHandle { job: Arc::clone(job) })
     }
 
     /// Aggregate counters for the `stats` op.
     pub fn stats(&self) -> EngineStats {
         let sh = &self.shared;
         let (cache_hits, cache_misses, cache_len) = {
-            let c = sh.cache.lock().unwrap();
+            let c = sh.cache.lock().expect("scheduler lock poisoned");
             (c.hits(), c.misses(), c.len())
         };
         EngineStats {
             epoch: self.current_epoch(),
-            queued: sh.queue.lock().unwrap().len(),
+            queued: sh.queue.lock().expect("scheduler lock poisoned").len(),
             running: sh.counters.running.load(Ordering::Relaxed),
             submitted: sh.counters.submitted.load(Ordering::Relaxed),
             rejected: sh.counters.rejected.load(Ordering::Relaxed),
@@ -391,7 +397,7 @@ impl Engine {
 
     /// All spans recorded so far, submission order.
     pub fn spans(&self) -> Vec<QuerySpan> {
-        self.shared.spans.lock().unwrap().clone()
+        self.shared.spans.lock().expect("scheduler lock poisoned").clone()
     }
 
     /// The span of one query, if it has reached a terminal state.
@@ -412,7 +418,7 @@ impl Engine {
 
 impl Drop for Engine {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::Release);
         self.shared.queue_cv.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -423,15 +429,15 @@ impl Drop for Engine {
 fn worker_loop(sh: &Shared) {
     loop {
         let job = {
-            let mut q = sh.queue.lock().unwrap();
+            let mut q = sh.queue.lock().expect("scheduler lock poisoned");
             loop {
                 if let Some(job) = q.pop_front() {
                     break job;
                 }
-                if sh.shutdown.load(Ordering::SeqCst) {
+                if sh.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                q = sh.queue_cv.wait(q).unwrap();
+                q = sh.queue_cv.wait(q).expect("scheduler lock poisoned");
             }
         };
         sh.counters.running.fetch_add(1, Ordering::Relaxed);
@@ -458,7 +464,7 @@ fn run_job(sh: &Shared, job: &Job) {
     if job.token.is_cancelled() {
         span.status = QueryStatus::Cancelled;
         sh.counters.cancelled.fetch_add(1, Ordering::Relaxed);
-        sh.spans.lock().unwrap().push(span.clone());
+        sh.spans.lock().expect("scheduler lock poisoned").push(span.clone());
         // Gauge before notification: a waiter that observes the terminal
         // status must also observe this query as no longer running.
         sh.counters.running.fetch_sub(1, Ordering::Relaxed);
@@ -490,14 +496,14 @@ fn run_job(sh: &Shared, job: &Job) {
             let result = Arc::new(out);
             sh.cache
                 .lock()
-                .unwrap()
+                .expect("scheduler lock poisoned")
                 .insert((job.snapshot.epoch(), job.query.clone()), Arc::clone(&result));
             sh.counters.completed.fetch_add(1, Ordering::Relaxed);
             (QueryStatus::Done, Some(result), None)
         }
     };
     span.status = status;
-    sh.spans.lock().unwrap().push(span.clone());
+    sh.spans.lock().expect("scheduler lock poisoned").push(span.clone());
     // Gauge before notification (see the pre-run cancel path above).
     sh.counters.running.fetch_sub(1, Ordering::Relaxed);
     job.finish(status, result, error, span);

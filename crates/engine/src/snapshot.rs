@@ -109,7 +109,7 @@ impl GraphStore {
     fn install(&self, make: impl FnOnce(u64) -> Snapshot) -> u64 {
         let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
         let snap = Arc::new(make(epoch));
-        *self.current.write().unwrap() = Some(snap);
+        *self.current.write().expect("snapshot lock poisoned") = Some(snap);
         epoch
     }
 
@@ -127,7 +127,7 @@ impl GraphStore {
 
     /// The current snapshot, if any graph has been installed.
     pub fn current(&self) -> Option<Arc<Snapshot>> {
-        self.current.read().unwrap().clone()
+        self.current.read().expect("snapshot lock poisoned").clone()
     }
 }
 

@@ -177,6 +177,7 @@ impl JsonObj {
                 '"' => self.buf.push_str("\\\""),
                 '\\' => self.buf.push_str("\\\\"),
                 '\n' => self.buf.push_str("\\n"),
+                // lint: allow(L4): char -> u32 is a lossless widening (scalar values fit in 21 bits)
                 c if c.is_control() => self.buf.push_str(&format!("\\u{:04x}", c as u32)),
                 c => self.buf.push(c),
             }

@@ -181,7 +181,10 @@ fn csr_from_arcs<W: Copy + Send + Sync + Ord>(
 
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
+// SAFETY: bare address; each worker sorts a distinct vertex's neighbor
+// range, so concurrent writes through the pointer never overlap.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: as above — per-vertex ranges are disjoint.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 /// Sorts every vertex's neighbor range in place, carrying weights along.

@@ -1,5 +1,6 @@
 //! Compressed sparse row graph representations.
 
+use ligra_parallel::checked_u32;
 use rayon::prelude::*;
 
 /// Dense vertex identifier. The paper's `intT`; `u32` supports graphs with
@@ -30,7 +31,7 @@ impl<W: Copy + Send + Sync> Adjacency<W> {
         assert!(!offsets.is_empty(), "offsets must have length n+1 >= 1");
         assert_eq!(offsets[0], 0, "offsets must start at 0");
         assert_eq!(
-            *offsets.last().unwrap(),
+            *offsets.last().expect("offsets nonempty: asserted above"),
             targets.len() as u64,
             "offsets must end at the edge count"
         );
@@ -249,7 +250,10 @@ impl<W: Copy + Send + Sync> Graph<W> {
         }
         (0..n)
             .into_par_iter()
-            .map(|v| (v as VertexId, self.out_degree(v as VertexId)))
+            .map(|v| {
+                let v = checked_u32(v);
+                (v, self.out_degree(v))
+            })
             .reduce(|| (0, 0), |a, b| if b.1 > a.1 || (b.1 == a.1 && b.0 < a.0) { b } else { a })
     }
 }
@@ -283,10 +287,11 @@ pub fn transpose<W: Copy + Send + Sync>(adj: &Adjacency<W>) -> Adjacency<W> {
         let src = as_atomic_u32(&mut sources);
         let land = as_atomic_u64(&mut landing);
         (0..n).into_par_iter().for_each(|u| {
-            let base = adj.offset(u as VertexId) as usize;
-            for (i, &v) in adj.neighbors(u as VertexId).iter().enumerate() {
+            let u = checked_u32(u);
+            let base = adj.offset(u) as usize;
+            for (i, &v) in adj.neighbors(u).iter().enumerate() {
                 let slot = cur[v as usize].fetch_add(1, Ordering::Relaxed) as usize;
-                src[slot].store(u as VertexId, Ordering::Relaxed);
+                src[slot].store(u, Ordering::Relaxed);
                 land[base + i].store(slot as u64, Ordering::Relaxed);
             }
         });
@@ -297,7 +302,11 @@ pub fn transpose<W: Copy + Send + Sync>(adj: &Adjacency<W>) -> Adjacency<W> {
         weights.reserve_exact(m);
         let spare = weights.spare_capacity_mut();
         struct SendPtr<T>(*mut T);
+        // SAFETY: bare address into the reserved spare capacity; the
+        // scatter below writes each weight slot exactly once (offsets come
+        // from an exclusive scan), so concurrent writes are disjoint.
         unsafe impl<T> Send for SendPtr<T> {}
+        // SAFETY: as above — scatter destinations are disjoint.
         unsafe impl<T> Sync for SendPtr<T> {}
         impl<T> Clone for SendPtr<T> {
             fn clone(&self) -> Self {

@@ -6,6 +6,7 @@
 
 use crate::builder::{build_graph, BuildOptions};
 use crate::csr::{Graph, VertexId};
+use ligra_parallel::checked_u32;
 use ligra_parallel::hash::{hash_to_range, mix64};
 use rayon::prelude::*;
 
@@ -16,8 +17,8 @@ pub fn erdos_renyi_edges(n: usize, m: usize, seed: u64) -> Vec<(VertexId, Vertex
         .into_par_iter()
         .map(|i| {
             let h = mix64(seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
-            let u = hash_to_range(h, n as u64) as VertexId;
-            let v = hash_to_range(h ^ 0x5555_5555_5555_5555, n as u64) as VertexId;
+            let u = checked_u32(hash_to_range(h, n as u64));
+            let v = checked_u32(hash_to_range(h ^ 0x5555_5555_5555_5555, n as u64));
             (u, v)
         })
         .collect()

@@ -9,6 +9,7 @@
 
 use crate::builder::{build_graph, BuildOptions};
 use crate::csr::{Graph, VertexId};
+use ligra_parallel::checked_u32;
 use rayon::prelude::*;
 
 /// Generates a `side × side × side` torus with 6-neighbor connectivity.
@@ -23,8 +24,7 @@ pub fn grid3d(side: usize) -> Graph {
     let n = side.checked_mul(side).and_then(|s| s.checked_mul(side)).expect("side^3 overflow");
     assert!(n <= u32::MAX as usize, "too many vertices for u32 IDs");
 
-    let idx =
-        |x: usize, y: usize, z: usize| -> VertexId { ((x * side + y) * side + z) as VertexId };
+    let idx = |x: usize, y: usize, z: usize| -> VertexId { checked_u32((x * side + y) * side + z) };
 
     // Each vertex contributes its +1 neighbor in each dimension; the
     // symmetrizing build adds the reverse arcs.
@@ -34,7 +34,7 @@ pub fn grid3d(side: usize) -> Graph {
             let z = v % side;
             let y = (v / side) % side;
             let x = v / (side * side);
-            let v = v as VertexId;
+            let v = checked_u32(v);
             [
                 (v, idx((x + 1) % side, y, z)),
                 (v, idx(x, (y + 1) % side, z)),

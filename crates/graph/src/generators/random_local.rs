@@ -9,6 +9,7 @@
 
 use crate::builder::{build_graph, BuildOptions};
 use crate::csr::{Graph, VertexId};
+use ligra_parallel::checked_u32;
 use ligra_parallel::hash::{hash_to_range, mix64};
 use rayon::prelude::*;
 
@@ -23,10 +24,10 @@ pub fn random_local_edges(n: usize, degree: usize, seed: u64) -> Vec<(VertexId, 
             let u = (i / degree as u64) as usize;
             let h = mix64(seed ^ i.wrapping_mul(0x2545_f491_4f6c_dd1d));
             // Geometric scale: k uniform in [1, log_n], distance < 2^k.
-            let k = 1 + (hash_to_range(h, log_n as u64) as u32);
+            let k = 1 + checked_u32(hash_to_range(h, log_n as u64));
             let dist = 1 + hash_to_range(h ^ 0xabcd_ef01, (1u64 << k).min(n as u64 - 1));
             let v = (u as u64 + dist) % n as u64;
-            (u as VertexId, v as VertexId)
+            (checked_u32(u), checked_u32(v))
         })
         .collect()
 }

@@ -13,6 +13,7 @@
 
 use crate::builder::{build_graph, BuildOptions};
 use crate::csr::{Graph, VertexId};
+use ligra_parallel::checked_u32;
 use ligra_parallel::hash::{hash_to_unit, mix64};
 use rayon::prelude::*;
 
@@ -95,7 +96,7 @@ pub fn rmat_edges(opts: &RmatOptions) -> Vec<(VertexId, VertexId)> {
                     v |= 1; // bottom-right: (1, 1)
                 }
             }
-            (u as VertexId, v as VertexId)
+            (checked_u32(u), checked_u32(v))
         })
         .collect()
 }

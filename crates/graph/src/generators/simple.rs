@@ -2,20 +2,22 @@
 
 use crate::builder::{build_graph, BuildOptions};
 use crate::csr::{Graph, VertexId};
+use ligra_parallel::checked_u32;
 
 /// Path `0 - 1 - … - (n-1)` (symmetric). The worst case for
 /// direction-optimization: every frontier has one vertex.
 pub fn path(n: usize) -> Graph {
     assert!(n >= 1);
     let edges: Vec<(VertexId, VertexId)> =
-        (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+        (0..checked_u32(n.saturating_sub(1))).map(|i| (i, i + 1)).collect();
     build_graph(n, &edges, BuildOptions::symmetric())
 }
 
 /// Cycle on `n` vertices (symmetric).
 pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycle needs n >= 3");
-    let edges: Vec<(VertexId, VertexId)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+    let n32 = checked_u32(n);
+    let edges: Vec<(VertexId, VertexId)> = (0..n32).map(|i| (i, (i + 1) % n32)).collect();
     build_graph(n, &edges, BuildOptions::symmetric())
 }
 
@@ -23,7 +25,7 @@ pub fn cycle(n: usize) -> Graph {
 /// reaches everything — the best case for the dense traversal.
 pub fn star(n: usize) -> Graph {
     assert!(n >= 2);
-    let edges: Vec<(VertexId, VertexId)> = (1..n as u32).map(|i| (0, i)).collect();
+    let edges: Vec<(VertexId, VertexId)> = (1..checked_u32(n)).map(|i| (0, i)).collect();
     build_graph(n, &edges, BuildOptions::symmetric())
 }
 
@@ -31,8 +33,8 @@ pub fn star(n: usize) -> Graph {
 pub fn complete(n: usize) -> Graph {
     assert!(n >= 2);
     let mut edges = Vec::with_capacity(n * (n - 1) / 2);
-    for u in 0..n as u32 {
-        for v in (u + 1)..n as u32 {
+    for u in 0..checked_u32(n) {
+        for v in (u + 1)..checked_u32(n) {
             edges.push((u, v));
         }
     }
@@ -45,7 +47,7 @@ pub fn complete(n: usize) -> Graph {
 pub fn balanced_tree(n: usize) -> Graph {
     assert!(n >= 1);
     let mut edges = Vec::with_capacity(n.saturating_sub(1));
-    for i in 1..n as u32 {
+    for i in 1..checked_u32(n) {
         edges.push(((i - 1) / 2, i));
     }
     build_graph(n, &edges, BuildOptions::symmetric())

@@ -6,6 +6,7 @@
 //! endpoint pair rather than the arc.
 
 use crate::csr::{Graph, VertexId, WeightedGraph};
+use ligra_parallel::checked_u32;
 use ligra_parallel::hash::{hash_to_range, mix64};
 use rayon::prelude::*;
 
@@ -31,7 +32,7 @@ pub fn random_weights(g: &Graph, max_w: i32, seed: u64) -> WeightedGraph {
         let weights: Vec<i32> = (0..n)
             .into_par_iter()
             .flat_map_iter(|v| {
-                let v = v as VertexId;
+                let v = checked_u32(v);
                 adj.neighbors(v).iter().map(move |&t| {
                     let (a, b) = if transposed { (t, v) } else { (v, t) };
                     pair_weight(a, b, max_w, seed)

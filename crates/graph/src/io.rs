@@ -15,7 +15,8 @@
 //! Parsing accepts any ASCII whitespace between tokens, so files written
 //! one-token-per-line or space-separated both load.
 
-use crate::csr::{Adjacency, Graph, VertexId, WeightedGraph};
+use crate::csr::{Adjacency, Graph, WeightedGraph};
+use ligra_parallel::checked_u32;
 use std::fmt::Write as _;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -167,7 +168,7 @@ where
         if t >= n as u64 {
             return Err(parse_err(format!("edge target {t} out of range (n = {n})")));
         }
-        targets.push(t as VertexId);
+        targets.push(checked_u32(t));
     }
     let weights = read_weights(toks, m)?;
     Ok(Adjacency::new(offsets, targets, weights))

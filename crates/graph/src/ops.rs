@@ -5,6 +5,7 @@
 
 use crate::builder::{build_graph, BuildOptions};
 use crate::csr::{Graph, VertexId};
+use ligra_parallel::checked_u32;
 use rayon::prelude::*;
 
 /// The subgraph induced by `keep[v]`, with vertices renumbered densely in
@@ -19,7 +20,7 @@ pub fn induced_subgraph(g: &Graph, keep: &[bool]) -> (Graph, Vec<VertexId>) {
     let old_of_new = ligra_parallel::pack::pack_index(keep);
     let mut new_of_old = vec![u32::MAX; n];
     for (new, &old) in old_of_new.iter().enumerate() {
-        new_of_old[old as usize] = new as u32;
+        new_of_old[old as usize] = checked_u32(new);
     }
 
     let edges: Vec<(VertexId, VertexId)> = old_of_new
@@ -48,14 +49,14 @@ pub fn induced_subgraph(g: &Graph, keep: &[bool]) -> (Graph, Vec<VertexId>) {
 /// and the mapping `new_id -> old_id`.
 pub fn relabel_by_degree(g: &Graph) -> (Graph, Vec<VertexId>) {
     let n = g.num_vertices();
-    let mut order: Vec<VertexId> = (0..n as u32).collect();
+    let mut order: Vec<VertexId> = (0..checked_u32(n)).collect();
     order.par_sort_unstable_by_key(|&v| (std::cmp::Reverse(g.out_degree(v)), v));
     let mut new_of_old = vec![0u32; n];
     for (new, &old) in order.iter().enumerate() {
-        new_of_old[old as usize] = new as u32;
+        new_of_old[old as usize] = checked_u32(new);
     }
 
-    let edges: Vec<(VertexId, VertexId)> = (0..n as u32)
+    let edges: Vec<(VertexId, VertexId)> = (0..checked_u32(n))
         .into_par_iter()
         .flat_map_iter(|old_u| {
             let new_of_old = &new_of_old;
@@ -81,7 +82,7 @@ pub fn largest_component(g: &Graph) -> (Graph, Vec<VertexId>) {
     let n = g.num_vertices();
     assert!(n > 0);
 
-    let mut uf: Vec<u32> = (0..n as u32).collect();
+    let mut uf: Vec<u32> = (0..checked_u32(n)).collect();
     fn find(uf: &mut [u32], mut x: u32) -> u32 {
         while uf[x as usize] != x {
             let gp = uf[uf[x as usize] as usize];
@@ -90,7 +91,7 @@ pub fn largest_component(g: &Graph) -> (Graph, Vec<VertexId>) {
         }
         x
     }
-    for u in 0..n as u32 {
+    for u in 0..checked_u32(n) {
         for &v in g.out_neighbors(u) {
             let (ru, rv) = (find(&mut uf, u), find(&mut uf, v));
             if ru != rv {
@@ -103,12 +104,14 @@ pub fn largest_component(g: &Graph) -> (Graph, Vec<VertexId>) {
         }
     }
     let mut sizes = std::collections::HashMap::new();
-    for v in 0..n as u32 {
+    for v in 0..checked_u32(n) {
         *sizes.entry(find(&mut uf, v)).or_insert(0usize) += 1;
     }
-    let (&best, _) =
-        sizes.iter().max_by_key(|&(&root, &size)| (size, std::cmp::Reverse(root))).unwrap();
-    let keep: Vec<bool> = (0..n as u32).map(|v| find(&mut uf, v) == best).collect();
+    let (&best, _) = sizes
+        .iter()
+        .max_by_key(|&(&root, &size)| (size, std::cmp::Reverse(root)))
+        .expect("n > 0: every vertex has a component");
+    let keep: Vec<bool> = (0..checked_u32(n)).map(|v| find(&mut uf, v) == best).collect();
     induced_subgraph(g, &keep)
 }
 

@@ -1,6 +1,7 @@
 //! Structural checks and summary statistics.
 
 use crate::csr::{Graph, VertexId};
+use ligra_parallel::checked_u32;
 use rayon::prelude::*;
 
 /// Summary statistics for a graph — the columns of the paper's Table 1
@@ -28,7 +29,7 @@ impl GraphStats {
         let isolated = (0..n)
             .into_par_iter()
             .filter(|&v| {
-                let v = v as VertexId;
+                let v = checked_u32(v);
                 g.out_degree(v) == 0 && g.in_degree(v) == 0
             })
             .count();
@@ -49,7 +50,7 @@ impl GraphStats {
 pub fn assert_valid<W: Copy + Send + Sync>(g: &Graph<W>) {
     let n = g.num_vertices();
     (0..n).into_par_iter().for_each(|v| {
-        let v = v as VertexId;
+        let v = checked_u32(v);
         let ns = g.out_neighbors(v);
         assert!(ns.iter().all(|&t| (t as usize) < n), "out-neighbor of {v} out of range");
         assert!(ns.windows(2).all(|w| w[0] <= w[1]), "out-neighbors of {v} not sorted");
@@ -58,12 +59,12 @@ pub fn assert_valid<W: Copy + Send + Sync>(g: &Graph<W>) {
     });
     if !g.is_symmetric() {
         // Arc counts per direction must agree.
-        let out_m: usize = (0..n).into_par_iter().map(|v| g.out_degree(v as u32)).sum();
-        let in_m: usize = (0..n).into_par_iter().map(|v| g.in_degree(v as u32)).sum();
+        let out_m: usize = (0..n).into_par_iter().map(|v| g.out_degree(checked_u32(v))).sum();
+        let in_m: usize = (0..n).into_par_iter().map(|v| g.in_degree(checked_u32(v))).sum();
         assert_eq!(out_m, in_m, "transpose arc count mismatch");
         // Every out-arc appears in the target's in-list.
         (0..n).into_par_iter().for_each(|u| {
-            let u = u as VertexId;
+            let u = checked_u32(u);
             for &v in g.out_neighbors(u) {
                 assert!(
                     g.in_neighbors(v).binary_search(&u).is_ok(),
@@ -79,7 +80,7 @@ pub fn assert_valid<W: Copy + Send + Sync>(g: &Graph<W>) {
 pub fn is_symmetric<W: Copy + Send + Sync>(g: &Graph<W>) -> bool {
     let n = g.num_vertices();
     (0..n).into_par_iter().all(|u| {
-        let u = u as VertexId;
+        let u = checked_u32(u);
         g.out_neighbors(u).iter().all(|&v| g.out_neighbors(v).binary_search(&u).is_ok())
     })
 }
@@ -87,9 +88,10 @@ pub fn is_symmetric<W: Copy + Send + Sync>(g: &Graph<W>) -> bool {
 /// True iff the graph contains an arc `v -> v`.
 pub fn has_self_loops<W: Copy + Send + Sync>(g: &Graph<W>) -> bool {
     let n = g.num_vertices();
-    (0..n)
-        .into_par_iter()
-        .any(|v| g.out_neighbors(v as VertexId).binary_search(&(v as VertexId)).is_ok())
+    (0..n).into_par_iter().any(|v| {
+        let v = checked_u32(v);
+        g.out_neighbors(v).binary_search(&v).is_ok()
+    })
 }
 
 /// Out-degree histogram capped at `max_bucket`: `out[d]` is the number of
@@ -98,7 +100,7 @@ pub fn has_self_loops<W: Copy + Send + Sync>(g: &Graph<W>) -> bool {
 pub fn degree_histogram<W: Copy + Send + Sync>(g: &Graph<W>, max_bucket: usize) -> Vec<usize> {
     let mut hist = vec![0usize; max_bucket + 1];
     for v in 0..g.num_vertices() {
-        let d = g.out_degree(v as VertexId).min(max_bucket);
+        let d = g.out_degree(checked_u32(v)).min(max_bucket);
         hist[d] += 1;
     }
     hist

@@ -1,0 +1,77 @@
+//! The project policy the lints enforce.
+//!
+//! This table — not the rule engine — is the contract reviewers sign off
+//! on. DESIGN.md §10 documents the rationale per crate; a new crate or a
+//! new ordering in an existing crate must be added here deliberately,
+//! which is the point: the diff that relaxes the policy is visible.
+
+/// Atomic orderings each crate may use in non-test code (rule L2).
+///
+/// `SeqCst` is never listed: Ligra's synchronization is all point-to-point
+/// (CAS claims, priority updates, published flags) and never relies on a
+/// single total order over unrelated atomics, so a `SeqCst` is either a
+/// misunderstanding or an unannotated algorithm change. Per-crate policy:
+///
+/// * `parallel` — defines the atomic vocabulary (CAS, writeMin, bitsets,
+///   striped counters): needs the full acquire/release set.
+/// * `core` — relaxed telemetry and bitset output stores, plus the
+///   acquire/release pair on the cancellation flag; the race oracle's
+///   shadow cells use acquire/release RMWs.
+/// * `graph`/`compress` — only relaxed degree/telemetry counters; all
+///   cross-thread hand-off happens through `parallel` primitives or
+///   fork/join boundaries.
+/// * `apps` — relaxed single-owner dense writes (documented in each app)
+///   plus acquire/release RMWs (`fetch_or`, `fetch_update`) where an edge
+///   function claims through its own atomic rather than `parallel`'s.
+/// * `engine` — relaxed stat counters and the release-store/acquire-load
+///   pair on the scheduler shutdown flag.
+/// * `bench`, `examples`, `tests` — relaxed instrumentation counters only.
+/// * `lint` — no atomics at all.
+pub const ORDERING_WHITELIST: &[(&str, &[&str])] = &[
+    ("parallel", &["Relaxed", "Acquire", "Release", "AcqRel"]),
+    ("core", &["Relaxed", "Acquire", "Release", "AcqRel"]),
+    ("graph", &["Relaxed"]),
+    ("compress", &["Relaxed"]),
+    ("apps", &["Relaxed", "Acquire", "AcqRel"]),
+    ("engine", &["Relaxed", "Acquire", "Release"]),
+    ("bench", &["Relaxed"]),
+    ("examples", &["Relaxed"]),
+    ("tests", &["Relaxed"]),
+    ("lint", &[]),
+];
+
+/// Crates whose non-test library code may not call bare `.unwrap()`
+/// (rule L3): panics in the traversal/serving stack must either carry the
+/// violated invariant (`.expect("…")`) or propagate. `apps` is exempt —
+/// its result types are research outputs, not serving surfaces — as are
+/// benches and examples.
+pub const NO_UNWRAP_CRATES: &[&str] = &["core", "parallel", "graph", "compress", "engine", "lint"];
+
+/// Crates whose non-test code may not use truncating `as u32` /
+/// `as VertexId` casts (rule L4); vertex and edge IDs must go through the
+/// asserting helpers in `parallel::utils` (`checked_u32`, `word_base`).
+pub const NO_TRUNCATING_CAST_CRATES: &[&str] =
+    &["core", "parallel", "graph", "compress", "engine", "apps"];
+
+/// Files exempt from L4 because they *are* the checked helpers.
+pub const CAST_HELPER_FILES: &[&str] = &["crates/parallel/src/utils.rs"];
+
+/// Crates whose `pub fn`s must carry doc comments (rule L5).
+pub const DOC_REQUIRED_CRATES: &[&str] = &["core"];
+
+/// Orderings a `compare_exchange`/`compare_exchange_weak`/`fetch_update`
+/// success slot may use (rule L2's CAS-loop check): the winner of a claim
+/// publishes data, so it must be at least `Acquire`, and `AcqRel` is the
+/// documented default for RMW claims.
+pub const CAS_SUCCESS_ALLOWED: &[&str] = &["AcqRel", "Acquire"];
+
+/// Orderings a CAS failure slot may use: a failed claim only observes,
+/// never publishes.
+pub const CAS_FAILURE_ALLOWED: &[&str] = &["Acquire", "Relaxed"];
+
+/// Returns the orderings `crate_name` may use, or `None` for an unknown
+/// crate (which L2 reports as its own violation so the table stays in
+/// sync with the workspace).
+pub fn allowed_orderings(crate_name: &str) -> Option<&'static [&'static str]> {
+    ORDERING_WHITELIST.iter().find(|(c, _)| *c == crate_name).map(|(_, list)| *list)
+}

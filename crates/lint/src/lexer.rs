@@ -1,0 +1,416 @@
+//! A hand-rolled Rust surface lexer.
+//!
+//! Produces a flat token stream with line numbers — enough structure for
+//! the project lints (identifier adjacency, comment text and placement,
+//! brace-delimited regions) without a real parser. The lexer is exact
+//! about the things that make naive `grep`-style linting wrong:
+//!
+//! * line comments (`//`, `///`, `//!`) and nested block comments
+//!   (`/* /* */ */`, `/** */`, `/*! */`) are single tokens carrying their
+//!   text, so `unsafe` inside a comment is never a keyword;
+//! * string-ish literals — `"…"` with escapes, raw strings `r#"…"#` with
+//!   any hash depth, byte/C variants `b"…"`, `br#"…"#`, `c"…"` — are
+//!   opaque tokens, so `Ordering::SeqCst` inside a string is not an
+//!   ordering;
+//! * `'a'` (char literal) and `'a` (lifetime) are disambiguated by
+//!   lookahead for the closing quote, so lifetimes do not swallow code;
+//! * numbers absorb their suffixes (`1u32`, `0x1f`, `1.5e-3`) so a cast
+//!   like `64 as u32` lexes as `Num`, `Ident(as)`, `Ident(u32)`.
+//!
+//! Everything else is an `Ident` (identifiers and keywords, including raw
+//! `r#ident`) or a single-character `Punct`.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`unsafe`, `Ordering`, `unwrap`, …).
+    Ident(String),
+    /// Single punctuation character (`{`, `}`, `.`, `:`, `#`, …).
+    Punct(char),
+    /// `//`-style comment. `doc` marks `///` and `//!` forms; `text` is
+    /// everything after the slashes, untrimmed.
+    LineComment { doc: bool, text: String },
+    /// `/* … */` comment (possibly nested); `doc` marks `/**` and `/*!`.
+    BlockComment { doc: bool, text: String },
+    /// Any string-ish literal, contents dropped.
+    Str,
+    /// Char literal (`'x'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal including suffix.
+    Num,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// Lexes `src` into a flat spanned-token stream.
+///
+/// The lexer never fails: unterminated literals simply consume to end of
+/// input, which is good enough for lint purposes (the compiler is the
+/// authority on well-formedness; the linter runs on code that builds).
+pub fn lex(src: &str) -> Vec<SpannedTok> {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<SpannedTok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(ch) = c {
+            self.pos += 1;
+            if ch == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.out.push(SpannedTok { tok, line });
+    }
+
+    fn run(mut self) -> Vec<SpannedTok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.bump();
+                    self.string_body('"');
+                    self.push(Tok::Str, line);
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed(line),
+                _ => {
+                    self.bump();
+                    self.push(Tok::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // the two slashes
+                     // `///` is a doc comment but `////…` is a plain one (rustdoc rule);
+                     // `//!` is an inner doc comment.
+        let doc =
+            (self.peek(0) == Some('/') && self.peek(1) != Some('/')) || self.peek(0) == Some('!');
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(Tok::LineComment { doc, text }, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // `/*`
+        let doc =
+            (self.peek(0) == Some('*') && self.peek(1) != Some('*')) || self.peek(0) == Some('!');
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(Tok::BlockComment { doc, text }, line);
+    }
+
+    /// Consumes a quoted body after the opening quote, honoring `\`
+    /// escapes, up to and including the closing `quote`.
+    fn string_body(&mut self, quote: char) {
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == quote {
+                break;
+            }
+        }
+    }
+
+    /// Raw string after the `r` (and optional `b`/`c`) prefix: `#…#"…"#…#`.
+    fn raw_string_body(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening `"`
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // `'`
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal.
+                self.string_body('\'');
+                self.push(Tok::Char, line);
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                if self.peek(1) == Some('\'') {
+                    // `'x'`
+                    self.bump();
+                    self.bump();
+                    self.push(Tok::Char, line);
+                } else {
+                    // `'ident` lifetime: consume the identifier.
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(Tok::Lifetime, line);
+                }
+            }
+            _ => {
+                // `'('` and friends: a one-char literal of punctuation.
+                self.string_body('\'');
+                self.push(Tok::Char, line);
+            }
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        // Digits, then letters/digits/underscores (hex, suffixes, exponent
+        // with sign), then at most one `.` followed by more of the same —
+        // but never `..` (range operator).
+        let mut prev = ' ';
+        while let Some(c) = self.peek(0) {
+            let take = if c == '.' {
+                self.peek(1) != Some('.') && prev != '.'
+            } else {
+                c.is_ascii_alphanumeric()
+                    || c == '_'
+                    || ((c == '+' || c == '-') && (prev == 'e' || prev == 'E'))
+            };
+            if !take {
+                break;
+            }
+            prev = c;
+            self.bump();
+        }
+        self.push(Tok::Num, line);
+    }
+
+    fn ident_or_prefixed(&mut self, line: u32) {
+        // Check the string/char prefixes first: r"", r#"", b"", br"", b'',
+        // c"", cr"" and raw identifiers r#ident.
+        let c0 = self.peek(0);
+        let c1 = self.peek(1);
+        let c2 = self.peek(2);
+        match (c0, c1) {
+            (Some('r'), Some('"')) | (Some('r'), Some('#'))
+                if c1 == Some('"') || c2 == Some('"') || c2 == Some('#') =>
+            {
+                // Could still be a raw identifier `r#ident`; a raw *string*
+                // has only `#`s between `r` and `"`.
+                let mut i = 1;
+                while self.peek(i) == Some('#') {
+                    i += 1;
+                }
+                if self.peek(i) == Some('"') {
+                    self.bump(); // r
+                    self.raw_string_body();
+                    self.push(Tok::Str, line);
+                    return;
+                }
+                self.raw_ident(line);
+            }
+            (Some('r'), Some('#')) => self.raw_ident(line),
+            (Some('b'), Some('"')) | (Some('c'), Some('"')) => {
+                self.bump();
+                self.bump();
+                self.string_body('"');
+                self.push(Tok::Str, line);
+            }
+            (Some('b'), Some('\'')) => {
+                self.bump();
+                self.bump();
+                self.string_body('\'');
+                self.push(Tok::Char, line);
+            }
+            (Some('b'), Some('r')) | (Some('c'), Some('r'))
+                if c2 == Some('"') || c2 == Some('#') =>
+            {
+                self.bump();
+                self.bump();
+                self.raw_string_body();
+                self.push(Tok::Str, line);
+            }
+            _ => {
+                let mut name = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(Tok::Ident(name), line);
+            }
+        }
+    }
+
+    fn raw_ident(&mut self, line: u32) {
+        self.bump(); // r
+        self.bump(); // #
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Tok::Ident(name), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_swallow_keywords() {
+        let src = "// unsafe here\n/* unsafe { } */ fn ok() {}";
+        assert_eq!(idents(src), vec!["fn", "ok"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* unsafe */ b */ let x;";
+        assert_eq!(idents(src), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let src = r##"let s = "Ordering::SeqCst"; let r = r#"unsafe "quoted" "#; done();"##;
+        assert_eq!(idents(src), vec!["let", "s", "let", "r", "done"]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks: Vec<Tok> =
+            lex("'a' x 'static y '\\n' z '_'").into_iter().map(|t| t.tok).collect();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Char,
+                Tok::Ident("x".into()),
+                Tok::Lifetime,
+                Tok::Ident("y".into()),
+                Tok::Char,
+                Tok::Ident("z".into()),
+                Tok::Char,
+            ]
+        );
+    }
+
+    #[test]
+    fn doc_comment_flavors() {
+        let toks = lex("/// outer\n//! inner\n//// plain\n// plain\n/** blockdoc */\n/* block */");
+        let docs: Vec<bool> = toks
+            .iter()
+            .map(|t| match &t.tok {
+                Tok::LineComment { doc, .. } | Tok::BlockComment { doc, .. } => *doc,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(docs, vec![true, true, false, false, true, false]);
+    }
+
+    #[test]
+    fn numbers_absorb_suffixes_and_ranges_split() {
+        let toks: Vec<Tok> = lex("0..10u32 1.5e-3 0x1f_u64").into_iter().map(|t| t.tok).collect();
+        assert_eq!(
+            toks,
+            vec![Tok::Num, Tok::Punct('.'), Tok::Punct('.'), Tok::Num, Tok::Num, Tok::Num,]
+        );
+    }
+
+    #[test]
+    fn line_numbers_are_one_based() {
+        let toks = lex("a\nb\n  c");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cast_shape_lexes_cleanly() {
+        assert_eq!(idents("(wi * 64) as u32"), vec!["wi", "as", "u32"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        assert_eq!(idents(r#"b"x" c"y" br"z" x"#), vec!["x"]);
+    }
+}

@@ -1,0 +1,653 @@
+//! The five project rules, evaluated over one file's token stream.
+//!
+//! | ID | check |
+//! |----|-------|
+//! | L1 | every `unsafe` block/fn/impl carries a nearby `// SAFETY:` comment |
+//! | L2 | atomic orderings come from the per-crate whitelist; `SeqCst` is always an error; CAS success/failure orderings follow the claim discipline |
+//! | L3 | no bare `.unwrap()` in non-test library code of the serving-stack crates |
+//! | L4 | no truncating `as u32` / `as VertexId` casts outside `parallel::utils` |
+//! | L5 | every `pub fn` in `core` has a doc comment |
+//!
+//! A rule can be waived on a specific line with
+//! `// lint: allow(L4): why this is sound`, which the scanner records and
+//! applies to the comment's own line and the line below it. Waivers are a
+//! reviewed escape hatch: the reason is part of the comment grammar on
+//! purpose.
+
+use crate::config;
+use crate::lexer::{SpannedTok, Tok};
+
+/// Lint rule identifiers (stable, used by fixtures and CI logs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// `unsafe` without a `// SAFETY:` justification.
+    L1,
+    /// Atomic ordering outside the per-crate whitelist.
+    L2,
+    /// Bare `.unwrap()` in non-test library code.
+    L3,
+    /// Truncating `as u32`/`as VertexId` cast outside the checked helpers.
+    L4,
+    /// Undocumented `pub fn` in `core`.
+    L5,
+}
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RuleId::L1 => "L1",
+            RuleId::L2 => "L2",
+            RuleId::L3 => "L3",
+            RuleId::L4 => "L4",
+            RuleId::L5 => "L5",
+        })
+    }
+}
+
+/// Diagnostic severity. Every current rule is an error (the linter gates
+/// CI); the level exists so a future probationary rule can ship as `Warn`
+/// without changing the output format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Warn,
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding: `file:line: severity[rule]: msg`.
+#[derive(Debug, Clone)]
+pub struct Diag {
+    pub rule: RuleId,
+    pub severity: Severity,
+    pub file: String,
+    pub line: u32,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}[{}]: {}", self.file, self.line, self.severity, self.rule, self.msg)
+    }
+}
+
+/// How a file participates in the rule scopes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library/binary source: all rules in scope.
+    Lib,
+    /// Test source (a `tests/` or `benches/` tree): only L1 applies.
+    Test,
+}
+
+/// Everything the rules need about one file.
+pub struct FileCtx {
+    /// Workspace-relative path used in diagnostics.
+    pub path: String,
+    /// Crate the file belongs to (`core`, `parallel`, …).
+    pub crate_name: String,
+    pub kind: FileKind,
+    toks: Vec<SpannedTok>,
+    /// Closed line ranges covered by `#[cfg(test)]` / `#[test]` items.
+    test_regions: Vec<(u32, u32)>,
+    /// `(line, rule)` pairs waived by `// lint: allow(...)` comments.
+    allows: Vec<(u32, RuleId)>,
+}
+
+impl FileCtx {
+    pub fn new(path: &str, crate_name: &str, kind: FileKind, src: &str) -> FileCtx {
+        let toks = crate::lexer::lex(src);
+        let test_regions = find_test_regions(&toks);
+        let allows = find_allows(&toks);
+        FileCtx {
+            path: path.to_string(),
+            crate_name: crate_name.to_string(),
+            kind,
+            toks,
+            test_regions,
+            allows,
+        }
+    }
+
+    fn in_test_region(&self, line: u32) -> bool {
+        self.kind == FileKind::Test
+            || self.test_regions.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    fn allowed(&self, line: u32, rule: RuleId) -> bool {
+        self.allows.iter().any(|&(l, r)| r == rule && (l == line || l + 1 == line))
+    }
+
+    fn diag(&self, out: &mut Vec<Diag>, rule: RuleId, line: u32, msg: String) {
+        if !self.allowed(line, rule) {
+            out.push(Diag { rule, severity: Severity::Error, file: self.path.clone(), line, msg });
+        }
+    }
+}
+
+/// Runs every in-scope rule over the file.
+pub fn check_file(ctx: &FileCtx) -> Vec<Diag> {
+    let mut out = Vec::new();
+    rule_l1_safety_comments(ctx, &mut out);
+    if ctx.kind == FileKind::Lib {
+        rule_l2_orderings(ctx, &mut out);
+        rule_l3_unwrap(ctx, &mut out);
+        rule_l4_truncating_casts(ctx, &mut out);
+        rule_l5_doc_comments(ctx, &mut out);
+    }
+    out.sort_by_key(|d| (d.line, d.rule));
+    out
+}
+
+/// Marks `{…}` bodies of items annotated `#[cfg(test)]` / `#[test]`
+/// (or any `cfg(...)` mentioning `test`, e.g. `cfg(all(test, unix))`).
+fn find_test_regions(toks: &[SpannedTok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let Some(attr_end) = parse_attr(toks, i) {
+            if attr_is_test(&toks[i..=attr_end]) {
+                // Find the annotated item's opening brace (a `;` first
+                // means a braceless item like `#[cfg(test)] use x;`).
+                let mut j = attr_end + 1;
+                let mut open = None;
+                while j < toks.len() {
+                    match &toks[j].tok {
+                        Tok::Punct('{') => {
+                            open = Some(j);
+                            break;
+                        }
+                        Tok::Punct(';') => break,
+                        _ => j += 1,
+                    }
+                }
+                if let Some(open) = open {
+                    let close = matching_brace(toks, open);
+                    regions.push((toks[i].line, toks[close].line));
+                    i = close + 1;
+                    continue;
+                }
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// If `toks[i]` starts an attribute (`#[…]` or `#![…]`), returns the index
+/// of its closing `]`.
+fn parse_attr(toks: &[SpannedTok], i: usize) -> Option<usize> {
+    if toks.get(i).map(|t| &t.tok) != Some(&Tok::Punct('#')) {
+        return None;
+    }
+    let mut j = i + 1;
+    if toks.get(j).map(|t| &t.tok) == Some(&Tok::Punct('!')) {
+        j += 1;
+    }
+    if toks.get(j).map(|t| &t.tok) != Some(&Tok::Punct('[')) {
+        return None;
+    }
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(j) {
+        match t.tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn attr_is_test(attr: &[SpannedTok]) -> bool {
+    let idents: Vec<&str> = attr
+        .iter()
+        .filter_map(|t| match &t.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    match idents.first() {
+        Some(&"test") => true,
+        Some(&"cfg") => idents.contains(&"test"),
+        _ => false,
+    }
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token if the
+/// file is truncated mid-item).
+fn matching_brace(toks: &[SpannedTok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len() - 1
+}
+
+/// Collects `// lint: allow(L4)` / `// lint: allow(L2, L4): reason`
+/// waivers.
+fn find_allows(toks: &[SpannedTok]) -> Vec<(u32, RuleId)> {
+    let mut out = Vec::new();
+    for t in toks {
+        let text = match &t.tok {
+            Tok::LineComment { text, .. } | Tok::BlockComment { text, .. } => text,
+            _ => continue,
+        };
+        let Some(pos) = text.find("lint: allow(") else { continue };
+        let rest = &text[pos + "lint: allow(".len()..];
+        let Some(end) = rest.find(')') else { continue };
+        for name in rest[..end].split(',') {
+            let rule = match name.trim() {
+                "L1" => RuleId::L1,
+                "L2" => RuleId::L2,
+                "L3" => RuleId::L3,
+                "L4" => RuleId::L4,
+                "L5" => RuleId::L5,
+                _ => continue,
+            };
+            out.push((t.line, rule));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L1: unsafe needs a SAFETY comment
+// ---------------------------------------------------------------------------
+
+fn rule_l1_safety_comments(ctx: &FileCtx, out: &mut Vec<Diag>) {
+    // Lines on which a comment mentions `SAFETY:`.
+    let safety_lines: Vec<u32> = ctx
+        .toks
+        .iter()
+        .filter(|t| match &t.tok {
+            Tok::LineComment { text, .. } | Tok::BlockComment { text, .. } => {
+                text.contains("SAFETY:")
+            }
+            _ => false,
+        })
+        .map(|t| t.line)
+        .collect();
+
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if !matches!(&t.tok, Tok::Ident(s) if s == "unsafe") {
+            continue;
+        }
+        let line = t.line;
+        // A justification within the five lines above (a short comment
+        // block) or trailing on the same line satisfies the rule.
+        let justified = safety_lines.iter().any(|&sl| sl <= line && line.saturating_sub(sl) <= 5);
+        if justified {
+            continue;
+        }
+        let what = match ctx.toks.get(i + 1).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) if s == "fn" => "unsafe fn",
+            Some(Tok::Ident(s)) if s == "impl" => "unsafe impl",
+            Some(Tok::Ident(s)) if s == "trait" => "unsafe trait",
+            _ => "unsafe block",
+        };
+        ctx.diag(
+            out,
+            RuleId::L1,
+            line,
+            format!("{what} without a `// SAFETY:` comment stating the upheld invariant"),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L2: ordering whitelist + CAS discipline
+// ---------------------------------------------------------------------------
+
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Ordering idents named at `Ordering::X` or `Ordering::{X, Y}` positions,
+/// with their token indices.
+fn ordering_uses(toks: &[SpannedTok]) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 3 < toks.len() {
+        let is_path = matches!(&toks[i].tok, Tok::Ident(s) if s == "Ordering")
+            && toks[i + 1].tok == Tok::Punct(':')
+            && toks[i + 2].tok == Tok::Punct(':');
+        if !is_path {
+            i += 1;
+            continue;
+        }
+        match &toks[i + 3].tok {
+            Tok::Ident(s) if ATOMIC_ORDERINGS.contains(&s.as_str()) => {
+                out.push((i + 3, s.as_str()));
+                i += 4;
+            }
+            Tok::Punct('{') => {
+                // `use …::Ordering::{Acquire, Release}`
+                let mut j = i + 4;
+                while j < toks.len() && toks[j].tok != Tok::Punct('}') {
+                    if let Tok::Ident(s) = &toks[j].tok {
+                        if ATOMIC_ORDERINGS.contains(&s.as_str()) {
+                            out.push((j, s.as_str()));
+                        }
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            _ => i += 4,
+        }
+    }
+    out
+}
+
+fn rule_l2_orderings(ctx: &FileCtx, out: &mut Vec<Diag>) {
+    let uses = ordering_uses(&ctx.toks);
+    let allowed = config::allowed_orderings(&ctx.crate_name);
+    for &(idx, ord) in &uses {
+        let line = ctx.toks[idx].line;
+        if ctx.in_test_region(line) {
+            continue;
+        }
+        if ord == "SeqCst" {
+            ctx.diag(
+                out,
+                RuleId::L2,
+                line,
+                "Ordering::SeqCst is banned: Ligra synchronization is point-to-point \
+                 (CAS claims / published flags); use AcqRel/Acquire/Release and document \
+                 the protocol"
+                    .to_string(),
+            );
+            continue;
+        }
+        match allowed {
+            Some(list) if list.contains(&ord) => {}
+            Some(_) => ctx.diag(
+                out,
+                RuleId::L2,
+                line,
+                format!(
+                    "Ordering::{ord} is not in crate `{}`'s ordering whitelist \
+                     (see ligra-lint config.rs / DESIGN.md §10)",
+                    ctx.crate_name
+                ),
+            ),
+            None => ctx.diag(
+                out,
+                RuleId::L2,
+                line,
+                format!(
+                    "crate `{}` has no entry in the ordering whitelist; add one to \
+                     ligra-lint's config.rs",
+                    ctx.crate_name
+                ),
+            ),
+        }
+    }
+    rule_l2_cas_discipline(ctx, out);
+}
+
+/// Checks explicit success/failure orderings of `compare_exchange[_weak]`
+/// and `fetch_update` calls. Calls whose orderings are not literal
+/// `Ordering::X` paths (e.g. passed through a variable) are skipped —
+/// the whitelist above still constrains whatever they name.
+fn rule_l2_cas_discipline(ctx: &FileCtx, out: &mut Vec<Diag>) {
+    const CAS_FNS: &[&str] = &["compare_exchange", "compare_exchange_weak", "fetch_update"];
+    for (i, t) in ctx.toks.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        if !CAS_FNS.contains(&name.as_str()) {
+            continue;
+        }
+        if ctx.toks.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('(')) {
+            continue;
+        }
+        let line = t.line;
+        if ctx.in_test_region(line) {
+            continue;
+        }
+        // Scan the balanced argument list for ordering literals.
+        let mut depth = 0i32;
+        let mut orderings: Vec<&str> = Vec::new();
+        let mut j = i + 1;
+        while j < ctx.toks.len() {
+            match &ctx.toks[j].tok {
+                Tok::Punct('(') => depth += 1,
+                Tok::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Ident(s)
+                    if ATOMIC_ORDERINGS.contains(&s.as_str())
+                        && j >= 2
+                        && ctx.toks[j - 1].tok == Tok::Punct(':')
+                        && ctx.toks[j - 2].tok == Tok::Punct(':') =>
+                {
+                    orderings.push(s.as_str());
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if orderings.len() != 2 {
+            continue;
+        }
+        // For compare_exchange*: (success, failure). For fetch_update the
+        // slots are (set_order, fetch_order) — same discipline: the write
+        // side publishes, the read side observes.
+        let (success, failure) = (orderings[0], orderings[1]);
+        if !config::CAS_SUCCESS_ALLOWED.contains(&success) {
+            ctx.diag(
+                out,
+                RuleId::L2,
+                line,
+                format!(
+                    "{name} success ordering {success} violates the claim discipline \
+                     (want AcqRel, or Acquire for read-only winners)"
+                ),
+            );
+        }
+        if !config::CAS_FAILURE_ALLOWED.contains(&failure) {
+            ctx.diag(
+                out,
+                RuleId::L2,
+                line,
+                format!(
+                    "{name} failure ordering {failure} violates the claim discipline \
+                     (a failed claim only observes: want Acquire or Relaxed)"
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L3: no bare .unwrap() in library code
+// ---------------------------------------------------------------------------
+
+fn rule_l3_unwrap(ctx: &FileCtx, out: &mut Vec<Diag>) {
+    if !config::NO_UNWRAP_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        let is_unwrap = matches!(&t.tok, Tok::Ident(s) if s == "unwrap");
+        if !is_unwrap
+            || i == 0
+            || ctx.toks[i - 1].tok != Tok::Punct('.')
+            || ctx.toks.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('('))
+        {
+            continue;
+        }
+        let line = t.line;
+        if ctx.in_test_region(line) {
+            continue;
+        }
+        ctx.diag(
+            out,
+            RuleId::L3,
+            line,
+            "bare `.unwrap()` in library code: state the violated invariant with \
+             `.expect(\"…\")` or propagate the error"
+                .to_string(),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L4: truncating casts go through the checked helpers
+// ---------------------------------------------------------------------------
+
+fn rule_l4_truncating_casts(ctx: &FileCtx, out: &mut Vec<Diag>) {
+    if !config::NO_TRUNCATING_CAST_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    if config::CAST_HELPER_FILES.iter().any(|f| ctx.path.ends_with(f)) {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        let is_as = matches!(&t.tok, Tok::Ident(s) if s == "as");
+        if !is_as {
+            continue;
+        }
+        let Some(next) = ctx.toks.get(i + 1) else { continue };
+        let target = match &next.tok {
+            Tok::Ident(s) if s == "u32" || s == "VertexId" => s.as_str(),
+            _ => continue,
+        };
+        let line = t.line;
+        if ctx.in_test_region(line) {
+            continue;
+        }
+        ctx.diag(
+            out,
+            RuleId::L4,
+            line,
+            format!(
+                "truncating `as {target}` cast on an ID-sized value: use \
+                 `parallel::utils::checked_u32`/`word_base` (asserting) instead"
+            ),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L5: pub fns in core carry doc comments
+// ---------------------------------------------------------------------------
+
+fn rule_l5_doc_comments(ctx: &FileCtx, out: &mut Vec<Diag>) {
+    if !config::DOC_REQUIRED_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if !matches!(&t.tok, Tok::Ident(s) if s == "pub") {
+            continue;
+        }
+        // `pub(crate)` / `pub(super)` are not public API: exempt.
+        if ctx.toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('(')) {
+            continue;
+        }
+        // Skip qualifiers: `pub const unsafe extern "C" async fn name`.
+        let mut j = i + 1;
+        let mut is_fn = false;
+        while let Some(nt) = ctx.toks.get(j) {
+            match &nt.tok {
+                Tok::Ident(s) if ["const", "unsafe", "async", "extern"].contains(&s.as_str()) => {
+                    j += 1
+                }
+                Tok::Str => j += 1, // extern ABI string
+                Tok::Ident(s) if s == "fn" => {
+                    is_fn = true;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        if !is_fn {
+            continue;
+        }
+        let line = t.line;
+        if ctx.in_test_region(line) {
+            continue;
+        }
+        let name = match ctx.toks.get(j + 1).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => s.clone(),
+            _ => String::from("?"),
+        };
+        if !has_doc_above(ctx, i) {
+            ctx.diag(out, RuleId::L5, line, format!("public function `{name}` has no doc comment"));
+        }
+    }
+}
+
+/// Walks backward from the `pub` token over attributes and plain comments
+/// looking for a doc comment (or a `#[doc…]` attribute).
+fn has_doc_above(ctx: &FileCtx, pub_idx: usize) -> bool {
+    let mut k = pub_idx;
+    while k > 0 {
+        k -= 1;
+        match &ctx.toks[k].tok {
+            Tok::LineComment { doc: true, .. } | Tok::BlockComment { doc: true, .. } => {
+                return true
+            }
+            Tok::LineComment { doc: false, .. } | Tok::BlockComment { doc: false, .. } => {}
+            Tok::Punct(']') => {
+                // Skip backward over one attribute; `#[doc = "…"]` counts
+                // as documentation.
+                let mut depth = 0i32;
+                let mut saw_doc = false;
+                loop {
+                    match &ctx.toks[k].tok {
+                        Tok::Punct(']') => depth += 1,
+                        Tok::Punct('[') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Tok::Ident(s) if s == "doc" => saw_doc = true,
+                        _ => {}
+                    }
+                    if k == 0 {
+                        break;
+                    }
+                    k -= 1;
+                }
+                if saw_doc {
+                    return true;
+                }
+                // Step over the leading `#` (and optional `!`).
+                if k > 0 && ctx.toks[k - 1].tok == Tok::Punct('#') {
+                    k -= 1;
+                } else if k > 1
+                    && ctx.toks[k - 1].tok == Tok::Punct('!')
+                    && ctx.toks[k - 2].tok == Tok::Punct('#')
+                {
+                    k -= 2;
+                }
+            }
+            _ => return false,
+        }
+    }
+    false
+}

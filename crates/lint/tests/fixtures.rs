@@ -1,0 +1,103 @@
+//! Fixture tests: each rule has a deliberately-violating file (checked
+//! for the exact rule IDs *and* line numbers) and a compliant twin
+//! (checked to produce no diagnostics). The fixtures live under
+//! `tests/fixtures/`, which the workspace walker skips by name.
+
+use ligra_lint::{lint_source, FileKind, RuleId};
+
+fn check(name: &str, crate_name: &str, src: &str, expect: &[(RuleId, u32)]) {
+    let diags = lint_source(name, crate_name, FileKind::Lib, src);
+    let got: Vec<(RuleId, u32)> = diags.iter().map(|d| (d.rule, d.line)).collect();
+    assert_eq!(
+        got,
+        expect,
+        "{name} diagnostics:\n{}",
+        diags.iter().map(|d| format!("  {d}")).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn l1_unsafe_without_safety_comment() {
+    check(
+        "fixtures/l1_bad.rs",
+        "graph",
+        include_str!("fixtures/l1_bad.rs"),
+        &[(RuleId::L1, 3), (RuleId::L1, 8)],
+    );
+    check("fixtures/l1_good.rs", "graph", include_str!("fixtures/l1_good.rs"), &[]);
+}
+
+#[test]
+fn l1_applies_even_to_test_files() {
+    // L1 is the one rule that stays in scope for test/bench sources.
+    let diags = lint_source(
+        "fixtures/l1_bad.rs",
+        "graph",
+        FileKind::Test,
+        include_str!("fixtures/l1_bad.rs"),
+    );
+    assert_eq!(diags.len(), 2);
+    assert!(diags.iter().all(|d| d.rule == RuleId::L1));
+}
+
+#[test]
+fn l2_ordering_whitelist_and_cas_discipline() {
+    // Crate `graph` whitelists only Relaxed: line 4 is the SeqCst ban,
+    // line 8 an off-whitelist Release, line 12 a Relaxed-success CAS.
+    check(
+        "fixtures/l2_bad.rs",
+        "graph",
+        include_str!("fixtures/l2_bad.rs"),
+        &[(RuleId::L2, 4), (RuleId::L2, 8), (RuleId::L2, 12)],
+    );
+    // The same ordering mix is legal in `parallel`, and the CAS follows
+    // the AcqRel/Acquire claim discipline.
+    check("fixtures/l2_good.rs", "parallel", include_str!("fixtures/l2_good.rs"), &[]);
+}
+
+#[test]
+fn l3_bare_unwrap_in_library_code() {
+    // `engine` is an unwrap-free crate; the unwrap inside `#[cfg(test)]`
+    // must not be flagged.
+    check("fixtures/l3_bad.rs", "engine", include_str!("fixtures/l3_bad.rs"), &[(RuleId::L3, 2)]);
+    check("fixtures/l3_good.rs", "engine", include_str!("fixtures/l3_good.rs"), &[]);
+    // Crates outside the no-unwrap set (e.g. `apps`) are exempt.
+    check("fixtures/l3_bad.rs", "apps", include_str!("fixtures/l3_bad.rs"), &[]);
+}
+
+#[test]
+fn l4_truncating_casts() {
+    check(
+        "fixtures/l4_bad.rs",
+        "graph",
+        include_str!("fixtures/l4_bad.rs"),
+        &[(RuleId::L4, 4), (RuleId::L4, 8)],
+    );
+    // Widening casts pass; a waived float clamp passes with its reason.
+    check("fixtures/l4_good.rs", "graph", include_str!("fixtures/l4_good.rs"), &[]);
+    // The checked-helper file itself is exempt by path.
+    check("crates/parallel/src/utils.rs", "parallel", include_str!("fixtures/l4_bad.rs"), &[]);
+}
+
+#[test]
+fn l5_pub_fn_docs_in_core() {
+    check("fixtures/l5_bad.rs", "core", include_str!("fixtures/l5_bad.rs"), &[(RuleId::L5, 4)]);
+    check("fixtures/l5_good.rs", "core", include_str!("fixtures/l5_good.rs"), &[]);
+    // Doc coverage is only demanded of `core`'s public surface.
+    check("fixtures/l5_bad.rs", "graph", include_str!("fixtures/l5_bad.rs"), &[]);
+}
+
+#[test]
+fn diagnostics_render_machine_readable() {
+    let diags = lint_source(
+        "crates/graph/src/x.rs",
+        "graph",
+        FileKind::Lib,
+        include_str!("fixtures/l4_bad.rs"),
+    );
+    let line = diags[0].to_string();
+    assert!(
+        line.starts_with("crates/graph/src/x.rs:4: error[L4]: "),
+        "unexpected diagnostic format: {line}"
+    );
+}

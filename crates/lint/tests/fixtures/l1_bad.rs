@@ -1,0 +1,8 @@
+// An unsafe block with no justification.
+pub fn peek(xs: &[u32]) -> u32 {
+    unsafe { *xs.get_unchecked(0) }
+}
+
+struct Wrapper(*mut u32);
+
+unsafe impl Send for Wrapper {}

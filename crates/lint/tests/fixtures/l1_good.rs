@@ -1,0 +1,9 @@
+pub fn peek(xs: &[u32]) -> u32 {
+    // SAFETY: callers guarantee xs is non-empty.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+struct Wrapper(*mut u32);
+
+// SAFETY: the pointer is only dereferenced on the owning thread.
+unsafe impl Send for Wrapper {}

@@ -1,0 +1,13 @@
+use std::sync::atomic::{AtomicU32, Ordering};
+
+pub fn bump(x: &AtomicU32) {
+    x.fetch_add(1, Ordering::SeqCst);
+}
+
+pub fn publish(x: &AtomicU32) {
+    x.store(1, Ordering::Release);
+}
+
+pub fn claim(x: &AtomicU32) -> bool {
+    x.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed).is_ok()
+}

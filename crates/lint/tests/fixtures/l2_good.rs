@@ -1,0 +1,9 @@
+use std::sync::atomic::{AtomicU32, Ordering};
+
+pub fn claim(x: &AtomicU32) -> bool {
+    x.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire).is_ok()
+}
+
+pub fn read(x: &AtomicU32) -> u32 {
+    x.load(Ordering::Acquire)
+}

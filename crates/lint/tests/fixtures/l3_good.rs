@@ -1,0 +1,3 @@
+pub fn last(xs: &[u32]) -> u32 {
+    *xs.last().expect("xs must be non-empty")
+}

@@ -1,0 +1,9 @@
+pub type VertexId = u32;
+
+pub fn truncate(x: u64) -> u32 {
+    x as u32
+}
+
+pub fn to_id(x: usize) -> VertexId {
+    x as VertexId
+}

@@ -1,0 +1,8 @@
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}
+
+pub fn clamp(x: f64) -> u32 {
+    // lint: allow(L4): saturating clamp of a float sample, not an ID cast
+    x as u32
+}

@@ -1,0 +1,6 @@
+/// Documented.
+pub fn documented() {}
+
+pub fn undocumented() {}
+
+pub(crate) fn internal_needs_no_docs() {}

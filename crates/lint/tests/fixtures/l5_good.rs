@@ -1,0 +1,7 @@
+/// Frobnicates.
+pub fn frob() {}
+
+#[doc = "Documented via the attribute form."]
+pub fn attr_doc() {}
+
+pub(crate) fn internal_needs_no_docs() {}

@@ -28,12 +28,16 @@ use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
 /// atomics.
 #[inline]
 pub fn as_atomic_u32(s: &mut [u32]) -> &[AtomicU32] {
+    // SAFETY: AtomicU32 has u32's size/alignment/bit-validity, and the
+    // exclusive borrow of `s` outlives the returned shared borrow, so no
+    // non-atomic access can overlap the atomic view.
     unsafe { &*(s as *mut [u32] as *const [AtomicU32]) }
 }
 
 /// Reborrows a mutable `u64` slice as a slice of atomics. See [`as_atomic_u32`].
 #[inline]
 pub fn as_atomic_u64(s: &mut [u64]) -> &[AtomicU64] {
+    // SAFETY: same layout/borrow argument as `as_atomic_u32`.
     unsafe { &*(s as *mut [u64] as *const [AtomicU64]) }
 }
 
@@ -43,6 +47,9 @@ pub fn as_atomic_u64(s: &mut [u64]) -> &[AtomicU64] {
 /// target flag concurrently, which must go through `AtomicBool` stores.
 #[inline]
 pub fn as_atomic_bool(s: &mut [bool]) -> &[AtomicBool] {
+    // SAFETY: AtomicBool matches bool's size and validity (only 0/1 are
+    // ever stored), and the exclusive borrow of `s` outlives the atomic
+    // view; same argument as `as_atomic_u32`.
     unsafe { &*(s as *mut [bool] as *const [AtomicBool]) }
 }
 
@@ -53,6 +60,9 @@ pub fn as_atomic_bool(s: &mut [bool]) -> &[AtomicBool] {
 /// patterns for the integer view).
 #[inline]
 pub fn as_atomic_f64(s: &mut [f64]) -> &[AtomicF64] {
+    // SAFETY: AtomicF64 is repr(transparent) over AtomicU64, which shares
+    // u64/f64's 8-byte layout with no invalid patterns for the integer
+    // view; the exclusive borrow of `s` outlives the atomic view.
     unsafe { &*(s as *mut [f64] as *const [AtomicF64]) }
 }
 
@@ -97,6 +107,7 @@ pub fn write_max_u32(a: &AtomicU32, v: u32) -> bool {
 /// Reborrows a mutable `i64` slice as a slice of atomics. See [`as_atomic_u32`].
 #[inline]
 pub fn as_atomic_i64(s: &mut [i64]) -> &[AtomicI64] {
+    // SAFETY: same layout/borrow argument as `as_atomic_u32`.
     unsafe { &*(s as *mut [i64] as *const [AtomicI64]) }
 }
 

@@ -289,6 +289,8 @@ impl BitSet {
                     acc |= 1u64 << (ids[i] & 63);
                     i += 1;
                 }
+                // SAFETY: as above — `cur`'s ID run began inside this
+                // block, so this block is its only writer.
                 unsafe { *p.0.add(cur as usize) = acc };
             });
         } else {

@@ -48,4 +48,4 @@ pub use hash::{hash32, hash64, mix64};
 pub use pack::{filter, pack, pack_index, pack_index_bits};
 pub use reduce::{max_index, min_index, reduce, sum_u64, sum_usize};
 pub use scan::{plus_scan_inclusive_u32, prefix_sums, scan_exclusive, scan_inplace_exclusive};
-pub use utils::{num_threads, with_threads, GRANULARITY};
+pub use utils::{checked_u32, num_threads, with_threads, GRANULARITY};

@@ -30,7 +30,7 @@ pub fn filter<T: Copy + Send + Sync>(xs: &[T], pred: impl Fn(&T) -> bool + Sync)
 /// the dense representation, the output is the sparse one.
 pub fn pack_index(flags: &[bool]) -> Vec<u32> {
     debug_assert!(flags.len() <= u32::MAX as usize);
-    pack_with(flags.len(), |i| flags[i], |i| i as u32)
+    pack_with(flags.len(), |i| flags[i], crate::utils::checked_u32)
 }
 
 /// Returns the indices of the set bits of a packed bit set, in order.
@@ -70,7 +70,7 @@ pub fn pack_index_bits(bits: &crate::bitvec::BitSet) -> Vec<u32> {
             for wi in block_range(nw, nblocks, b) {
                 let mut w = words[wi];
                 while w != 0 {
-                    let i = (wi * 64) as u32 + w.trailing_zeros();
+                    let i = crate::utils::checked_u32(wi * 64) + w.trailing_zeros();
                     // SAFETY: offsets from the scan are disjoint across
                     // blocks and total <= capacity.
                     unsafe { (*p.0.add(o)).write(i) };

@@ -83,7 +83,10 @@ where
 /// boundary. Safety rests on the callers writing disjoint indices.
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
+// SAFETY: bare address; the scan passes write disjoint block ranges, so
+// sharing the pointer across workers cannot alias a write.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: as above — all concurrent use is disjoint-range writes.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 /// In-place exclusive scan; returns the total.

@@ -25,8 +25,35 @@ pub const GRANULARITY: usize = 2048;
 /// guaranteeing the blocks write disjoint slots.
 #[derive(Clone, Copy)]
 pub struct SendPtr<T>(pub *mut T);
+// SAFETY: SendPtr is a plain address with no aliasing claims of its own;
+// every use site confines concurrent writes through it to disjoint index
+// ranges (counts + exclusive scan ⇒ non-overlapping destinations), which is
+// the invariant that makes cross-thread sharing of the address sound.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: see the Send impl above — disjoint-range writes are the only
+// shared-reference use.
 unsafe impl<T> Sync for SendPtr<T> {}
+
+// The checked ID-cast helpers below are the one sanctioned home for
+// narrowing conversions on vertex/edge IDs (lint rule L4 exempts this
+// file). Widening `as usize` stays unchecked everywhere because the
+// workspace only targets 64-bit platforms:
+const _: () = assert!(
+    std::mem::size_of::<usize>() >= 8,
+    "ligra assumes 64-bit usize: `id as usize` must be lossless"
+);
+
+/// Narrows an index to `u32`, panicking with the violated invariant if it
+/// exceeds vertex-ID range. Use this (not `as u32`) whenever a `usize` or
+/// `u64` becomes a vertex/edge ID; the branch predicts perfectly and keeps
+/// truncation bugs loud instead of graph-dependent.
+#[inline]
+pub fn checked_u32<T: TryInto<u32>>(x: T) -> u32 {
+    match x.try_into() {
+        Ok(v) => v,
+        Err(_) => panic!("id exceeds u32 vertex-ID range"),
+    }
+}
 
 /// Number of worker threads in the current rayon pool.
 #[inline]
@@ -110,10 +137,10 @@ pub fn pool_is_parallel(n: usize) -> bool {
         // worker steals at least one; a sequential runtime keeps all of
         // them on the calling thread.
         (0..n * 8).into_par_iter().with_max_len(1).for_each(|_| {
-            ids.lock().unwrap().insert(std::thread::current().id());
+            ids.lock().expect("probe mutex poisoned").insert(std::thread::current().id());
             std::thread::sleep(std::time::Duration::from_millis(1));
         });
-        ids.into_inner().unwrap().len() > 1
+        ids.into_inner().expect("probe mutex poisoned").len() > 1
     })
 }
 
@@ -173,6 +200,14 @@ mod tests {
     fn with_threads_runs_in_sized_pool() {
         let n = with_threads(2, num_threads);
         assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn checked_u32_roundtrips_and_panics() {
+        assert_eq!(checked_u32(0usize), 0);
+        assert_eq!(checked_u32(u32::MAX as usize), u32::MAX);
+        assert_eq!(checked_u32(41u64), 41);
+        assert!(std::panic::catch_unwind(|| checked_u32(u32::MAX as u64 + 1)).is_err());
     }
 
     #[test]

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# ThreadSanitizer sweep over the edgeMap race-oracle certification suite.
+#
+# The race oracle (DESIGN.md §10) checks the *win-contract* half of the
+# concurrency story; TSan checks the *memory-model* half (that every
+# concurrent access the traversals make is properly synchronized). This
+# script runs the certification tests under `-Z sanitizer=thread` so both
+# layers are exercised on the same workloads.
+#
+# TSan needs a nightly toolchain with rust-src (std must be rebuilt with
+# the sanitizer via -Zbuild-std). Offline sandboxes have neither nightly
+# nor registry access, and the vendored rayon stub is sequential anyway —
+# in any of those situations the script reports why and exits 0 so it can
+# sit in CI/dev loops without special-casing.
+#
+# Usage: scripts/sanitize.sh
+set -uo pipefail
+
+skip() {
+    echo "sanitize: SKIP — $1" >&2
+    exit 0
+}
+
+command -v rustup >/dev/null 2>&1 || skip "rustup not installed"
+
+if ! rustup toolchain list 2>/dev/null | grep -q '^nightly'; then
+    skip "no nightly toolchain (install with: rustup toolchain install nightly --component rust-src)"
+fi
+
+if ! rustup component list --toolchain nightly 2>/dev/null | grep -q 'rust-src (installed)'; then
+    skip "nightly lacks rust-src (add with: rustup component add rust-src --toolchain nightly)"
+fi
+
+if [[ -f .cargo/config.toml ]] && grep -q 'patch.crates-io' .cargo/config.toml; then
+    skip "offline vendored-stub configuration is active (sequential rayon: nothing for TSan to see); remove .cargo/config.toml and Cargo.lock first"
+fi
+
+HOST_TARGET="$(rustc -vV | sed -n 's/^host: //p')"
+case "$HOST_TARGET" in
+    x86_64-*-linux-gnu | aarch64-*-linux-gnu | *-apple-darwin) ;;
+    *) skip "ThreadSanitizer unsupported on host target $HOST_TARGET" ;;
+esac
+
+echo "sanitize: running race-oracle certification suite under TSan ($HOST_TARGET)"
+set -x
+RUSTFLAGS="-Z sanitizer=thread" \
+    cargo +nightly test -Z build-std --target "$HOST_TARGET" \
+    -p ligra-integration-tests --features race-check --test race_oracle "$@"
