@@ -193,6 +193,17 @@ where
         o.begin_round();
     }
 
+    // The `edgemap.round` fault point fires before any edge is touched.
+    // This site has no error channel, so the Error action also surfaces
+    // as an unwind with the typed FaultError payload; the engine's
+    // catch_unwind boundary tells the two apart via `FaultError::action`.
+    #[cfg(feature = "fault-inject")]
+    if let Some(plan) = opts.fault {
+        if let Err(e) = plan.check(crate::fault::FaultPoint::EdgemapRound) {
+            std::panic::panic_any(e);
+        }
+    }
+
     let result = if frontier.is_empty() {
         VertexSubset::empty(n)
     } else {

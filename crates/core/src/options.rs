@@ -1,6 +1,7 @@
 //! `edgeMap` tuning knobs.
 
 use crate::cancel::CancelToken;
+use crate::fault::FaultPlan;
 use crate::race::RaceOracle;
 
 /// Which traversal `edgeMap` should use.
@@ -92,6 +93,11 @@ pub struct EdgeMapOptions<'a> {
     /// `race-check` feature; without it the attached oracle is inert
     /// (the traversal hooks compile away). See [`crate::race`].
     pub oracle: Option<&'a RaceOracle>,
+    /// Deterministic fault-injection schedule checked at the
+    /// `edgemap.round` fault point. Active only in builds with the
+    /// `fault-inject` feature; without it the attached plan is inert
+    /// (the round hook compiles away). See [`crate::fault`].
+    pub fault: Option<&'a FaultPlan>,
 }
 
 impl Default for EdgeMapOptions<'_> {
@@ -103,6 +109,7 @@ impl Default for EdgeMapOptions<'_> {
             output: true,
             cancel: None,
             oracle: None,
+            fault: None,
         }
     }
 }
@@ -150,6 +157,13 @@ impl<'a> EdgeMapOptions<'a> {
         self
     }
 
+    /// Attaches a fault plan checked at the start of every round
+    /// (active only under the `fault-inject` feature).
+    pub fn fault_plan(mut self, plan: &'a FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
     /// Whether the attached token (if any) has requested a stop.
     #[inline]
     pub fn is_cancelled(&self) -> bool {
@@ -191,6 +205,14 @@ mod tests {
         assert!(!o.is_cancelled());
         token.cancel();
         assert!(o.is_cancelled());
+    }
+
+    #[test]
+    fn fault_plan_threads_through() {
+        let plan = crate::fault::FaultPlan::seeded(42);
+        let o = EdgeMapOptions::new().fault_plan(&plan);
+        assert!(o.fault.is_some());
+        assert!(EdgeMapOptions::new().fault.is_none());
     }
 
     #[test]

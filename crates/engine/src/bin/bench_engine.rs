@@ -90,11 +90,11 @@ fn run_level(
                     let t0 = Instant::now();
                     let h = match engine.submit(q, Some(deadline)) {
                         Ok(h) => h,
-                        Err(SubmitError::QueueFull) => {
+                        Err(SubmitError::QueueFull | SubmitError::Overloaded { .. }) => {
                             rejected.fetch_add(1, Ordering::Relaxed);
                             continue;
                         }
-                        Err(e) => panic!("submit failed: {e}"),
+                        Err(e) => fatal(&format!("submit failed: {e}")),
                     };
                     let status = h.wait();
                     let total = t0.elapsed();
@@ -108,6 +108,11 @@ fn run_level(
                             // A deadline miss is a cancel we didn't ask for.
                             deadline_misses.fetch_add(1, Ordering::Relaxed);
                         }
+                        QueryStatus::Shed => {
+                            // Queue wait ate the whole deadline before the
+                            // query ever ran: a deadline miss by another name.
+                            deadline_misses.fetch_add(1, Ordering::Relaxed);
+                        }
                         QueryStatus::Done => {
                             if total > deadline + Duration::from_millis(50) {
                                 // Finished, but starved well past its deadline
@@ -115,7 +120,7 @@ fn run_level(
                                 deadline_misses.fetch_add(1, Ordering::Relaxed);
                             }
                         }
-                        s => panic!("unexpected terminal status {s}"),
+                        s => fatal(&format!("unexpected terminal status {s}")),
                     }
                 }
                 (turnaround, queue_wait)
@@ -147,6 +152,13 @@ fn run_level(
     }
 }
 
+/// Operator-facing fatal error: report and exit instead of panicking
+/// (lint L6 bans panics across the engine crate, binaries included).
+fn fatal(msg: &str) -> ! {
+    eprintln!("bench_engine: {msg}");
+    std::process::exit(2);
+}
+
 fn main() {
     let mut quick = std::env::var("LIGRA_SCALE").is_ok_and(|s| s == "small");
     let mut out_path = String::from("BENCH_engine.json");
@@ -154,8 +166,8 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
-            "--out" => out_path = it.next().expect("--out needs a value"),
-            other => panic!("unknown flag {other:?}"),
+            "--out" => out_path = it.next().unwrap_or_else(|| fatal("--out needs a value")),
+            other => fatal(&format!("unknown flag {other:?}")),
         }
     }
     let traversal: Traversal = std::env::var("LIGRA_TRAVERSAL")
@@ -183,6 +195,8 @@ fn main() {
         cache_capacity: 64,
         default_deadline: None,
         traversal,
+        memory_budget: None,
+        fault: None,
     }));
     engine.install_graph(Arc::new(g));
 

@@ -8,9 +8,16 @@
 //! ```text
 //! ligra-serve [--listen ADDR | --client ADDR]
 //!             [--workers N] [--queue N] [--cache N]
+//!             [--memory-budget BYTES]
 //!             [--traversal auto|sparse|dense|dense-forward]
 //!             [--graph PATH [--directed] [--weighted]]
+//!             [--fault SPEC]... [--fault-seed N]
 //! ```
+//!
+//! `--fault point:action[:nth]` arms a deterministic fault (DESIGN.md
+//! §11); it is accepted only in builds with the `fault-inject` feature.
+//! Malformed, oversized, or non-UTF-8 request lines get an `error`
+//! response and the connection keeps serving; they never tear it down.
 //!
 //! The traversal policy may also come from `LIGRA_TRAVERSAL` (the flag
 //! wins). Requests:
@@ -26,8 +33,10 @@
 //! ```
 
 use ligra::Traversal;
+use ligra_engine::wire::{read_request_line, MAX_REQUEST_LINE_BYTES};
 use ligra_engine::{
-    error_response, Engine, EngineConfig, JsonObj, Query, QueryHandle, Request, SubmitError,
+    error_response, Engine, EngineConfig, FaultPlan, JsonObj, Query, QueryHandle, Request,
+    SubmitError,
 };
 use ligra_graph::generators::{
     erdos_renyi, grid3d, random_local, random_weights, rmat, RmatOptions,
@@ -46,16 +55,27 @@ struct Args {
     workers: usize,
     queue: usize,
     cache: usize,
+    memory_budget: Option<u64>,
     traversal: Traversal,
     graph: Option<String>,
     symmetric: bool,
     weighted: bool,
+    fault_specs: Vec<String>,
+    fault_seed: u64,
+}
+
+/// Operator-facing fatal error: report and exit instead of panicking
+/// (lint L6 bans panics across the engine crate, binaries included).
+fn fatal(msg: &str) -> ! {
+    eprintln!("ligra-serve: {msg}");
+    std::process::exit(2);
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: ligra-serve [--listen ADDR | --client ADDR] [--workers N] [--queue N] \
-         [--cache N] [--traversal POLICY] [--graph PATH [--directed] [--weighted]]"
+         [--cache N] [--memory-budget BYTES] [--traversal POLICY] \
+         [--graph PATH [--directed] [--weighted]] [--fault SPEC]... [--fault-seed N]"
     );
     std::process::exit(2);
 }
@@ -67,6 +87,7 @@ fn parse_args() -> Args {
         workers: 2,
         queue: 64,
         cache: 32,
+        memory_budget: None,
         traversal: std::env::var("LIGRA_TRAVERSAL")
             .ok()
             .and_then(|s| s.parse().ok())
@@ -74,22 +95,31 @@ fn parse_args() -> Args {
         graph: None,
         symmetric: true,
         weighted: false,
+        fault_specs: Vec::new(),
+        fault_seed: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| fatal(&format!("{name} needs a value")));
+        fn parsed<T: std::str::FromStr>(name: &str, raw: &str) -> T {
+            raw.parse().unwrap_or_else(|_| fatal(&format!("{name}: cannot parse {raw:?}")))
+        }
         match a.as_str() {
             "--listen" => args.listen = Some(value("--listen")),
             "--client" => args.client = Some(value("--client")),
-            "--workers" => args.workers = value("--workers").parse().expect("--workers"),
-            "--queue" => args.queue = value("--queue").parse().expect("--queue"),
-            "--cache" => args.cache = value("--cache").parse().expect("--cache"),
-            "--traversal" => {
-                args.traversal = value("--traversal").parse().unwrap_or_else(|e| panic!("{e}"))
+            "--workers" => args.workers = parsed("--workers", &value("--workers")),
+            "--queue" => args.queue = parsed("--queue", &value("--queue")),
+            "--cache" => args.cache = parsed("--cache", &value("--cache")),
+            "--memory-budget" => {
+                args.memory_budget = Some(parsed("--memory-budget", &value("--memory-budget")))
             }
+            "--traversal" => args.traversal = parsed("--traversal", &value("--traversal")),
             "--graph" => args.graph = Some(value("--graph")),
             "--directed" => args.symmetric = false,
             "--weighted" => args.weighted = true,
+            "--fault" => args.fault_specs.push(value("--fault")),
+            "--fault-seed" => args.fault_seed = parsed("--fault-seed", &value("--fault-seed")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -105,6 +135,20 @@ fn parse_args() -> Args {
 }
 
 fn load_into(engine: &Engine, path: &str, symmetric: bool, weighted: bool) -> Result<u64, String> {
+    // The `graph.load` fault point guards the serve-side load path: an
+    // injected error (or contained panic) becomes a load failure the
+    // client sees, never a dead connection.
+    #[cfg(feature = "fault-inject")]
+    if let Some(plan) = engine.fault_plan() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        match catch_unwind(AssertUnwindSafe(|| plan.check(ligra::FaultPoint::GraphLoad))) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => return Err(e.to_string()),
+            Err(payload) => {
+                return Err(ligra_engine::error::classify_panic(payload.as_ref()).to_string())
+            }
+        }
+    }
     if weighted {
         let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
         let g = read_weighted_adjacency_graph(file, symmetric).map_err(|e| e.to_string())?;
@@ -186,8 +230,8 @@ fn status_response(h: &QueryHandle) -> JsonObj {
             };
         }
     }
-    if let Some(err) = h.error() {
-        obj = obj.str("error", &err);
+    if let Some(err) = h.query_error() {
+        obj = obj.str("error", &err.to_string()).bool("transient", err.is_transient());
     }
     obj
 }
@@ -222,6 +266,11 @@ fn stats_response(engine: &Engine) -> String {
         .u64("completed", s.completed)
         .u64("cancelled", s.cancelled)
         .u64("failed", s.failed)
+        .u64("sheds", s.sheds)
+        .u64("panics", s.panics)
+        .u64("retries", s.retries)
+        .u64("queue_deadline_sheds", s.queue_deadline_sheds)
+        .u64("inflight_bytes", s.inflight_bytes)
         .u64("cache_hits", s.cache_hits)
         .u64("cache_misses", s.cache_misses)
         .u64("cache_len", s.cache_len as u64)
@@ -285,7 +334,20 @@ fn handle_line(engine: &Engine, line: &str) -> (String, bool) {
             };
             match engine.submit(query, deadline) {
                 Ok(h) => Ok(status_response(&h).finish()),
-                Err(SubmitError::QueueFull) => Err("queue full".to_string()),
+                Err(SubmitError::QueueFull) => Ok(JsonObj::new()
+                    .bool("ok", false)
+                    .str("error", "queue full")
+                    .bool("transient", true)
+                    .finish()),
+                Err(SubmitError::Overloaded { retry_after }) => Ok(JsonObj::new()
+                    .bool("ok", false)
+                    .str("error", "engine overloaded")
+                    .bool("transient", true)
+                    .u64(
+                        "retry_after_ms",
+                        u64::try_from(retry_after.as_millis()).unwrap_or(u64::MAX),
+                    )
+                    .finish()),
                 Err(SubmitError::NoGraph) => Err("no graph installed".to_string()),
             }
         })(),
@@ -313,17 +375,48 @@ fn handle_line(engine: &Engine, line: &str) -> (String, bool) {
     (resp.unwrap_or_else(|e| error_response(&e)), true)
 }
 
-fn serve_stream<R: BufRead, W: Write>(engine: &Engine, reader: R, mut writer: W) -> bool {
-    for line in reader.lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(_) => break,
+/// Checks the `wire.read` fault point; a contained injection becomes an
+/// error-response line, never a torn-down connection. The response is
+/// flagged `"transient":true` — the fault plan is hit-scheduled, so a
+/// retried request lands on a fresh hit and normally succeeds.
+#[cfg(feature = "fault-inject")]
+fn wire_fault(engine: &Engine) -> Option<String> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let plan = engine.fault_plan()?;
+    let msg = match catch_unwind(AssertUnwindSafe(|| plan.check(ligra::FaultPoint::WireRead))) {
+        Ok(Ok(())) => return None,
+        Ok(Err(e)) => e.to_string(),
+        Err(payload) => ligra_engine::error::classify_panic(payload.as_ref()).to_string(),
+    };
+    Some(JsonObj::new().bool("ok", false).str("error", &msg).bool("transient", true).finish())
+}
+
+fn serve_stream<R: BufRead, W: Write>(engine: &Engine, mut reader: R, mut writer: W) -> bool {
+    loop {
+        let line = match read_request_line(&mut reader, MAX_REQUEST_LINE_BYTES) {
+            Ok(None) => break, // clean EOF
+            Err(_) => break,   // transport failure; nothing to answer on
+            Ok(Some(Err(e))) => {
+                // Oversized or non-UTF-8 line: answer and keep serving.
+                if write_response(&mut writer, &error_response(&e)).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Ok(Some(Ok(l))) => l,
         };
         if line.trim().is_empty() {
             continue;
         }
+        #[cfg(feature = "fault-inject")]
+        if let Some(resp) = wire_fault(engine) {
+            if write_response(&mut writer, &resp).is_err() {
+                break;
+            }
+            continue;
+        }
         let (resp, keep_going) = handle_line(engine, &line);
-        if writeln!(writer, "{resp}").and_then(|()| writer.flush()).is_err() {
+        if write_response(&mut writer, &resp).is_err() {
             break;
         }
         if !keep_going {
@@ -333,23 +426,98 @@ fn serve_stream<R: BufRead, W: Write>(engine: &Engine, reader: R, mut writer: W)
     true
 }
 
+fn write_response<W: Write>(writer: &mut W, resp: &str) -> std::io::Result<()> {
+    writeln!(writer, "{resp}").and_then(|()| writer.flush())
+}
+
+/// Client-side retry budget for responses flagged `"transient":true`
+/// (overload sheds, queue-full, injected transient faults).
+const CLIENT_RETRIES: u32 = 3;
+
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x = (x ^ (x >> 33)).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^ (x >> 33)
+}
+
+/// Jittered exponential backoff: 10·2^attempt ms base, up to +50% jitter
+/// (deterministic in the request/attempt pair), so retrying clients
+/// don't stampede the server in lockstep.
+fn backoff_delay(attempt: u32, salt: u64) -> Duration {
+    let base = 10u64 << attempt.min(6);
+    let jitter = mix64(salt.wrapping_mul(31).wrapping_add(attempt as u64)) % (base / 2 + 1);
+    Duration::from_millis(base + jitter)
+}
+
+/// Pulls `"retry_after_ms":N` out of a flat-JSON response, if present.
+fn retry_after_ms(resp: &str) -> Option<u64> {
+    let rest = resp.split_once("\"retry_after_ms\":")?.1;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
 fn run_client(addr: &str) {
-    let stream = TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect {addr}: {e}"));
-    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let stream =
+        TcpStream::connect(addr).unwrap_or_else(|e| fatal(&format!("connect {addr}: {e}")));
+    let mut reader =
+        BufReader::new(stream.try_clone().unwrap_or_else(|e| fatal(&format!("clone stream: {e}"))));
     let mut writer = BufWriter::new(stream);
     let stdin = std::io::stdin();
-    for line in stdin.lock().lines() {
-        let line = line.expect("read stdin");
+    for (line_no, line) in stdin.lock().lines().enumerate() {
+        let line = line.unwrap_or_else(|e| fatal(&format!("read stdin: {e}")));
         if line.trim().is_empty() {
             continue;
         }
-        writeln!(writer, "{line}").and_then(|()| writer.flush()).expect("send request");
-        let mut resp = String::new();
-        if reader.read_line(&mut resp).expect("read response") == 0 {
+        let mut attempt = 0u32;
+        loop {
+            if writeln!(writer, "{line}").and_then(|()| writer.flush()).is_err() {
+                fatal("send request: connection lost");
+            }
+            let mut resp = String::new();
+            match reader.read_line(&mut resp) {
+                Err(e) => fatal(&format!("read response: {e}")),
+                Ok(0) => return,
+                Ok(_) => {}
+            }
+            // Transient shed (overload, queue-full, injected fault):
+            // honor the server's retry-after hint when present, else
+            // jittered exponential backoff, up to the retry budget.
+            if resp.contains("\"transient\":true") && attempt < CLIENT_RETRIES {
+                let delay = retry_after_ms(&resp)
+                    .map(Duration::from_millis)
+                    .unwrap_or_else(|| backoff_delay(attempt, line_no as u64));
+                attempt += 1;
+                eprintln!(
+                    "ligra-serve: transient failure, retry {attempt}/{CLIENT_RETRIES} \
+                     in {} ms",
+                    delay.as_millis()
+                );
+                std::thread::sleep(delay);
+                continue;
+            }
+            print!("{resp}");
             break;
         }
-        print!("{resp}");
     }
+}
+
+/// Builds the engine's fault plan from `--fault` specs. The flag is
+/// rejected at startup when the hooks are compiled out, so an operator
+/// can't arm faults that would silently never fire.
+fn build_fault_plan(args: &Args) -> Result<Option<Arc<FaultPlan>>, String> {
+    if args.fault_specs.is_empty() {
+        return Ok(None);
+    }
+    if !cfg!(feature = "fault-inject") {
+        return Err(
+            "--fault requires a ligra-serve build with the fault-inject feature".to_string()
+        );
+    }
+    let mut plan = FaultPlan::seeded(args.fault_seed);
+    for spec in &args.fault_specs {
+        plan = plan.arm_spec(spec).map_err(|e| format!("--fault {spec:?}: {e}"))?;
+    }
+    Ok(Some(Arc::new(plan)))
 }
 
 fn main() {
@@ -359,16 +527,22 @@ fn main() {
         return;
     }
 
+    let fault = match build_fault_plan(&args) {
+        Ok(f) => f,
+        Err(e) => fatal(&e),
+    };
     let engine = Arc::new(Engine::new(EngineConfig {
         workers: args.workers,
         queue_capacity: args.queue,
         cache_capacity: args.cache,
         default_deadline: None,
         traversal: args.traversal,
+        memory_budget: args.memory_budget,
+        fault,
     }));
     if let Some(path) = &args.graph {
         let epoch = load_into(&engine, path, args.symmetric, args.weighted)
-            .unwrap_or_else(|e| panic!("preload {path}: {e}"));
+            .unwrap_or_else(|e| fatal(&format!("preload {path}: {e}")));
         eprintln!("ligra-serve: loaded {path} at epoch {epoch}");
     }
 
@@ -379,7 +553,8 @@ fn main() {
             serve_stream(&engine, stdin.lock(), stdout.lock());
         }
         Some(addr) => {
-            let listener = TcpListener::bind(addr).unwrap_or_else(|e| panic!("bind {addr}: {e}"));
+            let listener =
+                TcpListener::bind(addr).unwrap_or_else(|e| fatal(&format!("bind {addr}: {e}")));
             eprintln!(
                 "ligra-serve: listening on {}",
                 listener.local_addr().expect("bound listener has a local addr")

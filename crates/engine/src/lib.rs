@@ -14,12 +14,22 @@
 //! * [`cache`] — an LRU of results keyed `(epoch, query)`;
 //! * [`span`] — per-query lifecycle telemetry (queue wait, run time,
 //!   rounds executed before completion or cancellation);
+//! * [`error`] — typed terminal errors ([`QueryError`]) distinguishing
+//!   validation failures, injected transient faults, and caught panics;
 //! * [`wire`] — the flat-JSONL request/response format spoken by the
 //!   `ligra-serve` binary.
+//!
+//! Robustness (DESIGN.md §11): workers isolate query panics with
+//! `catch_unwind` and self-heal; admission sheds on a memory budget
+//! ([`SubmitError::Overloaded`]) and at dequeue when queue wait consumed
+//! the deadline ([`QueryStatus::Shed`]); the `fault-inject` feature arms
+//! deterministic fault schedules ([`FaultPlan`], re-exported from
+//! `ligra`) at named points for chaos testing.
 
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod error;
 pub mod query;
 pub mod scheduler;
 pub mod snapshot;
@@ -27,6 +37,8 @@ pub mod span;
 pub mod wire;
 
 pub use cache::ResultCache;
+pub use error::QueryError;
+pub use ligra::{FaultAction, FaultError, FaultPlan, FaultPoint};
 pub use query::{Query, QueryOutput, PAGERANK_ALPHA};
 pub use scheduler::{Engine, EngineConfig, EngineStats, QueryHandle, SubmitError};
 pub use snapshot::{GraphStore, Snapshot};

@@ -105,6 +105,36 @@ impl Query {
         Ok(())
     }
 
+    /// Coarse upper estimate of the bytes this query's run allocates on
+    /// `snap`: per-vertex app state plus frontier buffers, plus the
+    /// unit-weight twin Bellman-Ford builds when no weighted graph was
+    /// installed. The memory-budget admission check sums these for
+    /// in-flight queries — it bounds the order of magnitude of engine
+    /// memory pressure, not the exact byte count.
+    pub fn estimated_run_bytes(&self, snap: &Snapshot) -> u64 {
+        let n = snap.num_vertices() as u64;
+        let m = snap.num_edges() as u64;
+        let per_vertex: u64 = match self {
+            Query::Bfs { .. } => 8,          // parent + dist (u32 each)
+            Query::Bc { .. } => 24,          // sigma + dependency (f64) + visited
+            Query::Cc => 8,                  // label + prev label
+            Query::PageRank { .. } => 16,    // rank + next (f64 each)
+            Query::Radii { .. } => 20,       // radii + two 64-bit visit masks / 8
+            Query::BellmanFord { .. } => 12, // i64 dist + relaxed flag
+            Query::KCore => 8,               // coreness + live degree
+            Query::Mis { .. } => 9,          // priority (u64) + state
+        };
+        let weighted_twin = match self {
+            // Building the unit-weight twin copies offsets and targets
+            // and materializes one weight per arc.
+            Query::BellmanFord { .. } if !snap.weighted_ready() => 8 * n + 8 * m,
+            _ => 0,
+        };
+        // Frontier overhead: dense bitsets both ways plus sparse output
+        // buffers, called 8 bytes per vertex.
+        n * (per_vertex + 8) + weighted_twin
+    }
+
     /// Runs the query on `snap`, delivering per-round telemetry to `rec`.
     /// `opts` carries the traversal policy and the cancellation token; a
     /// cancelled run still returns `Ok` with whatever partial state the

@@ -1,36 +1,65 @@
 //! The engine proper: a bounded admission queue feeding a fixed pool of
-//! worker threads, with per-query deadlines, cooperative cancellation,
-//! and an epoch-keyed result cache.
+//! panic-isolated worker threads, with per-query deadlines, cooperative
+//! cancellation, graceful overload shedding, and an epoch-keyed result
+//! cache.
 //!
 //! Design points:
 //!
 //! * **Admission control.** `submit` rejects (`QueueFull`) instead of
-//!   blocking when the queue is at capacity — a serving front-end should
-//!   shed load at the edge, not accumulate unbounded backlog.
+//!   blocking when the queue is at capacity, and sheds (`Overloaded`,
+//!   with a retry-after hint) when the estimated memory footprint of
+//!   in-flight queries would exceed the configured budget — a serving
+//!   front-end should shed load at the edge, not accumulate unbounded
+//!   backlog.
 //! * **Snapshot binding.** The snapshot is captured at submit time, so a
 //!   graph installed mid-flight never changes what an admitted query
 //!   computes on; its epoch keys the cache entry.
-//! * **Cancellation.** Each query gets a [`CancelToken`] (optionally
-//!   with a deadline). Workers pre-check it at dequeue — a query whose
-//!   deadline expired while queued is retired without running — and
-//!   thread it through `EdgeMapOptions`, so a running query yields at
-//!   the next edgeMap round boundary. Partial results of cancelled
-//!   queries are discarded, never cached.
+//! * **Cancellation and shedding.** Each query gets a [`CancelToken`]
+//!   (optionally with a deadline). Workers pre-check it at dequeue: an
+//!   explicitly cancelled query is retired as `Cancelled`, and a query
+//!   whose queue wait already consumed its deadline is retired as
+//!   `Shed` without burning a worker. A running query yields at the
+//!   next edgeMap round boundary. Partial results are discarded, never
+//!   cached.
+//! * **Panic isolation.** Query execution runs under `catch_unwind`: a
+//!   panicking app (or injected fault) finishes its query as
+//!   [`QueryStatus::Panicked`] with a typed
+//!   [`QueryError::Panicked`](crate::QueryError::Panicked) instead of
+//!   killing the worker. Workers self-heal, the snapshot epoch stays
+//!   valid, and every lock acquisition recovers from poisoning (a
+//!   poisoned scheduler mutex only means some other worker panicked
+//!   mid-update of plain data the scheduler re-derives).
 //! * **Spans.** Every query leaves one [`QuerySpan`] with queue wait,
-//!   run time, and edgeMap rounds executed — the observability contract
-//!   the serving layer's `trace` op exposes.
+//!   run time, edgeMap rounds, and dispatch retries — the observability
+//!   contract the serving layer's `trace` op exposes.
 
 use crate::cache::ResultCache;
+use crate::error::{classify_panic, QueryError};
 use crate::query::{Query, QueryOutput};
 use crate::snapshot::{GraphStore, Snapshot};
 use crate::span::{QuerySpan, QueryStatus, RoundCounter};
-use ligra::{CancelToken, EdgeMapOptions, Traversal};
+use ligra::{CancelToken, EdgeMapOptions, FaultPlan, Traversal};
 use ligra_graph::{Graph, WeightedGraph};
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How many times a transient fault at the `engine.dispatch` point may
+/// re-enqueue one job before it fails for good.
+#[cfg(feature = "fault-inject")]
+const MAX_DISPATCH_RETRIES: u64 = 2;
+
+/// Locks a scheduler mutex, recovering from poisoning. A worker panic is
+/// caught and contained per-query; every structure these mutexes guard
+/// (queue, cache, job table, span log) is left consistent between
+/// individual operations, so the poison flag carries no information the
+/// scheduler needs.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Engine tunables.
 #[derive(Debug, Clone)]
@@ -46,6 +75,16 @@ pub struct EngineConfig {
     pub default_deadline: Option<Duration>,
     /// Traversal policy handed to every query's `EdgeMapOptions`.
     pub traversal: Traversal,
+    /// Estimated-memory budget for in-flight queries, in bytes
+    /// (`None` = unlimited). When admitting another query would push the
+    /// estimated footprint past the budget, `submit` sheds it with
+    /// [`SubmitError::Overloaded`]. A query submitted to an idle engine
+    /// is always admitted, so a retry after the hint eventually lands.
+    pub memory_budget: Option<u64>,
+    /// Deterministic fault-injection schedule. Checked at the
+    /// `engine.dispatch`, `engine.cache`, and `edgemap.round` points
+    /// only in builds with the `fault-inject` feature; inert otherwise.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for EngineConfig {
@@ -56,6 +95,8 @@ impl Default for EngineConfig {
             cache_capacity: 32,
             default_deadline: None,
             traversal: Traversal::Auto,
+            memory_budget: None,
+            fault: None,
         }
     }
 }
@@ -67,6 +108,12 @@ pub enum SubmitError {
     NoGraph,
     /// The admission queue is at capacity; retry later.
     QueueFull,
+    /// Admitting the query would exceed the engine's memory budget;
+    /// retry after roughly the hinted duration.
+    Overloaded {
+        /// Load-proportional backoff hint.
+        retry_after: Duration,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -74,6 +121,9 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::NoGraph => f.write_str("no graph installed"),
             SubmitError::QueueFull => f.write_str("admission queue full"),
+            SubmitError::Overloaded { retry_after } => {
+                write!(f, "engine overloaded; retry after {}ms", retry_after.as_millis())
+            }
         }
     }
 }
@@ -91,14 +141,26 @@ pub struct EngineStats {
     pub running: u64,
     /// Queries accepted (including cache hits).
     pub submitted: u64,
-    /// Queries rejected by admission control.
+    /// Queries rejected by admission control (queue at capacity).
     pub rejected: u64,
     /// Queries finished with a result.
     pub completed: u64,
     /// Queries cancelled before or during execution.
     pub cancelled: u64,
-    /// Queries that failed validation.
+    /// Queries that failed validation or hit an injected transient
+    /// error.
     pub failed: u64,
+    /// Queries shed at submit time by the memory-budget admission check.
+    pub sheds: u64,
+    /// Queries that panicked and were contained by a worker.
+    pub panics: u64,
+    /// Jobs re-enqueued after a transient dispatch fault.
+    pub retries: u64,
+    /// Queries retired at dequeue because their queue wait had already
+    /// consumed the deadline.
+    pub queue_deadline_sheds: u64,
+    /// Estimated bytes of in-flight (queued + running) query state.
+    pub inflight_bytes: u64,
     /// Result-cache hits.
     pub cache_hits: u64,
     /// Result-cache misses.
@@ -110,7 +172,7 @@ pub struct EngineStats {
 struct JobState {
     status: QueryStatus,
     result: Option<Arc<QueryOutput>>,
-    error: Option<String>,
+    error: Option<QueryError>,
     span: Option<QuerySpan>,
 }
 
@@ -120,23 +182,27 @@ struct Job {
     snapshot: Arc<Snapshot>,
     token: CancelToken,
     submitted: Instant,
+    /// Estimated run footprint charged against the memory budget.
+    cost_bytes: u64,
+    /// Dispatch-fault re-enqueues so far.
+    retries: AtomicU64,
     state: Mutex<JobState>,
     done: Condvar,
 }
 
 impl Job {
     fn set_status(&self, status: QueryStatus) {
-        self.state.lock().expect("scheduler lock poisoned").status = status;
+        lock(&self.state).status = status;
     }
 
     fn finish(
         &self,
         status: QueryStatus,
         result: Option<Arc<QueryOutput>>,
-        error: Option<String>,
+        error: Option<QueryError>,
         span: QuerySpan,
     ) {
-        let mut st = self.state.lock().expect("scheduler lock poisoned");
+        let mut st = lock(&self.state);
         st.status = status;
         st.result = result;
         st.error = error;
@@ -154,6 +220,11 @@ struct Counters {
     cancelled: AtomicU64,
     failed: AtomicU64,
     running: AtomicU64,
+    sheds: AtomicU64,
+    panics: AtomicU64,
+    retries: AtomicU64,
+    queue_deadline_sheds: AtomicU64,
+    inflight_bytes: AtomicU64,
 }
 
 struct Shared {
@@ -192,7 +263,7 @@ impl QueryHandle {
 
     /// Current status.
     pub fn status(&self) -> QueryStatus {
-        self.job.state.lock().expect("scheduler lock poisoned").status
+        lock(&self.job.state).status
     }
 
     /// Requests cooperative cancellation; the query yields at its next
@@ -203,9 +274,9 @@ impl QueryHandle {
 
     /// Blocks until the query reaches a terminal state.
     pub fn wait(&self) -> QueryStatus {
-        let mut st = self.job.state.lock().expect("scheduler lock poisoned");
+        let mut st = lock(&self.job.state);
         while !st.status.is_terminal() {
-            st = self.job.done.wait(st).expect("scheduler lock poisoned");
+            st = self.job.done.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
         st.status
     }
@@ -213,11 +284,11 @@ impl QueryHandle {
     /// Blocks up to `timeout`; `None` if still not terminal.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<QueryStatus> {
         let deadline = Instant::now() + timeout;
-        let mut st = self.job.state.lock().expect("scheduler lock poisoned");
+        let mut st = lock(&self.job.state);
         while !st.status.is_terminal() {
             let left = deadline.checked_duration_since(Instant::now())?;
             let (guard, res) =
-                self.job.done.wait_timeout(st, left).expect("scheduler lock poisoned");
+                self.job.done.wait_timeout(st, left).unwrap_or_else(PoisonError::into_inner);
             st = guard;
             if res.timed_out() && !st.status.is_terminal() {
                 return None;
@@ -228,17 +299,22 @@ impl QueryHandle {
 
     /// The result, once `Done`.
     pub fn result(&self) -> Option<Arc<QueryOutput>> {
-        self.job.state.lock().expect("scheduler lock poisoned").result.clone()
+        lock(&self.job.state).result.clone()
     }
 
-    /// The validation error, once `Failed`.
+    /// The error message, once `Failed` or `Panicked`.
     pub fn error(&self) -> Option<String> {
-        self.job.state.lock().expect("scheduler lock poisoned").error.clone()
+        lock(&self.job.state).error.as_ref().map(QueryError::to_string)
+    }
+
+    /// The typed error, once `Failed` or `Panicked`.
+    pub fn query_error(&self) -> Option<QueryError> {
+        lock(&self.job.state).error.clone()
     }
 
     /// The lifecycle span, once terminal.
     pub fn span(&self) -> Option<QuerySpan> {
-        self.job.state.lock().expect("scheduler lock poisoned").span.clone()
+        lock(&self.job.state).span.clone()
     }
 }
 
@@ -293,6 +369,11 @@ impl Engine {
         self.shared.store.current().map(|s| s.epoch())
     }
 
+    /// The fault plan this engine was configured with, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.shared.config.fault.clone()
+    }
+
     /// Submits a query against the current snapshot. `deadline` (if any,
     /// else the config default) starts counting immediately — time spent
     /// queued is charged against it. Returns a handle; cache hits come
@@ -311,7 +392,8 @@ impl Engine {
         };
         let id = sh.next_id.fetch_add(1, Ordering::Relaxed);
         let key = (snapshot.epoch(), query.clone());
-        let cached = sh.cache.lock().expect("scheduler lock poisoned").get(&key);
+        let cached = lock(&sh.cache).get(&key);
+        let cost_bytes = query.estimated_run_bytes(&snapshot);
 
         let job = Arc::new(Job {
             id,
@@ -319,6 +401,8 @@ impl Engine {
             snapshot,
             token,
             submitted: Instant::now(),
+            cost_bytes,
+            retries: AtomicU64::new(0),
             state: Mutex::new(JobState {
                 status: QueryStatus::Queued,
                 result: None,
@@ -340,18 +424,37 @@ impl Engine {
                 run_ns: 0,
                 rounds: 0,
                 events: 0,
+                retries: 0,
             };
             job.finish(QueryStatus::Done, Some(result), None, span.clone());
             sh.counters.submitted.fetch_add(1, Ordering::Relaxed);
             sh.counters.completed.fetch_add(1, Ordering::Relaxed);
-            sh.spans.lock().expect("scheduler lock poisoned").push(span);
-            sh.jobs.lock().expect("scheduler lock poisoned").insert(id, Arc::clone(&job));
+            lock(&sh.spans).push(span);
+            lock(&sh.jobs).insert(id, Arc::clone(&job));
             return Ok(QueryHandle { job });
         }
 
+        // Memory-budget admission. The check-then-charge pair is not
+        // atomic — concurrent submits may overshoot the budget by one
+        // estimate each — but the estimate itself is coarse; the budget
+        // bounds the order of magnitude, not the byte. An idle engine
+        // (nothing charged) always admits, so the retry contract is
+        // sound even for a single query larger than the budget.
+        if let Some(budget) = sh.config.memory_budget {
+            let in_use = sh.counters.inflight_bytes.load(Ordering::Relaxed);
+            if in_use > 0 && in_use.saturating_add(cost_bytes) > budget {
+                sh.counters.sheds.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Overloaded { retry_after: self.retry_after_hint() });
+            }
+        }
+        // Charge before publishing the job so a fast worker's release
+        // can never precede the charge.
+        sh.counters.inflight_bytes.fetch_add(cost_bytes, Ordering::Relaxed);
+
         {
-            let mut q = sh.queue.lock().expect("scheduler lock poisoned");
+            let mut q = lock(&sh.queue);
             if q.len() >= sh.config.queue_capacity {
+                sh.counters.inflight_bytes.fetch_sub(cost_bytes, Ordering::Relaxed);
                 sh.counters.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(SubmitError::QueueFull);
             }
@@ -359,36 +462,45 @@ impl Engine {
         }
         sh.queue_cv.notify_one();
         sh.counters.submitted.fetch_add(1, Ordering::Relaxed);
-        sh.jobs.lock().expect("scheduler lock poisoned").insert(id, Arc::clone(&job));
+        lock(&sh.jobs).insert(id, Arc::clone(&job));
         Ok(QueryHandle { job })
+    }
+
+    /// Load-proportional backoff hint for [`SubmitError::Overloaded`]:
+    /// grows with the number of in-flight queries, capped at 500ms.
+    fn retry_after_hint(&self) -> Duration {
+        let sh = &self.shared;
+        let queued = lock(&sh.queue).len() as u64;
+        let running = sh.counters.running.load(Ordering::Relaxed);
+        Duration::from_millis((20 * (queued + running + 1)).min(500))
     }
 
     /// Looks up a previously submitted query by id.
     pub fn handle(&self, id: u64) -> Option<QueryHandle> {
-        self.shared
-            .jobs
-            .lock()
-            .expect("scheduler lock poisoned")
-            .get(&id)
-            .map(|job| QueryHandle { job: Arc::clone(job) })
+        lock(&self.shared.jobs).get(&id).map(|job| QueryHandle { job: Arc::clone(job) })
     }
 
     /// Aggregate counters for the `stats` op.
     pub fn stats(&self) -> EngineStats {
         let sh = &self.shared;
         let (cache_hits, cache_misses, cache_len) = {
-            let c = sh.cache.lock().expect("scheduler lock poisoned");
+            let c = lock(&sh.cache);
             (c.hits(), c.misses(), c.len())
         };
         EngineStats {
             epoch: self.current_epoch(),
-            queued: sh.queue.lock().expect("scheduler lock poisoned").len(),
+            queued: lock(&sh.queue).len(),
             running: sh.counters.running.load(Ordering::Relaxed),
             submitted: sh.counters.submitted.load(Ordering::Relaxed),
             rejected: sh.counters.rejected.load(Ordering::Relaxed),
             completed: sh.counters.completed.load(Ordering::Relaxed),
             cancelled: sh.counters.cancelled.load(Ordering::Relaxed),
             failed: sh.counters.failed.load(Ordering::Relaxed),
+            sheds: sh.counters.sheds.load(Ordering::Relaxed),
+            panics: sh.counters.panics.load(Ordering::Relaxed),
+            retries: sh.counters.retries.load(Ordering::Relaxed),
+            queue_deadline_sheds: sh.counters.queue_deadline_sheds.load(Ordering::Relaxed),
+            inflight_bytes: sh.counters.inflight_bytes.load(Ordering::Relaxed),
             cache_hits,
             cache_misses,
             cache_len,
@@ -397,7 +509,7 @@ impl Engine {
 
     /// All spans recorded so far, submission order.
     pub fn spans(&self) -> Vec<QuerySpan> {
-        self.shared.spans.lock().expect("scheduler lock poisoned").clone()
+        lock(&self.shared.spans).clone()
     }
 
     /// The span of one query, if it has reached a terminal state.
@@ -414,6 +526,13 @@ impl Engine {
     pub fn queue_capacity(&self) -> usize {
         self.shared.config.queue_capacity
     }
+
+    /// `true` while every spawned worker thread is still alive. The
+    /// chaos suite's liveness probe: panic isolation means this stays
+    /// `true` no matter what queries do.
+    pub fn workers_alive(&self) -> bool {
+        self.workers.iter().all(|w| !w.is_finished())
+    }
 }
 
 impl Drop for Engine {
@@ -429,7 +548,7 @@ impl Drop for Engine {
 fn worker_loop(sh: &Shared) {
     loop {
         let job = {
-            let mut q = sh.queue.lock().expect("scheduler lock poisoned");
+            let mut q = lock(&sh.queue);
             loop {
                 if let Some(job) = q.pop_front() {
                     break job;
@@ -437,17 +556,30 @@ fn worker_loop(sh: &Shared) {
                 if sh.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                q = sh.queue_cv.wait(q).expect("scheduler lock poisoned");
+                q = sh.queue_cv.wait(q).unwrap_or_else(PoisonError::into_inner);
             }
         };
         sh.counters.running.fetch_add(1, Ordering::Relaxed);
-        run_job(sh, &job);
+        // `run_job` contains its own unwind boundary around query
+        // execution; this outer one is a backstop against scheduler
+        // bugs, so a worker can never die and a waiter can never hang
+        // on a job that silently evaporated.
+        if catch_unwind(AssertUnwindSafe(|| run_job(sh, &job))).is_err()
+            && !lock(&job.state).status.is_terminal()
+        {
+            sh.counters.panics.fetch_add(1, Ordering::Relaxed);
+            let err = QueryError::Panicked {
+                point: "scheduler",
+                msg: "worker recovered from an unexpected scheduler panic".to_string(),
+            };
+            let span = base_span(&job, 0);
+            finalize(sh, &job, span, QueryStatus::Panicked, None, Some(err));
+        }
     }
 }
 
-fn run_job(sh: &Shared, job: &Job) {
-    let queue_wait_ns = job.submitted.elapsed().as_nanos() as u64;
-    let mut span = QuerySpan {
+fn base_span(job: &Job, queue_wait_ns: u64) -> QuerySpan {
+    QuerySpan {
         id: job.id,
         query: job.query.name().to_string(),
         epoch: job.snapshot.epoch(),
@@ -457,54 +589,167 @@ fn run_job(sh: &Shared, job: &Job) {
         run_ns: 0,
         rounds: 0,
         events: 0,
-    };
+        retries: job.retries.load(Ordering::Relaxed),
+    }
+}
 
-    // Pre-run check: a deadline can expire (or a cancel arrive) while the
-    // query sits in the queue; don't burn a worker on it.
-    if job.token.is_cancelled() {
-        span.status = QueryStatus::Cancelled;
+/// What one protected execution attempt produced.
+enum Executed {
+    /// Clean result (already cached unless the cache point faulted).
+    Success(Arc<QueryOutput>),
+    /// The app drained at a round boundary after cancellation.
+    CancelledRun,
+    /// Validation (or app-level) error.
+    AppError(String),
+    /// A transient injected error at the `engine.dispatch` point.
+    #[cfg(feature = "fault-inject")]
+    DispatchFault(ligra::FaultError),
+}
+
+fn run_job(sh: &Shared, job: &Arc<Job>) {
+    let queue_wait_ns = job.submitted.elapsed().as_nanos() as u64;
+    let mut span = base_span(job, queue_wait_ns);
+
+    // Pre-run checks: don't burn a worker on a query that can no longer
+    // produce a useful answer. An explicit cancel is reported as
+    // `Cancelled`; a deadline that expired while the query sat in the
+    // queue is the engine's fault, reported as `Shed` so clients can
+    // tell overload from their own cancellations.
+    if job.token.cancel_requested() {
         sh.counters.cancelled.fetch_add(1, Ordering::Relaxed);
-        sh.spans.lock().expect("scheduler lock poisoned").push(span.clone());
-        // Gauge before notification: a waiter that observes the terminal
-        // status must also observe this query as no longer running.
-        sh.counters.running.fetch_sub(1, Ordering::Relaxed);
-        job.finish(QueryStatus::Cancelled, None, None, span);
+        finalize(sh, job, span, QueryStatus::Cancelled, None, None);
+        return;
+    }
+    if job.token.is_cancelled() {
+        sh.counters.queue_deadline_sheds.fetch_add(1, Ordering::Relaxed);
+        finalize(sh, job, span, QueryStatus::Shed, None, None);
         return;
     }
 
     job.set_status(QueryStatus::Running);
-    let opts = EdgeMapOptions::new().traversal(sh.config.traversal).cancel(&job.token);
+    #[allow(unused_mut)]
+    let mut opts = EdgeMapOptions::new().traversal(sh.config.traversal).cancel(&job.token);
+    #[cfg(feature = "fault-inject")]
+    if let Some(plan) = &sh.config.fault {
+        opts = opts.fault_plan(plan);
+    }
+
     let mut counter = RoundCounter::default();
     let start = Instant::now();
-    let outcome = job.query.run(&job.snapshot, opts, &mut counter);
+    // The unwind boundary: everything a query can make panic — the
+    // dispatch fault point, the app itself (including injected faults at
+    // round boundaries), and the cache fault point — is contained here.
+    let exec = catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = &sh.config.fault {
+            if let Err(e) = plan.check(ligra::FaultPoint::EngineDispatch) {
+                return Executed::DispatchFault(e);
+            }
+        }
+        match job.query.run(&job.snapshot, opts, &mut counter) {
+            Err(msg) => Executed::AppError(msg),
+            Ok(_) if job.token.is_cancelled() => {
+                // The app drained at a round boundary; its partial state
+                // is not a valid answer. Discard, never cache.
+                Executed::CancelledRun
+            }
+            Ok(out) => {
+                let result = Arc::new(out);
+                // The `engine.cache` fault point: a spurious error here
+                // degrades to a cache miss (the result is still
+                // returned, just not cached); a panic is contained by
+                // the surrounding boundary before the insert happens,
+                // so a faulted run can never populate the cache.
+                #[allow(unused_mut)]
+                let mut cacheable = true;
+                #[cfg(feature = "fault-inject")]
+                if let Some(plan) = &sh.config.fault {
+                    if plan.check(ligra::FaultPoint::EngineCache).is_err() {
+                        cacheable = false;
+                    }
+                }
+                if cacheable {
+                    lock(&sh.cache)
+                        .insert((job.snapshot.epoch(), job.query.clone()), Arc::clone(&result));
+                }
+                Executed::Success(result)
+            }
+        }
+    }));
     span.run_ns = start.elapsed().as_nanos() as u64;
     span.rounds = counter.edge_map_rounds;
     span.events = counter.events;
 
-    let (status, result, error) = match outcome {
-        Err(msg) => {
-            sh.counters.failed.fetch_add(1, Ordering::Relaxed);
-            (QueryStatus::Failed, None, Some(msg))
-        }
-        Ok(_) if job.token.is_cancelled() => {
-            // The app drained at a round boundary; its partial state is
-            // not a valid answer. Discard, never cache.
-            sh.counters.cancelled.fetch_add(1, Ordering::Relaxed);
-            (QueryStatus::Cancelled, None, None)
-        }
-        Ok(out) => {
-            let result = Arc::new(out);
-            sh.cache
-                .lock()
-                .expect("scheduler lock poisoned")
-                .insert((job.snapshot.epoch(), job.query.clone()), Arc::clone(&result));
+    let (status, result, error) = match exec {
+        Ok(Executed::Success(result)) => {
             sh.counters.completed.fetch_add(1, Ordering::Relaxed);
             (QueryStatus::Done, Some(result), None)
         }
+        Ok(Executed::CancelledRun) => {
+            sh.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            (QueryStatus::Cancelled, None, None)
+        }
+        Ok(Executed::AppError(msg)) => {
+            sh.counters.failed.fetch_add(1, Ordering::Relaxed);
+            (QueryStatus::Failed, None, Some(QueryError::App(msg)))
+        }
+        #[cfg(feature = "fault-inject")]
+        Ok(Executed::DispatchFault(e)) => {
+            let attempts = job.retries.fetch_add(1, Ordering::Relaxed) + 1;
+            if attempts <= MAX_DISPATCH_RETRIES {
+                // Bounded retry: hand the job back to the queue. The
+                // deadline keeps counting from the original submit, so
+                // a retried job can still be shed at its next dequeue.
+                sh.counters.retries.fetch_add(1, Ordering::Relaxed);
+                job.set_status(QueryStatus::Queued);
+                lock(&sh.queue).push_back(Arc::clone(job));
+                sh.queue_cv.notify_one();
+                sh.counters.running.fetch_sub(1, Ordering::Relaxed);
+                return;
+            }
+            sh.counters.failed.fetch_add(1, Ordering::Relaxed);
+            (
+                QueryStatus::Failed,
+                None,
+                Some(QueryError::Injected { point: e.point.name(), hit: e.hit }),
+            )
+        }
+        Err(payload) => {
+            let err = classify_panic(payload.as_ref());
+            match err {
+                QueryError::Injected { .. } => {
+                    // An injected `Error` at a point with no Result
+                    // channel (edgemap.round) arrives by unwinding but
+                    // is still a typed transient failure, not a panic.
+                    sh.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    (QueryStatus::Failed, None, Some(err))
+                }
+                _ => {
+                    sh.counters.panics.fetch_add(1, Ordering::Relaxed);
+                    (QueryStatus::Panicked, None, Some(err))
+                }
+            }
+        }
     };
+    span.retries = job.retries.load(Ordering::Relaxed);
+    finalize(sh, job, span, status, result, error);
+}
+
+/// Single exit point for terminal jobs: releases the memory-budget
+/// charge, records the span, and (gauge before notification) drops the
+/// running count before waking waiters, so a waiter that observes the
+/// terminal status also observes the query as no longer running.
+fn finalize(
+    sh: &Shared,
+    job: &Job,
+    mut span: QuerySpan,
+    status: QueryStatus,
+    result: Option<Arc<QueryOutput>>,
+    error: Option<QueryError>,
+) {
     span.status = status;
-    sh.spans.lock().expect("scheduler lock poisoned").push(span.clone());
-    // Gauge before notification (see the pre-run cancel path above).
+    sh.counters.inflight_bytes.fetch_sub(job.cost_bytes, Ordering::Relaxed);
+    lock(&sh.spans).push(span.clone());
     sh.counters.running.fetch_sub(1, Ordering::Relaxed);
     job.finish(status, result, error, span);
 }
@@ -520,8 +765,7 @@ mod tests {
             workers,
             queue_capacity: queue,
             cache_capacity: 8,
-            default_deadline: None,
-            traversal: Traversal::Auto,
+            ..EngineConfig::default()
         })
     }
 
@@ -541,6 +785,7 @@ mod tests {
         assert_eq!(span.epoch, epoch);
         assert!(!span.cache_hit);
         assert!(span.rounds > 0);
+        assert_eq!(span.retries, 0);
         match h.result().unwrap().as_ref() {
             QueryOutput::Bfs(r) => assert_eq!(r.reached, 216),
             other => panic!("unexpected output {other:?}"),
@@ -568,18 +813,19 @@ mod tests {
     }
 
     #[test]
-    fn zero_deadline_cancels_within_a_round_boundary() {
+    fn zero_deadline_is_shed_at_dequeue() {
         let e = engine(1, 8);
         e.install_graph(Arc::new(rmat(&RmatOptions::paper(10))));
         let h = e.submit(Query::PageRank { iters: 1_000_000 }, Some(Duration::ZERO)).unwrap();
-        assert_eq!(h.wait(), QueryStatus::Cancelled);
+        assert_eq!(h.wait(), QueryStatus::Shed);
         let span = h.span().unwrap();
-        assert_eq!(span.status, QueryStatus::Cancelled);
-        // At most one round can slip in between the dequeue pre-check and
-        // the first token consultation at a round boundary.
-        assert!(span.rounds <= 1, "expected <=1 round before cancel, got {}", span.rounds);
-        assert!(h.result().is_none(), "cancelled query must not expose a partial result");
-        assert_eq!(e.stats().cancelled, 1);
+        assert_eq!(span.status, QueryStatus::Shed);
+        // Shed before running: no round ever executed, no partial result.
+        assert_eq!(span.rounds, 0, "shed query must not run");
+        assert!(h.result().is_none(), "shed query must not expose a partial result");
+        let stats = e.stats();
+        assert_eq!(stats.queue_deadline_sheds, 1);
+        assert_eq!(stats.cancelled, 0);
     }
 
     #[test]
@@ -614,12 +860,65 @@ mod tests {
     }
 
     #[test]
+    fn memory_budget_sheds_with_retry_hint() {
+        let g = Arc::new(rmat(&RmatOptions::paper(9)));
+        let cost = Query::PageRank { iters: 1_000_000 }
+            .estimated_run_bytes(&Snapshot::from_graph(1, Arc::clone(&g)));
+        // Budget fits two in-flight PageRanks but not three. With one
+        // worker, the second submit stays *queued* (still charged), so
+        // the third submit deterministically sees the budget exceeded.
+        let e = Engine::new(EngineConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 8,
+            memory_budget: Some(2 * cost + cost / 2),
+            ..EngineConfig::default()
+        });
+        e.install_graph(g);
+        let b1 = e.submit(Query::PageRank { iters: 1_000_000 }, None).unwrap();
+        let b2 = e.submit(Query::PageRank { iters: 1_000_001 }, None).unwrap();
+        match e.submit(Query::PageRank { iters: 1_000_002 }, None) {
+            Err(SubmitError::Overloaded { retry_after }) => {
+                assert!(retry_after > Duration::ZERO);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(e.stats().sheds, 1);
+        b1.cancel();
+        b2.cancel();
+        assert_eq!(b1.wait(), QueryStatus::Cancelled);
+        assert_eq!(b2.wait(), QueryStatus::Cancelled);
+        // The budget charge is released at terminal state: an idle
+        // engine admits again (the retry contract).
+        let h3 = e.submit(Query::Bfs { source: 0 }, None).unwrap();
+        assert_eq!(h3.wait(), QueryStatus::Done);
+        assert_eq!(e.stats().inflight_bytes, 0);
+    }
+
+    #[test]
+    fn queue_wait_consuming_the_deadline_sheds_not_cancels() {
+        let e = engine(1, 8);
+        e.install_graph(Arc::new(rmat(&RmatOptions::paper(11))));
+        // A long query occupies the only worker...
+        let blocker = e.submit(Query::PageRank { iters: 1_000_000 }, None).unwrap();
+        // ...while a short-deadline query waits behind it.
+        let starved = e.submit(Query::Bfs { source: 0 }, Some(Duration::from_millis(1))).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        blocker.cancel();
+        assert_eq!(blocker.wait(), QueryStatus::Cancelled);
+        assert_eq!(starved.wait(), QueryStatus::Shed);
+        assert!(e.stats().queue_deadline_sheds >= 1);
+        assert!(e.workers_alive());
+    }
+
+    #[test]
     fn failed_validation_reports_error() {
         let e = engine(1, 4);
         e.install_graph(Arc::new(grid3d(3)));
         let h = e.submit(Query::Bfs { source: 1_000_000 }, None).unwrap();
         assert_eq!(h.wait(), QueryStatus::Failed);
         assert!(h.error().unwrap().contains("out of range"));
+        assert!(matches!(h.query_error(), Some(QueryError::App(_))));
         assert_eq!(e.stats().failed, 1);
     }
 
@@ -634,6 +933,108 @@ mod tests {
         }
         let stats = e.stats();
         assert_eq!(stats.completed, 16);
+        assert_eq!(stats.panics, 0);
+        assert_eq!(stats.inflight_bytes, 0);
         assert_eq!(e.spans().len(), 16);
+        assert!(e.workers_alive());
+    }
+
+    // ----- fault-injection behaviour (compiled only with the feature) -----
+
+    #[cfg(feature = "fault-inject")]
+    mod faulted {
+        use super::*;
+        use ligra::{FaultAction, FaultPlan, FaultPoint};
+
+        fn faulted_engine(plan: FaultPlan) -> Engine {
+            Engine::new(EngineConfig {
+                workers: 1,
+                queue_capacity: 16,
+                cache_capacity: 8,
+                fault: Some(Arc::new(plan)),
+                ..EngineConfig::default()
+            })
+        }
+
+        #[test]
+        fn injected_panic_is_contained_and_worker_self_heals() {
+            let plan = FaultPlan::seeded(1).arm_at(FaultPoint::EdgemapRound, FaultAction::Panic, 1);
+            let e = faulted_engine(plan);
+            e.install_graph(Arc::new(grid3d(5)));
+            let h = e.submit(Query::Bfs { source: 0 }, None).unwrap();
+            assert_eq!(h.wait(), QueryStatus::Panicked);
+            match h.query_error() {
+                Some(QueryError::Panicked { point: "edgemap.round", .. }) => {}
+                other => panic!("expected Panicked at edgemap.round, got {other:?}"),
+            }
+            assert!(h.result().is_none());
+            // The same worker serves the next query: self-healed.
+            let h2 = e.submit(Query::Bfs { source: 1 }, None).unwrap();
+            assert_eq!(h2.wait(), QueryStatus::Done);
+            let stats = e.stats();
+            assert_eq!(stats.panics, 1);
+            assert_eq!(stats.completed, 1);
+            assert!(e.workers_alive());
+        }
+
+        #[test]
+        fn injected_error_at_round_boundary_fails_typed() {
+            let plan = FaultPlan::seeded(2).arm_at(FaultPoint::EdgemapRound, FaultAction::Error, 1);
+            let e = faulted_engine(plan);
+            e.install_graph(Arc::new(grid3d(5)));
+            let h = e.submit(Query::Bfs { source: 0 }, None).unwrap();
+            assert_eq!(h.wait(), QueryStatus::Failed);
+            let err = h.query_error().unwrap();
+            assert!(err.is_transient(), "injected error must look retryable: {err:?}");
+            assert_eq!(e.stats().panics, 0);
+            assert!(e.workers_alive());
+        }
+
+        #[test]
+        fn transient_dispatch_fault_retries_then_succeeds() {
+            let plan =
+                FaultPlan::seeded(3).arm_at(FaultPoint::EngineDispatch, FaultAction::Error, 1);
+            let e = faulted_engine(plan);
+            e.install_graph(Arc::new(grid3d(5)));
+            let h = e.submit(Query::Bfs { source: 0 }, None).unwrap();
+            assert_eq!(h.wait(), QueryStatus::Done, "one transient fault must be retried away");
+            assert_eq!(h.span().unwrap().retries, 1);
+            assert_eq!(e.stats().retries, 1);
+        }
+
+        #[test]
+        fn persistent_dispatch_fault_exhausts_retries() {
+            let plan =
+                FaultPlan::seeded(4).arm_every(FaultPoint::EngineDispatch, FaultAction::Error, 1);
+            let e = faulted_engine(plan);
+            e.install_graph(Arc::new(grid3d(5)));
+            let h = e.submit(Query::Bfs { source: 0 }, None).unwrap();
+            assert_eq!(h.wait(), QueryStatus::Failed);
+            assert_eq!(
+                h.query_error(),
+                Some(QueryError::Injected {
+                    point: "engine.dispatch",
+                    hit: MAX_DISPATCH_RETRIES + 1,
+                })
+            );
+            assert_eq!(e.stats().retries, MAX_DISPATCH_RETRIES);
+        }
+
+        #[test]
+        fn cache_fault_degrades_to_a_miss_and_never_caches_faulted_runs() {
+            let plan = FaultPlan::seeded(5).arm_at(FaultPoint::EngineCache, FaultAction::Error, 1);
+            let e = faulted_engine(plan);
+            e.install_graph(Arc::new(grid3d(5)));
+            let h1 = e.submit(Query::Bfs { source: 2 }, None).unwrap();
+            assert_eq!(h1.wait(), QueryStatus::Done);
+            // The insert was suppressed, so the repeat is a miss...
+            let h2 = e.submit(Query::Bfs { source: 2 }, None).unwrap();
+            assert_eq!(h2.wait(), QueryStatus::Done);
+            assert!(!h2.span().unwrap().cache_hit);
+            // ...and the second (clean) run does populate the cache.
+            let h3 = e.submit(Query::Bfs { source: 2 }, None).unwrap();
+            assert_eq!(h3.wait(), QueryStatus::Done);
+            assert!(h3.span().unwrap().cache_hit);
+        }
     }
 }

@@ -57,6 +57,13 @@ impl Snapshot {
         self.weighted.get_or_init(|| Arc::new(unit_weights(&self.graph)))
     }
 
+    /// Whether the weighted view already exists (installed weighted, or
+    /// the unit-weight twin has been built). Admission control uses this
+    /// to decide if a Bellman-Ford query will pay the twin's footprint.
+    pub fn weighted_ready(&self) -> bool {
+        self.weighted.get().is_some()
+    }
+
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
         self.graph.num_vertices()

@@ -22,8 +22,14 @@ pub enum QueryStatus {
     Done,
     /// Cancelled (explicitly or by deadline); partial result discarded.
     Cancelled,
-    /// The query was invalid for the snapshot it ran against.
+    /// The query was invalid for the snapshot it ran against, or an
+    /// injected transient fault surfaced as a typed error.
     Failed,
+    /// The query panicked; the worker caught the unwind and self-healed.
+    Panicked,
+    /// Retired without running: its queue wait had already consumed the
+    /// deadline when a worker picked it up.
+    Shed,
 }
 
 impl QueryStatus {
@@ -35,12 +41,21 @@ impl QueryStatus {
             QueryStatus::Done => "done",
             QueryStatus::Cancelled => "cancelled",
             QueryStatus::Failed => "failed",
+            QueryStatus::Panicked => "panicked",
+            QueryStatus::Shed => "shed",
         }
     }
 
     /// Whether the query has reached a final state.
     pub fn is_terminal(self) -> bool {
-        matches!(self, QueryStatus::Done | QueryStatus::Cancelled | QueryStatus::Failed)
+        matches!(
+            self,
+            QueryStatus::Done
+                | QueryStatus::Cancelled
+                | QueryStatus::Failed
+                | QueryStatus::Panicked
+                | QueryStatus::Shed
+        )
     }
 }
 
@@ -71,6 +86,9 @@ pub struct QuerySpan {
     pub rounds: u64,
     /// All recorded telemetry events (edgeMap + vertexMap/filter).
     pub events: u64,
+    /// Times the scheduler re-enqueued this query after a transient
+    /// dispatch fault (0 outside fault-injection runs).
+    pub retries: u64,
 }
 
 /// Serializes spans in the repo's flat-JSONL trace style: one object per
@@ -88,7 +106,7 @@ pub fn spans_to_json_lines(spans: &[QuerySpan]) -> String {
 pub fn span_to_json(s: &QuerySpan) -> String {
     format!(
         "{{\"id\":{},\"query\":\"{}\",\"epoch\":{},\"status\":\"{}\",\"cache_hit\":{},\
-         \"queue_wait_ns\":{},\"run_ns\":{},\"rounds\":{},\"events\":{}}}",
+         \"queue_wait_ns\":{},\"run_ns\":{},\"rounds\":{},\"events\":{},\"retries\":{}}}",
         s.id,
         s.query,
         s.epoch,
@@ -97,7 +115,8 @@ pub fn span_to_json(s: &QuerySpan) -> String {
         s.queue_wait_ns,
         s.run_ns,
         s.rounds,
-        s.events
+        s.events,
+        s.retries
     )
 }
 
@@ -153,10 +172,32 @@ mod tests {
             run_ns: 20,
             rounds: 3,
             events: 9,
+            retries: 1,
         };
         let line = span_to_json(&s);
         assert!(!line.contains('\n'));
         assert!(line.contains("\"status\":\"cancelled\""));
         assert!(line.contains("\"rounds\":3"));
+        assert!(line.contains("\"retries\":1"));
+    }
+
+    #[test]
+    fn status_vocabulary_is_closed() {
+        // Pin the wire vocabulary: adding a status is a protocol change
+        // and must update this list, DESIGN.md §11, and the serving docs.
+        let all = [
+            QueryStatus::Queued,
+            QueryStatus::Running,
+            QueryStatus::Done,
+            QueryStatus::Cancelled,
+            QueryStatus::Failed,
+            QueryStatus::Panicked,
+            QueryStatus::Shed,
+        ];
+        let names: Vec<&str> = all.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["queued", "running", "done", "cancelled", "failed", "panicked", "shed"]);
+        for s in all {
+            assert_eq!(s.is_terminal(), !matches!(s, QueryStatus::Queued | QueryStatus::Running));
+        }
     }
 }

@@ -10,7 +10,67 @@
 //! outgoing strings so arbitrary error text stays well-formed.
 
 use std::collections::HashMap;
+use std::io::BufRead;
 use std::str::FromStr;
+
+/// Hard cap on one request line, in bytes. A line longer than this is
+/// reported as malformed (and drained) instead of buffered, so a
+/// misbehaving client cannot balloon server memory.
+pub const MAX_REQUEST_LINE_BYTES: usize = 64 * 1024;
+
+/// Reads one newline-terminated request line as raw bytes, enforcing
+/// [`MAX_REQUEST_LINE_BYTES`] and UTF-8 validity *before* the text ever
+/// reaches [`Request::parse`].
+///
+/// Returns:
+/// * `Ok(None)` — clean end of stream;
+/// * `Ok(Some(Ok(line)))` — one line, newline stripped (a final
+///   unterminated line at EOF is still delivered);
+/// * `Ok(Some(Err(msg)))` — the line was oversized or not valid UTF-8;
+///   the offending bytes have been drained so the caller can answer with
+///   an error response and keep serving;
+/// * `Err(e)` — transport-level I/O failure.
+pub fn read_request_line<R: BufRead>(
+    reader: &mut R,
+    max_bytes: usize,
+) -> std::io::Result<Option<Result<String, String>>> {
+    let mut raw: Vec<u8> = Vec::new();
+    let mut dropped = 0usize;
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            // EOF with nothing pending is a clean end of stream.
+            if raw.is_empty() && dropped == 0 {
+                return Ok(None);
+            }
+            break;
+        }
+        let (len, terminated) = match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos, true),
+            None => (buf.len(), false),
+        };
+        if dropped > 0 || raw.len() + len > max_bytes {
+            // Past the cap: stop buffering, keep draining to the newline.
+            dropped += raw.len() + len;
+            raw.clear();
+        } else {
+            raw.extend_from_slice(&buf[..len]);
+        }
+        reader.consume(len + usize::from(terminated));
+        if terminated {
+            break;
+        }
+    }
+    if dropped > 0 {
+        return Ok(Some(Err(format!(
+            "request line too long ({dropped} bytes exceeds the {max_bytes}-byte limit)"
+        ))));
+    }
+    Ok(Some(match String::from_utf8(raw) {
+        Ok(s) => Ok(s),
+        Err(_) => Err("request line is not valid UTF-8".to_string()),
+    }))
+}
 
 /// One parsed request: field name → raw value. String values are
 /// unquoted; numbers and booleans keep their literal spelling.
@@ -269,6 +329,59 @@ mod tests {
         ] {
             assert!(Request::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn truncated_final_line_is_still_delivered() {
+        // No trailing newline: the fragment must reach the parser (which
+        // will reject it) rather than being dropped or ending the loop
+        // early.
+        let mut r = std::io::Cursor::new(b"{\"op\":\"stats\"}\n{\"op\":\"sub".to_vec());
+        let first = read_request_line(&mut r, MAX_REQUEST_LINE_BYTES).unwrap().unwrap().unwrap();
+        assert_eq!(first, "{\"op\":\"stats\"}");
+        let second = read_request_line(&mut r, MAX_REQUEST_LINE_BYTES).unwrap().unwrap().unwrap();
+        assert_eq!(second, "{\"op\":\"sub");
+        assert!(Request::parse(&second).is_err());
+        assert!(read_request_line(&mut r, MAX_REQUEST_LINE_BYTES).unwrap().is_none());
+    }
+
+    #[test]
+    fn non_utf8_line_is_malformed_not_fatal() {
+        let mut r = std::io::Cursor::new(b"{\"op\":\"\xff\xfe\"}\n{\"op\":\"ping\"}\n".to_vec());
+        let bad = read_request_line(&mut r, MAX_REQUEST_LINE_BYTES).unwrap().unwrap();
+        assert!(bad.unwrap_err().contains("UTF-8"));
+        // The stream is still usable after the bad line.
+        let good = read_request_line(&mut r, MAX_REQUEST_LINE_BYTES).unwrap().unwrap().unwrap();
+        assert_eq!(good, "{\"op\":\"ping\"}");
+    }
+
+    #[test]
+    fn oversized_line_is_drained_and_reported() {
+        let mut input = vec![b'x'; 100];
+        input.push(b'\n');
+        input.extend_from_slice(b"{\"op\":\"ping\"}\n");
+        let mut r = std::io::Cursor::new(input);
+        let bad = read_request_line(&mut r, 16).unwrap().unwrap();
+        let msg = bad.unwrap_err();
+        assert!(msg.contains("too long"), "{msg}");
+        assert!(msg.contains("100 bytes"), "{msg}");
+        // Every oversized byte was drained; the next line parses cleanly.
+        let good = read_request_line(&mut r, 16).unwrap().unwrap().unwrap();
+        assert_eq!(good, "{\"op\":\"ping\"}");
+        assert!(read_request_line(&mut r, 16).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_line_never_buffers_past_the_cap() {
+        // A 1 MiB line against a 1 KiB cap with a tiny BufReader: the
+        // reader must drain it chunk by chunk without holding it whole.
+        let mut input = vec![b'y'; 1 << 20];
+        input.push(b'\n');
+        let cursor = std::io::Cursor::new(input);
+        let mut r = std::io::BufReader::with_capacity(512, cursor);
+        let bad = read_request_line(&mut r, 1024).unwrap().unwrap();
+        assert!(bad.is_err());
+        assert!(read_request_line(&mut r, 1024).unwrap().is_none());
     }
 
     #[test]

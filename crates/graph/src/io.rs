@@ -137,6 +137,13 @@ impl<R: BufRead> Tokens<R> {
     }
 }
 
+/// Cap on speculative preallocation from file-supplied counts. A
+/// corrupted header can claim absurd `n`/`m`; reserving at most this many
+/// entries up front (and letting `push` grow to the real, token-backed
+/// size) turns a bit-flipped count into a parse error instead of an
+/// allocation abort.
+const MAX_PREALLOC: usize = 1 << 22;
+
 fn read_csr_body<R: BufRead, W, F>(
     toks: &mut Tokens<R>,
     mut read_weights: F,
@@ -145,9 +152,15 @@ where
     W: Copy + Send + Sync,
     F: FnMut(&mut Tokens<R>, usize) -> Result<Vec<W>, IoError>,
 {
-    let n = toks.expect_u64("vertex count")? as usize;
+    let n64 = toks.expect_u64("vertex count")?;
+    // Vertex ids are u32 throughout the CSR; a larger claimed n could
+    // also push `checked_u32` on targets into a panic.
+    if n64 > u32::MAX as u64 + 1 {
+        return Err(parse_err(format!("vertex count {n64} exceeds the u32 id space")));
+    }
+    let n = n64 as usize;
     let m = toks.expect_u64("edge count")? as usize;
-    let mut offsets = Vec::with_capacity(n + 1);
+    let mut offsets = Vec::with_capacity((n + 1).min(MAX_PREALLOC));
     for i in 0..n {
         let o = toks.expect_u64("offset")?;
         if o > m as u64 {
@@ -162,7 +175,7 @@ where
     if !offsets.windows(2).all(|w| w[0] <= w[1]) {
         return Err(parse_err("offsets are not monotone"));
     }
-    let mut targets = Vec::with_capacity(m);
+    let mut targets = Vec::with_capacity(m.min(MAX_PREALLOC));
     for _ in 0..m {
         let t = toks.expect_u64("edge target")?;
         if t >= n as u64 {
@@ -203,7 +216,7 @@ pub fn read_weighted_adjacency_graph<R: Read>(
         None => return Err(parse_err("empty file")),
     }
     let adj = read_csr_body(&mut toks, |toks, m| {
-        let mut ws = Vec::with_capacity(m);
+        let mut ws = Vec::with_capacity(m.min(MAX_PREALLOC));
         for _ in 0..m {
             ws.push(toks.expect_i64("edge weight")? as i32);
         }

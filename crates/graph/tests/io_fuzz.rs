@@ -7,8 +7,11 @@
 //! shrunk, and the explored input space is smaller than real proptest's.
 //! CI strips the patch and runs these same tests under real proptest.
 
-use ligra_graph::io::{read_adjacency_graph, write_adjacency_graph};
-use ligra_graph::{build_graph, BuildOptions};
+use ligra_graph::io::{
+    read_adjacency_graph, read_weighted_adjacency_graph, write_adjacency_graph,
+    write_weighted_adjacency_graph,
+};
+use ligra_graph::{build_graph, build_weighted_graph, BuildOptions};
 use proptest::prelude::*;
 
 proptest! {
@@ -90,4 +93,84 @@ proptest! {
             prop_assert_eq!(arcs, g2.num_edges());
         }
     }
+
+    #[test]
+    fn bit_flipped_files_error_or_stay_valid_never_panic(
+        nedges in 1usize..30,
+        flips in proptest::collection::vec((0usize..4096, 0u32..8), 1..6),
+    ) {
+        // Arbitrary single-bit corruption anywhere in the file: the
+        // loader must return `Ok` of a structurally valid graph or an
+        // `IoError` — never unwind, and never abort on a ballooned
+        // header count.
+        let edges: Vec<(u32, u32)> = (0..nedges as u32)
+            .map(|i| (ligra_parallel::hash32(i) % 9, ligra_parallel::hash32(i + 13) % 9))
+            .collect();
+        let g = build_graph(9, &edges, BuildOptions::symmetric());
+        let mut buf = Vec::new();
+        write_adjacency_graph(&g, &mut buf).unwrap();
+        for &(pos, bit) in &flips {
+            let pos = pos % buf.len();
+            buf[pos] ^= 1 << bit;
+        }
+        if let Ok(g2) = read_adjacency_graph(&buf[..], true) {
+            let n = g2.num_vertices();
+            let mut arcs = 0usize;
+            for v in 0..n as u32 {
+                for &t in g2.out_neighbors(v) {
+                    prop_assert!((t as usize) < n, "target out of range after bit flips");
+                }
+                arcs += g2.out_degree(v);
+            }
+            prop_assert_eq!(arcs, g2.num_edges());
+        }
+    }
+
+    #[test]
+    fn bit_flipped_weighted_files_error_or_stay_valid_never_panic(
+        nedges in 1usize..20,
+        flips in proptest::collection::vec((0usize..4096, 0u32..8), 1..6),
+    ) {
+        let edges: Vec<(u32, u32)> = (0..nedges as u32)
+            .map(|i| (ligra_parallel::hash32(i) % 7, ligra_parallel::hash32(i + 31) % 7))
+            .collect();
+        let weights: Vec<i32> = (0..edges.len() as i32).map(|i| i % 11 - 5).collect();
+        let g = build_weighted_graph(7, &edges, &weights, BuildOptions::directed());
+        let mut buf = Vec::new();
+        write_weighted_adjacency_graph(&g, &mut buf).unwrap();
+        for &(pos, bit) in &flips {
+            let pos = pos % buf.len();
+            buf[pos] ^= 1 << bit;
+        }
+        if let Ok(g2) = read_weighted_adjacency_graph(&buf[..], false) {
+            let n = g2.num_vertices();
+            let mut arcs = 0usize;
+            for v in 0..n as u32 {
+                prop_assert_eq!(g2.out_neighbors(v).len(), g2.out_weights(v).len());
+                for &t in g2.out_neighbors(v) {
+                    prop_assert!((t as usize) < n, "target out of range after bit flips");
+                }
+                arcs += g2.out_degree(v);
+            }
+            prop_assert_eq!(arcs, g2.num_edges());
+        }
+    }
+}
+
+#[test]
+fn absurd_header_counts_error_without_an_allocation_abort() {
+    // A bit-flipped vertex count past the u32 id space is a parse error,
+    // not a panic inside `checked_u32`.
+    let e =
+        read_adjacency_graph("AdjacencyGraph\n5000000000\n0\n0\n".as_bytes(), true).unwrap_err();
+    assert!(e.to_string().contains("u32 id space"), "{e}");
+    // A corrupted edge count in the exabyte range must fail on missing
+    // tokens, not abort reserving `m` slots up front.
+    let r = read_adjacency_graph("AdjacencyGraph\n1\n9999999999999999\n0\n".as_bytes(), true);
+    assert!(r.is_err());
+    let r = read_weighted_adjacency_graph(
+        "WeightedAdjacencyGraph\n1\n9999999999999999\n0\n".as_bytes(),
+        true,
+    );
+    assert!(r.is_err());
 }

@@ -59,6 +59,14 @@ pub const CAST_HELPER_FILES: &[&str] = &["crates/parallel/src/utils.rs"];
 /// Crates whose `pub fn`s must carry doc comments (rule L5).
 pub const DOC_REQUIRED_CRATES: &[&str] = &["core"];
 
+/// Crates whose non-test code (binaries included) may not invoke
+/// `panic!` / `unreachable!` / `todo!` / `unimplemented!` (rule L6): the
+/// engine's failure model routes every fault through typed errors and
+/// the worker `catch_unwind` boundary, so an explicit panicking macro is
+/// a latent serving crash. Waive genuinely unreachable states with
+/// `// lint: allow(L6): reason`.
+pub const NO_PANIC_CRATES: &[&str] = &["engine"];
+
 /// Orderings a `compare_exchange`/`compare_exchange_weak`/`fetch_update`
 /// success slot may use (rule L2's CAS-loop check): the winner of a claim
 /// publishes data, so it must be at least `Acquire`, and `AcqRel` is the

@@ -7,6 +7,7 @@
 //! | L3 | no bare `.unwrap()` in non-test library code of the serving-stack crates |
 //! | L4 | no truncating `as u32` / `as VertexId` casts outside `parallel::utils` |
 //! | L5 | every `pub fn` in `core` has a doc comment |
+//! | L6 | no `panic!` / `unreachable!` / `todo!` in the serving crates' non-test code |
 //!
 //! A rule can be waived on a specific line with
 //! `// lint: allow(L4): why this is sound`, which the scanner records and
@@ -30,6 +31,8 @@ pub enum RuleId {
     L4,
     /// Undocumented `pub fn` in `core`.
     L5,
+    /// `panic!`/`unreachable!`/`todo!` in serving-crate non-test code.
+    L6,
 }
 
 impl std::fmt::Display for RuleId {
@@ -40,6 +43,7 @@ impl std::fmt::Display for RuleId {
             RuleId::L3 => "L3",
             RuleId::L4 => "L4",
             RuleId::L5 => "L5",
+            RuleId::L6 => "L6",
         })
     }
 }
@@ -141,6 +145,7 @@ pub fn check_file(ctx: &FileCtx) -> Vec<Diag> {
         rule_l3_unwrap(ctx, &mut out);
         rule_l4_truncating_casts(ctx, &mut out);
         rule_l5_doc_comments(ctx, &mut out);
+        rule_l6_no_panics(ctx, &mut out);
     }
     out.sort_by_key(|d| (d.line, d.rule));
     out
@@ -265,6 +270,7 @@ fn find_allows(toks: &[SpannedTok]) -> Vec<(u32, RuleId)> {
                 "L3" => RuleId::L3,
                 "L4" => RuleId::L4,
                 "L5" => RuleId::L5,
+                "L6" => RuleId::L6,
                 _ => continue,
             };
             out.push((t.line, rule));
@@ -597,6 +603,56 @@ fn rule_l5_doc_comments(ctx: &FileCtx, out: &mut Vec<Diag>) {
         if !has_doc_above(ctx, i) {
             ctx.diag(out, RuleId::L5, line, format!("public function `{name}` has no doc comment"));
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L6: no panicking macros in serving-crate code
+// ---------------------------------------------------------------------------
+
+/// The engine's robustness contract (DESIGN.md §11) promises that one bad
+/// request or query cannot take down a serving worker: failures must be
+/// typed errors, and the only unwinds crossing a worker are the ones the
+/// `catch_unwind` boundary is designed to contain. A `panic!` /
+/// `unreachable!` / `todo!` in that code is therefore a latent crash;
+/// genuinely impossible states can be waived with
+/// `// lint: allow(L6): why`.
+fn rule_l6_no_panics(ctx: &FileCtx, out: &mut Vec<Diag>) {
+    if !config::NO_PANIC_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    const BANNED: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+    for (i, t) in ctx.toks.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        if !BANNED.contains(&name.as_str()) {
+            continue;
+        }
+        // Macro invocation: ident immediately followed by `!` and an
+        // open delimiter (`panic_any` and `panic::catch_unwind` paths
+        // don't match).
+        if ctx.toks.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('!')) {
+            continue;
+        }
+        if !matches!(
+            ctx.toks.get(i + 2).map(|t| &t.tok),
+            Some(Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{'))
+        ) {
+            continue;
+        }
+        let line = t.line;
+        if ctx.in_test_region(line) {
+            continue;
+        }
+        ctx.diag(
+            out,
+            RuleId::L6,
+            line,
+            format!(
+                "`{name}!` in serving-crate code: return a typed error instead — a panic \
+                 here rides the worker's unwind boundary as a crash, not a contract \
+                 (DESIGN.md §11)"
+            ),
+        );
     }
 }
 

@@ -88,6 +88,23 @@ fn l5_pub_fn_docs_in_core() {
 }
 
 #[test]
+fn l6_no_panicking_macros_in_serving_code() {
+    // Lines 5/6 are `todo!`/`panic!`, line 12 `unreachable!`; the panic
+    // inside `#[cfg(test)]` is out of scope.
+    check(
+        "fixtures/l6_bad.rs",
+        "engine",
+        include_str!("fixtures/l6_bad.rs"),
+        &[(RuleId::L6, 5), (RuleId::L6, 6), (RuleId::L6, 12)],
+    );
+    // Typed errors, `catch_unwind`/`panic_any` machinery, and a waived
+    // unreachable all pass.
+    check("fixtures/l6_good.rs", "engine", include_str!("fixtures/l6_good.rs"), &[]);
+    // Only the serving crates are in scope.
+    check("fixtures/l6_bad.rs", "apps", include_str!("fixtures/l6_bad.rs"), &[]);
+}
+
+#[test]
 fn diagnostics_render_machine_readable() {
     let diags = lint_source(
         "crates/graph/src/x.rs",

@@ -1,0 +1,25 @@
+// L6 fixture: panicking macros in serving-crate library code.
+pub fn dispatch(op: &str) -> u32 {
+    match op {
+        "a" => 1,
+        "b" => todo!("b is not wired up yet"),
+        _ => panic!("unknown op {op:?}"),
+    }
+}
+
+pub fn state_machine(s: u8) -> u8 {
+    if s > 3 {
+        unreachable!("states are 0..=3");
+    }
+    s + 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_in_tests_are_fine() {
+        if false {
+            panic!("test-only panic is out of scope");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+// L6 fixture: the compliant twin returns typed errors, contains panics
+// behind the designated unwind boundary, or carries a reviewed waiver.
+pub fn dispatch(op: &str) -> Result<u32, String> {
+    match op {
+        "a" => Ok(1),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+pub fn contain(f: impl FnOnce() + std::panic::UnwindSafe) -> Result<(), String> {
+    // `catch_unwind` and `panic_any` are the failure model's own
+    // machinery, not banned macros.
+    std::panic::catch_unwind(f).map_err(|_| "query panicked".to_string())
+}
+
+pub fn checked_step(s: u8) -> u8 {
+    debug_assert!(s <= 3, "states are 0..=3");
+    if s > 3 {
+        // lint: allow(L6): state space is pinned by the parser above
+        unreachable!("states are 0..=3");
+    }
+    s + 1
+}

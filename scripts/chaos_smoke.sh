@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# Chaos smoke for ligra-serve: runs the server with deterministic
+# `wire.read` faults armed (requires a build with the `fault-inject`
+# feature) and proves graceful degradation on a live socket:
+#
+#   phase 1 (raw socket): an injected wire fault surfaces as a typed,
+#     transient error *response* — and malformed / oversized request lines
+#     get error responses of their own — while the same connection keeps
+#     serving afterwards;
+#   phase 2 (retrying client): the bundled `--client` rides out an
+#     injected transient fault with backoff and still completes its BFS,
+#     and the span/trace telemetry is exported as CI artifacts.
+#
+# Fault schedules are hit-indexed and the raw-socket phase avoids the
+# ping-based readiness probe (a bare TCP connect consumes no wire.read
+# hits), so every assertion below is deterministic.
+#
+# Usage: scripts/chaos_smoke.sh [path-to-ligra-serve]
+#        (build with: cargo build --release -p ligra-engine --features fault-inject)
+set -euo pipefail
+
+BIN="${1:-./target/release/ligra-serve}"
+HOST=127.0.0.1
+PORT="${LIGRA_CHAOS_PORT:-17423}"
+ADDR="$HOST:$PORT"
+ART="${LIGRA_CHAOS_ARTIFACTS:-target/chaos-artifacts}"
+
+if [[ ! -x "$BIN" ]]; then
+    echo "chaos_smoke: $BIN not found (build with: cargo build --release -p ligra-engine --features fault-inject)" >&2
+    exit 1
+fi
+mkdir -p "$ART"
+
+SERVER_PID=""
+cleanup() { [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+fail() {
+    echo "chaos_smoke: FAIL — $*" >&2
+    exit 1
+}
+
+start_server() { # start_server <log-name> [server args...]
+    local log="$ART/$1"
+    shift
+    "$BIN" --listen "$ADDR" --workers 2 "$@" 2>"$log" &
+    SERVER_PID=$!
+    # A bare connect (no request line) never touches the wire.read hit
+    # counter, so readiness polling does not perturb the fault schedule.
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/$HOST/$PORT") 2>/dev/null; then
+            return 0
+        fi
+        kill -0 "$SERVER_PID" 2>/dev/null || break
+        sleep 0.1
+    done
+    echo "chaos_smoke: server never came up on $ADDR; its log:" >&2
+    cat "$log" >&2 || true
+    exit 1
+}
+
+shutdown_server() {
+    printf '{"op":"shutdown"}\n' | "$BIN" --client "$ADDR" | grep -q '"shutting-down"' \
+        || fail "shutdown not acknowledged"
+    for _ in $(seq 1 50); do
+        kill -0 "$SERVER_PID" 2>/dev/null || { SERVER_PID=""; return 0; }
+        sleep 0.1
+    done
+    fail "server still alive after shutdown op"
+}
+
+expect() { # expect <text> <line-no> <grep-pattern> <label>
+    if ! sed -n "${2}p" <<<"$1" | grep -q "$3"; then
+        echo "chaos_smoke: FAIL [$4] — response line $2 did not match '$3':" >&2
+        sed -n "${2}p" <<<"$1" >&2
+        exit 1
+    fi
+}
+
+# ---- Phase 1: raw socket sees the injected error; connection survives ----
+# wire.read hits: ping=1, ping=2 (injected), garbage=3; the oversized line
+# is rejected before the fault hook, so the final ping is hit 4.
+start_server phase1_server.log --fault wire.read:error:2 --fault-seed 11
+
+exec 3<>"/dev/tcp/$HOST/$PORT"
+{
+    printf '{"op":"ping"}\n'
+    printf '{"op":"ping"}\n'
+    printf 'this line is not a request\n'
+    head -c 70000 /dev/zero | tr '\0' 'x'
+    printf '\n'
+    printf '{"op":"ping"}\n'
+} >&3
+RAW=$(head -n 5 <&3)
+exec 3>&- 3<&-
+printf '%s\n' "$RAW" | tee "$ART/phase1_session.jsonl"
+
+expect "$RAW" 1 '"pong"'                          "first ping answers"
+expect "$RAW" 2 'injected fault at wire.read'     "armed hit surfaces as a typed error"
+expect "$RAW" 2 '"transient":true'                "injected wire error is marked transient"
+expect "$RAW" 3 '"ok":false'                      "malformed line gets an error response"
+expect "$RAW" 4 'too long'                        "oversized line is drained and reported"
+expect "$RAW" 5 '"pong"'                          "the same connection keeps serving"
+
+shutdown_server
+echo "chaos_smoke: phase 1 OK (typed wire fault + malformed input, connection survived)"
+
+# ---- Phase 2: the retrying client rides out the fault transparently ----
+# wire.read hits: ping=1, gen=2, submit=3 (injected -> client retries)=4,
+# wait=5, span=6, trace=7, stats=8.
+start_server phase2_server.log --fault wire.read:error:3 --fault-seed 7
+
+OUT=$("$BIN" --client "$ADDR" 2>"$ART/phase2_client_retry.log" <<'EOF'
+{"op":"ping"}
+{"op":"gen","family":"rmat","log_n":10}
+{"op":"submit","query":"bfs","source":0}
+{"op":"wait","id":1}
+{"op":"span","id":1}
+{"op":"trace"}
+{"op":"stats"}
+EOF
+)
+printf '%s\n' "$OUT" | tee "$ART/phase2_session.jsonl"
+
+grep -q 'transient failure, retry 1/3' "$ART/phase2_client_retry.log" \
+    || fail "client never logged the transient retry (see $ART/phase2_client_retry.log)"
+expect "$OUT" 2 '"ok":true'           "gen accepted"
+expect "$OUT" 3 '"ok":true'           "submit succeeds after the retry"
+expect "$OUT" 3 '"id":1'              "retried submit got the first query id"
+expect "$OUT" 4 '"status":"done"'     "bfs completes despite the injected fault"
+expect "$OUT" 5 '"status":"done"'     "span records the completed run"
+expect "$OUT" 6 '"trace":\['          "trace op exports the span array"
+expect "$OUT" 7 '"completed":1'       "stats count the completion"
+expect "$OUT" 7 '"panics":0'          "no worker panicked"
+
+# Span artifacts for CI upload: the per-query span line plus the full trace.
+sed -n '5p' <<<"$OUT" >"$ART/phase2_span.json"
+sed -n '6p' <<<"$OUT" >"$ART/phase2_trace.json"
+
+shutdown_server
+trap - EXIT
+echo "chaos_smoke: phase 2 OK (client retry rode out the injected fault)"
+echo "chaos_smoke: OK (artifacts in $ART)"

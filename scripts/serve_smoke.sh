@@ -5,8 +5,8 @@
 #
 #   * a BFS completes with a result summary,
 #   * resubmitting it on the same epoch is a visible cache hit,
-#   * a query with an already-expired deadline (deadline_ms = 0) comes back
-#     cancelled having executed at most one edgeMap round,
+#   * a query with an already-expired deadline (deadline_ms = 0) is shed at
+#     dequeue without executing a single edgeMap round,
 #   * the stats counters agree with all of the above.
 #
 # Usage: scripts/serve_smoke.sh [path-to-ligra-serve]
@@ -66,12 +66,12 @@ expect 3 '"cache_hit":false'                 "first bfs is a miss"
 expect 3 '"reached":'                        "bfs carries a result summary"
 expect 5 '"status":"done"'                   "repeat bfs completes"
 expect 5 '"cache_hit":true'                  "repeat bfs on same epoch is a cache hit"
-expect 7 '"status":"cancelled"'              "0ms-deadline query is cancelled"
-expect 7 '"edge_map_rounds":[01]\b'          "cancelled within one round boundary"
-expect 8 '"status":"cancelled"'              "span records the cancellation"
-expect 8 '"rounds":[01],'                    "span round count at the boundary"
+expect 7 '"status":"shed"'                   "0ms-deadline query is shed at dequeue"
+expect 7 '"edge_map_rounds":0'               "shed query never ran an edgeMap round"
+expect 8 '"status":"shed"'                   "span records the shed"
+expect 8 '"rounds":0,'                       "span shows zero rounds"
 expect 9 '"cache_hits":1'                    "stats count the hit"
-expect 9 '"cancelled":1'                     "stats count the cancellation"
+expect 9 '"queue_deadline_sheds":1'          "stats count the deadline shed"
 expect 9 '"completed":2'                     "stats count the completions"
 
 # Clean shutdown path: the server acknowledges, then exits.

@@ -1,0 +1,218 @@
+//! Chaos certification of the query engine under deterministic fault
+//! injection (DESIGN.md §11). Built only with `--features fault-inject`
+//! (which forwards `ligra/fault-inject` and `ligra-engine/fault-inject`
+//! and arms the hooks).
+//!
+//! The sweep drives every engine-side fault point × action across eight
+//! seeds and asserts the robustness invariants the scheduler promises:
+//!
+//! * no worker thread ever dies — a panicking query is contained by the
+//!   worker's `catch_unwind` boundary and the pool self-heals;
+//! * every submitted query reaches a terminal state (done / cancelled /
+//!   failed / panicked / shed) — nothing hangs, nothing is lost;
+//! * the result cache never serves a value produced by a faulted run;
+//! * an injected panic surfaces as the typed `QueryError::Panicked`
+//!   naming the fault point, and the very next query on the same worker
+//!   completes normally.
+#![cfg(feature = "fault-inject")]
+
+use ligra_engine::{
+    Engine, EngineConfig, FaultAction, FaultPlan, FaultPoint, Query, QueryError, QueryStatus,
+};
+use ligra_graph::generators::grid3d;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
+
+/// The fault points the engine itself passes through while running
+/// queries (`graph.load` and `wire.read` live in the `ligra-serve`
+/// front-end and are exercised by `scripts/chaos_smoke.sh`).
+const ENGINE_POINTS: [FaultPoint; 3] =
+    [FaultPoint::EdgemapRound, FaultPoint::EngineDispatch, FaultPoint::EngineCache];
+
+const ACTIONS: [FaultAction; 3] =
+    [FaultAction::Panic, FaultAction::Error, FaultAction::Latency(Duration::from_millis(2))];
+
+fn engine_with(plan: FaultPlan, workers: usize) -> Arc<Engine> {
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers,
+        fault: Some(Arc::new(plan)),
+        ..EngineConfig::default()
+    }));
+    // 512 vertices, symmetric: big enough for multi-round traversals,
+    // small enough that the full sweep stays fast.
+    engine.install_graph(Arc::new(grid3d(8)));
+    engine
+}
+
+/// Twelve pairwise-distinct queries, so every clean run is a cache miss
+/// and the `engine.cache` point accumulates enough hits to reach any
+/// seeded schedule in 1..=8.
+fn distinct_query(i: u32) -> Query {
+    match i % 4 {
+        0 => Query::Bfs { source: i },
+        1 => Query::Bc { source: i },
+        2 => Query::PageRank { iters: i + 1 },
+        _ => Query::Radii { seed: i as u64 },
+    }
+}
+
+#[test]
+fn sweep_seeds_and_points_every_query_terminal_no_worker_dies() {
+    for &seed in &SEEDS {
+        for point in ENGINE_POINTS {
+            for action in ACTIONS {
+                let plan = FaultPlan::seeded(seed).arm(point, action);
+                let engine = engine_with(plan, 2);
+                let label = format!("seed {seed}, {point}, {}", action.name());
+
+                let handles: Vec<_> = (0..12)
+                    .map(|i| {
+                        engine
+                            .submit(distinct_query(i), None)
+                            .unwrap_or_else(|e| panic!("{label}: submit rejected: {e}"))
+                    })
+                    .collect();
+                for h in &handles {
+                    let status = h.wait();
+                    assert!(status.is_terminal(), "{label}: query {} not terminal", h.id());
+                }
+
+                let plan = engine.fault_plan().expect("plan installed");
+                assert!(plan.total_injected() >= 1, "{label}: the armed fault never fired");
+                assert!(engine.workers_alive(), "{label}: a worker thread died");
+
+                // Self-heal: after the fault fired, the pool keeps serving.
+                let h = engine
+                    .submit(Query::Cc, None)
+                    .unwrap_or_else(|e| panic!("{label}: post-fault submit: {e}"));
+                assert_eq!(h.wait(), QueryStatus::Done, "{label}: post-fault query failed");
+
+                let stats = engine.stats();
+                assert_eq!(stats.inflight_bytes, 0, "{label}: admission charge leaked");
+                if matches!(action, FaultAction::Panic) {
+                    assert!(stats.panics >= 1, "{label}: contained panic not counted");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn injected_panic_is_typed_and_the_same_worker_keeps_serving() {
+    for &seed in &SEEDS {
+        // One worker, so the follow-up query provably lands on the
+        // worker that just contained a panic.
+        let plan = FaultPlan::seeded(seed).arm_at(FaultPoint::EdgemapRound, FaultAction::Panic, 1);
+        let engine = engine_with(plan, 1);
+
+        let h = engine.submit(Query::Cc, None).expect("submit");
+        assert_eq!(h.wait(), QueryStatus::Panicked, "seed {seed}");
+        match h.query_error() {
+            Some(QueryError::Panicked { point, .. }) => assert_eq!(point, "edgemap.round"),
+            other => panic!("seed {seed}: expected Panicked, got {other:?}"),
+        }
+        assert!(engine.workers_alive(), "seed {seed}: worker died");
+
+        let h2 = engine.submit(Query::Cc, None).expect("submit after panic");
+        assert_eq!(h2.wait(), QueryStatus::Done, "seed {seed}: worker did not self-heal");
+        assert!(h2.result().is_some());
+        let stats = engine.stats();
+        assert_eq!(stats.panics, 1, "seed {seed}");
+        assert_eq!(stats.completed, 1, "seed {seed}");
+    }
+}
+
+#[test]
+fn cache_never_serves_a_value_from_a_faulted_run() {
+    for &seed in &SEEDS {
+        for action in [FaultAction::Error, FaultAction::Panic] {
+            // Fire on the very first `engine.cache` hit: the first run is
+            // the faulted one, and whatever it produced must not be
+            // served to anyone else.
+            let plan = FaultPlan::seeded(seed).arm_at(FaultPoint::EngineCache, action, 1);
+            let engine = engine_with(plan, 2);
+            let q = Query::PageRank { iters: 4 };
+
+            let h1 = engine.submit(q.clone(), None).expect("submit");
+            let s1 = h1.wait();
+            match action {
+                // An injected cache error degrades to a cache miss; the
+                // caller still gets its result.
+                FaultAction::Error => assert_eq!(s1, QueryStatus::Done, "seed {seed}"),
+                // A panic at the cache point is contained and typed.
+                _ => assert_eq!(s1, QueryStatus::Panicked, "seed {seed}"),
+            }
+
+            // The second identical query must re-execute — the faulted
+            // run may not have populated the cache.
+            let h2 = engine.submit(q.clone(), None).expect("resubmit");
+            assert_eq!(h2.wait(), QueryStatus::Done, "seed {seed}");
+            let span2 = h2.span().expect("span");
+            assert!(!span2.cache_hit, "seed {seed}: cache served a faulted run's value");
+
+            // The clean re-run does cache (the Once-schedule fault is
+            // spent), so a third submit is a hit with identical output.
+            let h3 = engine.submit(q, None).expect("third submit");
+            assert_eq!(h3.wait(), QueryStatus::Done, "seed {seed}");
+            assert!(h3.span().expect("span").cache_hit, "seed {seed}: clean run not cached");
+            match (h2.result().as_deref(), h3.result().as_deref()) {
+                (
+                    Some(ligra_engine::QueryOutput::PageRank(a)),
+                    Some(ligra_engine::QueryOutput::PageRank(b)),
+                ) => assert_eq!(a.rank, b.rank, "seed {seed}: cached value differs"),
+                other => panic!("seed {seed}: unexpected outputs {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn transient_dispatch_faults_retry_and_count_in_spans() {
+    for &seed in &SEEDS {
+        let plan =
+            FaultPlan::seeded(seed).arm_at(FaultPoint::EngineDispatch, FaultAction::Error, 1);
+        let engine = engine_with(plan, 2);
+        let h = engine.submit(Query::Bfs { source: 0 }, None).expect("submit");
+        // The first dispatch attempt absorbs the injected transient
+        // error; the retry completes the query.
+        assert_eq!(h.wait(), QueryStatus::Done, "seed {seed}");
+        let span = h.span().expect("span");
+        assert_eq!(span.retries, 1, "seed {seed}: retry not recorded in span");
+        assert_eq!(engine.stats().retries, 1, "seed {seed}");
+        assert!(engine.workers_alive());
+    }
+}
+
+#[test]
+fn periodic_faults_under_load_leave_the_engine_consistent() {
+    // Heavier mixed run: a fault every third dispatch, across seeds, with
+    // concurrent clients. Terminal accounting must balance exactly.
+    for &seed in &SEEDS[..4] {
+        let plan =
+            FaultPlan::seeded(seed).arm_every(FaultPoint::EdgemapRound, FaultAction::Panic, 7);
+        let engine = engine_with(plan, 3);
+        let handles: Vec<_> =
+            (0..24).filter_map(|i| engine.submit(distinct_query(i % 12), None).ok()).collect();
+        let mut terminal = 0u64;
+        for h in &handles {
+            assert!(h.wait().is_terminal(), "seed {seed}: query {} hung", h.id());
+            terminal += 1;
+        }
+        let stats = engine.stats();
+        // Cache-hit submits count under `completed` too, so the terminal
+        // statuses partition the handle count exactly.
+        assert_eq!(
+            stats.completed
+                + stats.cancelled
+                + stats.failed
+                + stats.panics
+                + stats.queue_deadline_sheds,
+            terminal,
+            "seed {seed}: terminal accounting does not balance: {stats:?}"
+        );
+        assert!(engine.workers_alive(), "seed {seed}");
+        assert_eq!(stats.inflight_bytes, 0, "seed {seed}");
+    }
+}

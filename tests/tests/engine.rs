@@ -104,14 +104,16 @@ fn zero_deadline_result_is_never_cached() {
     let engine = engine_with(1, rmat(&RmatOptions::paper(9)));
     let q = Query::PageRank { iters: 30 };
 
-    let cancelled = engine.submit(q.clone(), Some(Duration::ZERO)).unwrap();
-    assert_eq!(cancelled.wait(), QueryStatus::Cancelled);
-    assert!(cancelled.result().is_none());
-    let span = cancelled.span().unwrap();
-    assert!(span.rounds <= 1, "ran {} rounds past an expired deadline", span.rounds);
+    // An already-expired deadline is shed at dequeue: no worker time,
+    // zero rounds run.
+    let shed = engine.submit(q.clone(), Some(Duration::ZERO)).unwrap();
+    assert_eq!(shed.wait(), QueryStatus::Shed);
+    assert!(shed.result().is_none());
+    let span = shed.span().unwrap();
+    assert_eq!(span.rounds, 0, "a shed query must not run any rounds");
 
-    // The cancelled attempt must not have poisoned the cache with a
-    // partial result: the re-run is a miss that completes normally.
+    // The shed attempt must not have poisoned the cache with a partial
+    // result: the re-run is a miss that completes normally.
     let fresh = engine.submit(q.clone(), None).unwrap();
     assert_eq!(fresh.wait(), QueryStatus::Done);
     assert!(!fresh.span().unwrap().cache_hit);
@@ -119,7 +121,8 @@ fn zero_deadline_result_is_never_cached() {
     let hit = engine.submit(q, None).unwrap();
     assert_eq!(hit.wait(), QueryStatus::Done);
     assert!(hit.span().unwrap().cache_hit);
-    assert_eq!(engine.stats().cancelled, 1);
+    assert_eq!(engine.stats().queue_deadline_sheds, 1);
+    assert_eq!(engine.stats().cancelled, 0);
 }
 
 #[test]

@@ -136,3 +136,46 @@ fn noop_recorder_matches_traced_results() {
     assert_eq!(traced.dist, untraced.dist);
     assert!(!stats.rounds.is_empty());
 }
+
+#[test]
+fn engine_span_jsonl_keys_are_a_closed_vocabulary() {
+    // Pin the per-query span export schema next to the trace pins: the
+    // failure counters ride in these spans (`status` gained "panicked"
+    // and "shed"; `retries` counts transient-fault re-dispatches), and
+    // downstream consumers key on exact field names in exact order.
+    use ligra_engine::{Engine, EngineConfig, Query, QueryStatus};
+    use std::sync::Arc;
+
+    let engine = Engine::new(EngineConfig::default());
+    engine.install_graph(Arc::new(grid3d(4)));
+    let h = engine.submit(Query::Bfs { source: 0 }, None).expect("submit");
+    assert_eq!(h.wait(), QueryStatus::Done);
+
+    let lines = ligra_engine::spans_to_json_lines(&engine.spans());
+    let line = lines.lines().next().expect("one span exported");
+    let keys: Vec<&str> = line
+        .match_indices('"')
+        .collect::<Vec<_>>()
+        .chunks(2)
+        .filter_map(|pair| match pair {
+            [(a, _), (b, _)] if line[*b + 1..].starts_with(':') => Some(&line[*a + 1..*b]),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        keys,
+        [
+            "id",
+            "query",
+            "epoch",
+            "status",
+            "cache_hit",
+            "queue_wait_ns",
+            "run_ns",
+            "rounds",
+            "events",
+            "retries"
+        ],
+        "span JSONL schema changed: {line}"
+    );
+}
