@@ -14,7 +14,7 @@
 //! to also write each trace as a `.jsonl` file in that directory.
 
 use ligra::stats::Op;
-use ligra::{from_json_lines, summary, to_json_lines, EdgeMapOptions, TraversalStats};
+use ligra::{from_json_lines, save_jsonl, summary, to_json_lines, EdgeMapOptions, TraversalStats};
 use ligra_apps as apps;
 use ligra_bench::{inputs, Scale};
 
@@ -23,10 +23,9 @@ use ligra_bench::{inputs, Scale};
 fn print_trace(label: &str, slug: &str, stats: &TraversalStats, trace_dir: Option<&str>) {
     let exported = to_json_lines(stats);
     if let Some(dir) = trace_dir {
-        let path = format!("{dir}/{slug}.jsonl");
-        match std::fs::write(&path, &exported) {
-            Ok(()) => println!("[trace written to {path}]"),
-            Err(e) => eprintln!("[trace write to {path} failed: {e}]"),
+        match save_jsonl(std::path::Path::new(dir), slug, stats) {
+            Ok(path) => println!("[trace written to {}]", path.display()),
+            Err(e) => eprintln!("[trace {e}]"),
         }
     }
     let stats = from_json_lines(&exported).expect("exported trace must re-import");

@@ -238,6 +238,22 @@ pub fn from_csv(text: &str) -> Result<TraversalStats, String> {
     Ok(stats)
 }
 
+/// Writes a trace as `<dir>/<stem>.jsonl` (the [`to_json_lines`] format)
+/// and returns the path written. One shared helper so every producer of
+/// on-disk kernel traces — the figure binaries and the engine's
+/// per-query trace join — agrees on naming and format; a span or report
+/// that carries `stem` can always be resolved back to its rows.
+pub fn save_jsonl(
+    dir: &std::path::Path,
+    stem: &str,
+    stats: &TraversalStats,
+) -> Result<std::path::PathBuf, String> {
+    let path = dir.join(format!("{stem}.jsonl"));
+    std::fs::write(&path, to_json_lines(stats))
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
 /// Aggregate view of a trace, one bucket per `edgeMap` mode plus totals.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TraceSummary {

@@ -15,6 +15,7 @@
 //! the other bench binaries; `--quick` is the small CI configuration.
 
 use ligra::Traversal;
+use ligra_engine::metrics::Histogram;
 use ligra_engine::{Engine, EngineConfig, Query, QueryStatus, SubmitError};
 use ligra_graph::generators::{rmat, RmatOptions};
 use ligra_parallel::checked_u32;
@@ -35,6 +36,11 @@ struct LevelResult {
     p95_ms: f64,
     p99_ms: f64,
     queue_wait_p95_ms: f64,
+    // Same turnaround distribution, but read back out of the engine's
+    // log-bucketed metrics histogram — what a scrape would report.
+    hist_p50_ms: f64,
+    hist_p95_ms: f64,
+    hist_p99_ms: f64,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -68,6 +74,11 @@ fn run_level(
     let rejected = AtomicU64::new(0);
     let cancelled = AtomicU64::new(0);
     let deadline_misses = AtomicU64::new(0);
+    // Per-level turnaround histogram (satellite of the metrics PR): the
+    // exact sampled percentiles below are ground truth; this one shows
+    // what the engine's bucketed histograms would report for the same
+    // distribution, so BENCH_engine.json documents the bucket error.
+    let turnaround_hist = Histogram::new();
     let start = Instant::now();
     let mut turnaround_ms: Vec<f64> = Vec::new();
     let mut queue_wait_ms: Vec<f64> = Vec::new();
@@ -79,6 +90,7 @@ fn run_level(
             let rejected = &rejected;
             let cancelled = &cancelled;
             let deadline_misses = &deadline_misses;
+            let turnaround_hist = &turnaround_hist;
             clients.push(scope.spawn(move || {
                 let mut turnaround = Vec::with_capacity(per_client as usize);
                 let mut queue_wait = Vec::with_capacity(per_client as usize);
@@ -99,6 +111,7 @@ fn run_level(
                     let status = h.wait();
                     let total = t0.elapsed();
                     turnaround.push(total.as_secs_f64() * 1e3);
+                    turnaround_hist.record(total.as_nanos().min(u128::from(u64::MAX)) as u64);
                     if let Some(span) = h.span() {
                         queue_wait.push(span.queue_wait_ns as f64 / 1e6);
                     }
@@ -137,6 +150,7 @@ fn run_level(
     turnaround_ms.sort_by(|a, b| a.total_cmp(b));
     queue_wait_ms.sort_by(|a, b| a.total_cmp(b));
     let queries = turnaround_ms.len() as u64;
+    let hist = turnaround_hist.snapshot();
     LevelResult {
         concurrency,
         queries,
@@ -149,6 +163,9 @@ fn run_level(
         p95_ms: percentile(&turnaround_ms, 0.95),
         p99_ms: percentile(&turnaround_ms, 0.99),
         queue_wait_p95_ms: percentile(&queue_wait_ms, 0.95),
+        hist_p50_ms: hist.p50() as f64 / 1e6,
+        hist_p95_ms: hist.p95() as f64 / 1e6,
+        hist_p99_ms: hist.p99() as f64 / 1e6,
     }
 }
 
@@ -197,6 +214,7 @@ fn main() {
         traversal,
         memory_budget: None,
         fault: None,
+        trace_dir: None,
     }));
     engine.install_graph(Arc::new(g));
 
@@ -239,7 +257,8 @@ fn main() {
             "    {{\"concurrency\": {}, \"queries\": {}, \"rejected\": {}, \"cancelled\": {}, \
              \"deadline_misses\": {}, \"elapsed_s\": {:.3}, \"throughput_qps\": {:.2}, \
              \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
-             \"queue_wait_p95_ms\": {:.3}}}{}\n",
+             \"queue_wait_p95_ms\": {:.3}, \
+             \"hist_p50_ms\": {:.3}, \"hist_p95_ms\": {:.3}, \"hist_p99_ms\": {:.3}}}{}\n",
             r.concurrency,
             r.queries,
             r.rejected,
@@ -251,6 +270,9 @@ fn main() {
             r.p95_ms,
             r.p99_ms,
             r.queue_wait_p95_ms,
+            r.hist_p50_ms,
+            r.hist_p95_ms,
+            r.hist_p99_ms,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }

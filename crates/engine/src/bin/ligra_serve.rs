@@ -6,13 +6,22 @@
 //! responses — a dependency-free smoke client for scripts and CI.
 //!
 //! ```text
-//! ligra-serve [--listen ADDR | --client ADDR]
+//! ligra-serve [--listen ADDR | --client ADDR] [--metrics-addr ADDR]
 //!             [--workers N] [--queue N] [--cache N]
 //!             [--memory-budget BYTES]
 //!             [--traversal auto|sparse|dense|dense-forward]
 //!             [--graph PATH [--directed] [--weighted]]
 //!             [--fault SPEC]... [--fault-seed N]
 //! ```
+//!
+//! `--metrics-addr` starts a loopback HTTP listener speaking Prometheus
+//! text exposition (format 0.0.4) over the engine's metrics registry —
+//! `curl http://ADDR/metrics` (any path works) returns the closed
+//! family vocabulary pinned in `tests/tests/telemetry.rs`. Setting
+//! `LIGRA_TRACE_DIR` makes every executed query write its per-round
+//! kernel trace as `query-<trace_id>.jsonl` there; the same `trace_id`
+//! appears in `submit`/`poll` responses and span JSONL, joining a
+//! serving-tier span to its edgeMap rounds.
 //!
 //! `--fault point:action[:nth]` arms a deterministic fault (DESIGN.md
 //! §11); it is accepted only in builds with the `fault-inject` feature.
@@ -25,18 +34,19 @@
 //! ```text
 //! {"op":"load","path":"g.adj","symmetric":true,"weighted":false}
 //! {"op":"gen","family":"rmat","log_n":12,"seed":1,"weighted":false}
-//! {"op":"submit","query":"bfs","source":0,"deadline_ms":100}
+//! {"op":"submit","query":"bfs","source":0,"deadline_ms":100,"trace_id":"req-7"}
 //! {"op":"poll","id":3}        {"op":"wait","id":3}
 //! {"op":"cancel","id":3}      {"op":"span","id":3}
 //! {"op":"stats"}              {"op":"trace"}
-//! {"op":"shutdown"}
+//! {"op":"metrics"}            {"op":"shutdown"}
 //! ```
 
 use ligra::Traversal;
+use ligra_engine::metrics::{mix64, render};
 use ligra_engine::wire::{read_request_line, MAX_REQUEST_LINE_BYTES};
 use ligra_engine::{
-    error_response, Engine, EngineConfig, FaultPlan, JsonObj, Query, QueryHandle, Request,
-    SubmitError,
+    error_response, Engine, EngineConfig, FaultPlan, JsonObj, MetricsRegistry, Query, QueryHandle,
+    Request, SubmitError,
 };
 use ligra_graph::generators::{
     erdos_renyi, grid3d, random_local, random_weights, rmat, RmatOptions,
@@ -52,6 +62,7 @@ use std::time::Duration;
 struct Args {
     listen: Option<String>,
     client: Option<String>,
+    metrics_addr: Option<String>,
     workers: usize,
     queue: usize,
     cache: usize,
@@ -73,8 +84,8 @@ fn fatal(msg: &str) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ligra-serve [--listen ADDR | --client ADDR] [--workers N] [--queue N] \
-         [--cache N] [--memory-budget BYTES] [--traversal POLICY] \
+        "usage: ligra-serve [--listen ADDR | --client ADDR] [--metrics-addr ADDR] \
+         [--workers N] [--queue N] [--cache N] [--memory-budget BYTES] [--traversal POLICY] \
          [--graph PATH [--directed] [--weighted]] [--fault SPEC]... [--fault-seed N]"
     );
     std::process::exit(2);
@@ -84,6 +95,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         listen: None,
         client: None,
+        metrics_addr: None,
         workers: 2,
         queue: 64,
         cache: 32,
@@ -108,6 +120,7 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--listen" => args.listen = Some(value("--listen")),
             "--client" => args.client = Some(value("--client")),
+            "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")),
             "--workers" => args.workers = parsed("--workers", &value("--workers")),
             "--queue" => args.queue = parsed("--queue", &value("--queue")),
             "--cache" => args.cache = parsed("--cache", &value("--cache")),
@@ -215,7 +228,11 @@ fn graph_response(epoch: u64) -> String {
 
 fn status_response(h: &QueryHandle) -> JsonObj {
     let status = h.status();
-    let mut obj = JsonObj::new().bool("ok", true).u64("id", h.id()).str("status", status.name());
+    let mut obj = JsonObj::new()
+        .bool("ok", true)
+        .u64("id", h.id())
+        .str("trace_id", h.trace_id())
+        .str("status", status.name());
     if let Some(span) = h.span() {
         obj = obj.bool("cache_hit", span.cache_hit).u64("edge_map_rounds", span.rounds);
     }
@@ -242,14 +259,18 @@ fn span_response(engine: &Engine, id: u64) -> String {
         Some(s) => JsonObj::new()
             .bool("ok", true)
             .u64("id", s.id)
+            .str("trace_id", &s.trace_id)
             .str("query", &s.query)
             .u64("epoch", s.epoch)
             .str("status", s.status.name())
             .bool("cache_hit", s.cache_hit)
             .u64("queue_wait_ns", s.queue_wait_ns)
+            .u64("queue_wait_bucket", s.queue_wait_bucket)
             .u64("run_ns", s.run_ns)
+            .u64("run_bucket", s.run_bucket)
             .u64("rounds", s.rounds)
             .u64("events", s.events)
+            .u64("retries", s.retries)
             .finish(),
     }
 }
@@ -273,10 +294,70 @@ fn stats_response(engine: &Engine) -> String {
         .u64("inflight_bytes", s.inflight_bytes)
         .u64("cache_hits", s.cache_hits)
         .u64("cache_misses", s.cache_misses)
+        .u64("cache_evictions", s.cache_evictions)
         .u64("cache_len", s.cache_len as u64)
+        .u64("queue_wait_p50_ns", s.queue_wait_p50_ns)
+        .u64("queue_wait_p95_ns", s.queue_wait_p95_ns)
+        .u64("queue_wait_p99_ns", s.queue_wait_p99_ns)
+        .u64("queue_wait_max_ns", s.queue_wait_max_ns)
+        .u64("run_p50_ns", s.run_p50_ns)
+        .u64("run_p95_ns", s.run_p95_ns)
+        .u64("run_p99_ns", s.run_p99_ns)
+        .u64("run_max_ns", s.run_max_ns)
         .u64("workers", engine.workers() as u64)
         .u64("queue_capacity", engine.queue_capacity() as u64)
         .finish()
+}
+
+/// The `metrics` op: the full metrics snapshot as one flat JSON object —
+/// scalar counters/gauges, merged histogram quantiles, and per-point
+/// fault-injection counts (`fault_<point>` with dots underscored). The
+/// same snapshot the Prometheus exposition renders, in JSONL clothing.
+fn metrics_response(engine: &Engine) -> String {
+    let m = engine.metrics_snapshot();
+    let qw = m.merged_queue_wait();
+    let rt = m.merged_run_time();
+    let mut obj = JsonObj::new()
+        .bool("ok", true)
+        .u64("epoch", m.epoch)
+        .u64("workers", m.workers)
+        .u64("queue_capacity", m.queue_capacity)
+        .u64("queue_depth", m.queue_depth)
+        .u64("running", m.running)
+        .u64("inflight_bytes", m.inflight_bytes)
+        .u64("memory_budget_bytes", m.memory_budget_bytes)
+        .u64("submitted", m.submitted)
+        .u64("rejected", m.rejected)
+        .u64("overload_sheds", m.overload_sheds)
+        .u64("retired_done", m.retired[0])
+        .u64("retired_cancelled", m.retired[1])
+        .u64("retired_failed", m.retired[2])
+        .u64("retired_panicked", m.retired[3])
+        .u64("retired_shed", m.retired[4])
+        .u64("retries", m.retries)
+        .u64("worker_busy_ns", m.worker_busy_ns)
+        .u64("worker_idle_ns", m.worker_idle_ns)
+        .u64("cache_hits", m.cache_hits)
+        .u64("cache_misses", m.cache_misses)
+        .u64("cache_evictions", m.cache_evictions)
+        .u64("cache_entries", m.cache_entries)
+        .u64("wire_requests", m.wire_requests)
+        .u64("wire_bytes", m.wire_bytes)
+        .u64("wire_malformed", m.wire_malformed)
+        .u64("queue_wait_count", qw.count)
+        .u64("queue_wait_p50_ns", qw.p50())
+        .u64("queue_wait_p95_ns", qw.p95())
+        .u64("queue_wait_p99_ns", qw.p99())
+        .u64("queue_wait_max_ns", qw.max)
+        .u64("run_count", rt.count)
+        .u64("run_p50_ns", rt.p50())
+        .u64("run_p95_ns", rt.p95())
+        .u64("run_p99_ns", rt.p99())
+        .u64("run_max_ns", rt.max);
+    for (point, fired) in &m.fault_injections {
+        obj = obj.u64(&format!("fault_{}", point.replace('.', "_")), *fired);
+    }
+    obj.finish()
 }
 
 fn trace_response(engine: &Engine) -> String {
@@ -293,14 +374,20 @@ fn trace_response(engine: &Engine) -> String {
 }
 
 /// Handles one request line; the bool is "keep serving".
-fn handle_line(engine: &Engine, line: &str) -> (String, bool) {
+fn handle_line(engine: &Engine, metrics: &MetricsRegistry, line: &str) -> (String, bool) {
     let req = match Request::parse(line) {
         Ok(r) => r,
-        Err(e) => return (error_response(&e), true),
+        Err(e) => {
+            metrics.wire_malformed.incr();
+            return (error_response(&e), true);
+        }
     };
     let op = match req.str("op") {
         Ok(op) => op,
-        Err(e) => return (error_response(&e), true),
+        Err(e) => {
+            metrics.wire_malformed.incr();
+            return (error_response(&e), true);
+        }
     };
     let resp = match op {
         "load" => (|| {
@@ -332,7 +419,11 @@ fn handle_line(engine: &Engine, line: &str) -> (String, bool) {
                 None => None,
                 Some(_) => Some(Duration::from_millis(req.u64_or("deadline_ms", 0)?)),
             };
-            match engine.submit(query, deadline) {
+            let trace_id = match req.get("trace_id") {
+                None => None,
+                Some(_) => Some(req.str("trace_id")?.to_string()),
+            };
+            match engine.submit_traced(query, deadline, trace_id) {
                 Ok(h) => Ok(status_response(&h).finish()),
                 Err(SubmitError::QueueFull) => Ok(JsonObj::new()
                     .bool("ok", false)
@@ -365,6 +456,7 @@ fn handle_line(engine: &Engine, line: &str) -> (String, bool) {
         })(),
         "span" => Ok(span_response(engine, req.u64_or("id", 0).unwrap_or(0))),
         "stats" => Ok(stats_response(engine)),
+        "metrics" => Ok(metrics_response(engine)),
         "trace" => Ok(trace_response(engine)),
         "ping" => Ok(JsonObj::new().bool("ok", true).str("pong", "ligra-serve").finish()),
         "shutdown" => {
@@ -392,12 +484,15 @@ fn wire_fault(engine: &Engine) -> Option<String> {
 }
 
 fn serve_stream<R: BufRead, W: Write>(engine: &Engine, mut reader: R, mut writer: W) -> bool {
+    let metrics = engine.metrics();
     loop {
         let line = match read_request_line(&mut reader, MAX_REQUEST_LINE_BYTES) {
             Ok(None) => break, // clean EOF
             Err(_) => break,   // transport failure; nothing to answer on
             Ok(Some(Err(e))) => {
                 // Oversized or non-UTF-8 line: answer and keep serving.
+                metrics.wire_requests.incr();
+                metrics.wire_malformed.incr();
                 if write_response(&mut writer, &error_response(&e)).is_err() {
                     break;
                 }
@@ -405,9 +500,12 @@ fn serve_stream<R: BufRead, W: Write>(engine: &Engine, mut reader: R, mut writer
             }
             Ok(Some(Ok(l))) => l,
         };
+        // Count the newline the reader consumed along with the line.
+        metrics.wire_bytes.add(line.len() as u64 + 1);
         if line.trim().is_empty() {
             continue;
         }
+        metrics.wire_requests.incr();
         #[cfg(feature = "fault-inject")]
         if let Some(resp) = wire_fault(engine) {
             if write_response(&mut writer, &resp).is_err() {
@@ -415,7 +513,7 @@ fn serve_stream<R: BufRead, W: Write>(engine: &Engine, mut reader: R, mut writer
             }
             continue;
         }
-        let (resp, keep_going) = handle_line(engine, &line);
+        let (resp, keep_going) = handle_line(engine, &metrics, &line);
         if write_response(&mut writer, &resp).is_err() {
             break;
         }
@@ -430,15 +528,59 @@ fn write_response<W: Write>(writer: &mut W, resp: &str) -> std::io::Result<()> {
     writeln!(writer, "{resp}").and_then(|()| writer.flush())
 }
 
+/// Answers one Prometheus scrape: drains the request head (the path is
+/// ignored — this endpoint serves exactly one document), then writes
+/// the exposition with HTTP/1.0 framing and closes.
+fn answer_scrape(engine: &Engine, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?; // request line
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let body = render(&engine.metrics_snapshot());
+    let mut w = BufWriter::new(stream);
+    write!(
+        w,
+        "HTTP/1.0 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{}",
+        body.len(),
+        body
+    )?;
+    w.flush()
+}
+
+/// Binds the metrics listener (fatal on failure — an operator who asked
+/// for metrics should not silently run without them) and serves scrapes
+/// on background threads.
+fn spawn_metrics_listener(engine: Arc<Engine>, addr: &str) {
+    let listener = TcpListener::bind(addr)
+        .unwrap_or_else(|e| fatal(&format!("bind metrics addr {addr}: {e}")));
+    match listener.local_addr() {
+        Ok(a) => eprintln!("ligra-serve: metrics on http://{a}/metrics"),
+        Err(_) => eprintln!("ligra-serve: metrics listener bound"),
+    }
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                if let Err(e) = answer_scrape(&engine, stream) {
+                    eprintln!("ligra-serve: metrics scrape: {e}");
+                }
+            });
+        }
+    });
+}
+
 /// Client-side retry budget for responses flagged `"transient":true`
 /// (overload sheds, queue-full, injected transient faults).
 const CLIENT_RETRIES: u32 = 3;
-
-fn mix64(mut x: u64) -> u64 {
-    x = (x ^ (x >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);
-    x = (x ^ (x >> 33)).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
-    x ^ (x >> 33)
-}
 
 /// Jittered exponential backoff: 10·2^attempt ms base, up to +50% jitter
 /// (deterministic in the request/attempt pair), so retrying clients
@@ -531,6 +673,13 @@ fn main() {
         Ok(f) => f,
         Err(e) => fatal(&e),
     };
+    let trace_dir = std::env::var("LIGRA_TRACE_DIR").ok().map(std::path::PathBuf::from);
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            fatal(&format!("create LIGRA_TRACE_DIR {}: {e}", dir.display()));
+        }
+        eprintln!("ligra-serve: writing kernel traces to {}", dir.display());
+    }
     let engine = Arc::new(Engine::new(EngineConfig {
         workers: args.workers,
         queue_capacity: args.queue,
@@ -539,7 +688,11 @@ fn main() {
         traversal: args.traversal,
         memory_budget: args.memory_budget,
         fault,
+        trace_dir,
     }));
+    if let Some(addr) = &args.metrics_addr {
+        spawn_metrics_listener(Arc::clone(&engine), addr);
+    }
     if let Some(path) = &args.graph {
         let epoch = load_into(&engine, path, args.symmetric, args.weighted)
             .unwrap_or_else(|e| fatal(&format!("preload {path}: {e}")));

@@ -28,13 +28,14 @@ pub struct ResultCache {
     tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl ResultCache {
     /// A cache holding at most `capacity` results. Capacity 0 disables
     /// caching (every probe is a miss, inserts are dropped).
     pub fn new(capacity: usize) -> Self {
-        ResultCache { capacity, map: HashMap::new(), tick: 0, hits: 0, misses: 0 }
+        ResultCache { capacity, map: HashMap::new(), tick: 0, hits: 0, misses: 0, evictions: 0 }
     }
 
     /// Probes for a cached result, counting a hit or a miss.
@@ -66,6 +67,7 @@ impl ResultCache {
                 self.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
             {
                 self.map.remove(&oldest);
+                self.evictions += 1;
             }
         }
         self.map.insert(key, Entry { value, last_used: self.tick });
@@ -89,6 +91,13 @@ impl ResultCache {
     /// Probes that found nothing.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Entries pushed out by LRU capacity pressure (not epoch aging —
+    /// stale-epoch entries leave through this same LRU path, since an
+    /// epoch bump makes them unprobed and therefore oldest).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -131,6 +140,7 @@ mod tests {
         let _ = c.get(&a); // a is now fresher than b
         c.insert(d.clone(), out(3));
         assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
         assert!(c.get(&a).is_some());
         assert!(c.get(&b).is_none(), "b was LRU and should have been evicted");
         assert!(c.get(&d).is_some());

@@ -13,7 +13,11 @@
 //!   edgeMap round boundaries via [`ligra::CancelToken`];
 //! * [`cache`] — an LRU of results keyed `(epoch, query)`;
 //! * [`span`] — per-query lifecycle telemetry (queue wait, run time,
-//!   rounds executed before completion or cancellation);
+//!   rounds executed before completion or cancellation), carrying a
+//!   `trace_id` that joins engine spans to on-disk kernel traces;
+//! * [`metrics`] — the lock-free serving-tier metrics registry
+//!   (striped counters, gauges, log-bucketed latency histograms) and
+//!   its hand-rolled Prometheus text exposition;
 //! * [`error`] — typed terminal errors ([`QueryError`]) distinguishing
 //!   validation failures, injected transient faults, and caught panics;
 //! * [`wire`] — the flat-JSONL request/response format spoken by the
@@ -30,6 +34,7 @@
 
 pub mod cache;
 pub mod error;
+pub mod metrics;
 pub mod query;
 pub mod scheduler;
 pub mod snapshot;
@@ -39,8 +44,9 @@ pub mod wire;
 pub use cache::ResultCache;
 pub use error::QueryError;
 pub use ligra::{FaultAction, FaultError, FaultPlan, FaultPoint};
+pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use query::{Query, QueryOutput, PAGERANK_ALPHA};
 pub use scheduler::{Engine, EngineConfig, EngineStats, QueryHandle, SubmitError};
 pub use snapshot::{GraphStore, Snapshot};
-pub use span::{spans_to_json_lines, QuerySpan, QueryStatus, RoundCounter};
+pub use span::{spans_to_json_lines, QuerySpan, QueryStatus, RoundCounter, TeeRecorder};
 pub use wire::{error_response, JsonObj, Request};

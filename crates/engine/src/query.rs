@@ -60,6 +60,26 @@ pub enum Query {
 }
 
 impl Query {
+    /// Every query-kind name, indexed by [`Query::kind_index`]. The
+    /// metrics registry keys its per-kind latency histograms off this
+    /// array, so the order is part of the closed metric vocabulary.
+    pub const KIND_NAMES: [&'static str; 8] =
+        ["bfs", "bc", "cc", "pagerank", "radii", "bellman-ford", "kcore", "mis"];
+
+    /// Dense index of this query's kind into [`Query::KIND_NAMES`].
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Query::Bfs { .. } => 0,
+            Query::Bc { .. } => 1,
+            Query::Cc => 2,
+            Query::PageRank { .. } => 3,
+            Query::Radii { .. } => 4,
+            Query::BellmanFord { .. } => 5,
+            Query::KCore => 6,
+            Query::Mis { .. } => 7,
+        }
+    }
+
     /// Short stable name, used in spans and the wire protocol.
     pub fn name(&self) -> &'static str {
         match self {

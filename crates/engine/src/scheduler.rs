@@ -35,17 +35,19 @@
 
 use crate::cache::ResultCache;
 use crate::error::{classify_panic, QueryError};
+use crate::metrics::{mix64, MetricsRegistry, MetricsSnapshot};
 use crate::query::{Query, QueryOutput};
 use crate::snapshot::{GraphStore, Snapshot};
-use crate::span::{QuerySpan, QueryStatus, RoundCounter};
-use ligra::{CancelToken, EdgeMapOptions, FaultPlan, Traversal};
+use crate::span::{fill_span_buckets, QuerySpan, QueryStatus, TeeRecorder};
+use ligra::{CancelToken, EdgeMapOptions, FaultPlan, FaultPoint, Traversal};
 use ligra_graph::{Graph, WeightedGraph};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// How many times a transient fault at the `engine.dispatch` point may
 /// re-enqueue one job before it fails for good.
@@ -85,6 +87,13 @@ pub struct EngineConfig {
     /// `engine.dispatch`, `engine.cache`, and `edgemap.round` points
     /// only in builds with the `fault-inject` feature; inert otherwise.
     pub fault: Option<Arc<FaultPlan>>,
+    /// Directory for per-query kernel traces. When set, every executed
+    /// query writes its full per-round trace as
+    /// `query-<trace_id>.jsonl` here, joining the engine span (which
+    /// carries the same `trace_id`) to its edgeMap rows. `None`
+    /// disables row collection entirely (the spans still get O(1)
+    /// round counts).
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -97,6 +106,7 @@ impl Default for EngineConfig {
             traversal: Traversal::Auto,
             memory_budget: None,
             fault: None,
+            trace_dir: None,
         }
     }
 }
@@ -165,8 +175,28 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Result-cache misses.
     pub cache_misses: u64,
+    /// Result-cache LRU evictions.
+    pub cache_evictions: u64,
     /// Result-cache entries held.
     pub cache_len: usize,
+    /// Queue-wait p50 across all query kinds, from the metrics
+    /// histogram buckets (bucket upper bound clamped to the observed
+    /// max — the same math the Prometheus exposition's consumers do).
+    pub queue_wait_p50_ns: u64,
+    /// Queue-wait p95 (bucket math).
+    pub queue_wait_p95_ns: u64,
+    /// Queue-wait p99 (bucket math).
+    pub queue_wait_p99_ns: u64,
+    /// Largest observed queue wait (exact).
+    pub queue_wait_max_ns: u64,
+    /// Run-time p50 across all query kinds (bucket math).
+    pub run_p50_ns: u64,
+    /// Run-time p95 (bucket math).
+    pub run_p95_ns: u64,
+    /// Run-time p99 (bucket math).
+    pub run_p99_ns: u64,
+    /// Largest observed run time (exact).
+    pub run_max_ns: u64,
 }
 
 struct JobState {
@@ -178,6 +208,9 @@ struct JobState {
 
 struct Job {
     id: u64,
+    /// Correlation id joining span, wire responses, and the on-disk
+    /// kernel trace (see [`EngineConfig::trace_dir`]).
+    trace_id: String,
     query: Query,
     snapshot: Arc<Snapshot>,
     token: CancelToken,
@@ -212,19 +245,25 @@ impl Job {
     }
 }
 
-#[derive(Default)]
-struct Counters {
-    submitted: AtomicU64,
-    rejected: AtomicU64,
-    completed: AtomicU64,
-    cancelled: AtomicU64,
-    failed: AtomicU64,
-    running: AtomicU64,
-    sheds: AtomicU64,
-    panics: AtomicU64,
-    retries: AtomicU64,
-    queue_deadline_sheds: AtomicU64,
-    inflight_bytes: AtomicU64,
+/// Slot in the metrics registry's retired-by-status counters
+/// ([`crate::metrics::registry::RETIRE_STATUSES`]) for a terminal
+/// status. Queued/Running are not terminal and map defensively onto
+/// the last slot (they are never passed in practice).
+fn retire_index(status: QueryStatus) -> usize {
+    match status {
+        QueryStatus::Done => 0,
+        QueryStatus::Cancelled => 1,
+        QueryStatus::Failed => 2,
+        QueryStatus::Panicked => 3,
+        _ => 4, // Shed (and the unreachable non-terminal states)
+    }
+}
+
+/// Keeps only `[A-Za-z0-9_-]` and caps length at 64: trace ids name
+/// files under the trace dir and embed raw (unescaped) in span JSON,
+/// so everything else is dropped rather than quoted.
+fn sanitize_trace_id(raw: &str) -> String {
+    raw.chars().filter(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '-').take(64).collect()
 }
 
 struct Shared {
@@ -237,7 +276,10 @@ struct Shared {
     spans: Mutex<Vec<QuerySpan>>,
     next_id: AtomicU64,
     shutdown: AtomicBool,
-    counters: Counters,
+    metrics: Arc<MetricsRegistry>,
+    /// Startup entropy mixed into generated trace ids, so ids from
+    /// different engine processes don't collide on shared trace dirs.
+    trace_nonce: u64,
 }
 
 /// Handle to one submitted query.
@@ -259,6 +301,11 @@ impl QueryHandle {
     /// Engine-assigned id.
     pub fn id(&self) -> u64 {
         self.job.id
+    }
+
+    /// The query's correlation id (client-supplied or generated).
+    pub fn trace_id(&self) -> &str {
+        &self.job.trace_id
     }
 
     /// Current status.
@@ -330,6 +377,15 @@ impl Engine {
     pub fn new(config: EngineConfig) -> Self {
         let workers_n = config.workers.max(1);
         let cache = ResultCache::new(config.cache_capacity);
+        let metrics = Arc::new(MetricsRegistry::new());
+        metrics.memory_budget_bytes.set(config.memory_budget.unwrap_or(0));
+        // Wall-clock nanos as id entropy; a clock before the epoch
+        // (misconfigured container) degrades to a fixed nonce rather
+        // than failing engine construction.
+        let trace_nonce = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x11a2_a51e_ed00_5eed);
         let shared = Arc::new(Shared {
             config,
             store: GraphStore::new(),
@@ -340,7 +396,8 @@ impl Engine {
             spans: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
-            counters: Counters::default(),
+            metrics,
+            trace_nonce,
         });
         let workers = (0..workers_n)
             .map(|i| {
@@ -383,6 +440,20 @@ impl Engine {
         query: Query,
         deadline: Option<Duration>,
     ) -> Result<QueryHandle, SubmitError> {
+        self.submit_traced(query, deadline, None)
+    }
+
+    /// [`Engine::submit`] with an explicit correlation id. A supplied
+    /// `trace_id` is sanitized to `[A-Za-z0-9_-]` (≤ 64 chars) since it
+    /// names an on-disk trace file and embeds raw in span JSON; `None`
+    /// (or an id that sanitizes to nothing) gets a generated 16-hex-char
+    /// id unique to this engine instance.
+    pub fn submit_traced(
+        &self,
+        query: Query,
+        deadline: Option<Duration>,
+        trace_id: Option<String>,
+    ) -> Result<QueryHandle, SubmitError> {
         let sh = &self.shared;
         let snapshot = sh.store.current().ok_or(SubmitError::NoGraph)?;
         let deadline = deadline.or(sh.config.default_deadline);
@@ -391,12 +462,17 @@ impl Engine {
             None => CancelToken::new(),
         };
         let id = sh.next_id.fetch_add(1, Ordering::Relaxed);
+        let trace_id = match trace_id.map(|t| sanitize_trace_id(&t)) {
+            Some(t) if !t.is_empty() => t,
+            _ => format!("{:016x}", mix64(sh.trace_nonce ^ id)),
+        };
         let key = (snapshot.epoch(), query.clone());
         let cached = lock(&sh.cache).get(&key);
         let cost_bytes = query.estimated_run_bytes(&snapshot);
 
         let job = Arc::new(Job {
             id,
+            trace_id,
             query,
             snapshot,
             token,
@@ -414,21 +490,13 @@ impl Engine {
 
         if let Some(result) = cached {
             // Served without touching the queue: terminal immediately.
-            let span = QuerySpan {
-                id,
-                query: job.query.name().to_string(),
-                epoch: job.snapshot.epoch(),
-                status: QueryStatus::Done,
-                cache_hit: true,
-                queue_wait_ns: 0,
-                run_ns: 0,
-                rounds: 0,
-                events: 0,
-                retries: 0,
-            };
+            let mut span = base_span(&job, 0);
+            span.status = QueryStatus::Done;
+            span.cache_hit = true;
+            fill_span_buckets(&mut span);
             job.finish(QueryStatus::Done, Some(result), None, span.clone());
-            sh.counters.submitted.fetch_add(1, Ordering::Relaxed);
-            sh.counters.completed.fetch_add(1, Ordering::Relaxed);
+            sh.metrics.submitted.incr();
+            sh.metrics.retire(retire_index(QueryStatus::Done));
             lock(&sh.spans).push(span);
             lock(&sh.jobs).insert(id, Arc::clone(&job));
             return Ok(QueryHandle { job });
@@ -441,27 +509,28 @@ impl Engine {
         // (nothing charged) always admits, so the retry contract is
         // sound even for a single query larger than the budget.
         if let Some(budget) = sh.config.memory_budget {
-            let in_use = sh.counters.inflight_bytes.load(Ordering::Relaxed);
+            let in_use = sh.metrics.inflight_bytes.get();
             if in_use > 0 && in_use.saturating_add(cost_bytes) > budget {
-                sh.counters.sheds.fetch_add(1, Ordering::Relaxed);
+                sh.metrics.overload_sheds.incr();
                 return Err(SubmitError::Overloaded { retry_after: self.retry_after_hint() });
             }
         }
         // Charge before publishing the job so a fast worker's release
         // can never precede the charge.
-        sh.counters.inflight_bytes.fetch_add(cost_bytes, Ordering::Relaxed);
+        sh.metrics.inflight_bytes.add(cost_bytes);
 
         {
             let mut q = lock(&sh.queue);
             if q.len() >= sh.config.queue_capacity {
-                sh.counters.inflight_bytes.fetch_sub(cost_bytes, Ordering::Relaxed);
-                sh.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                sh.metrics.inflight_bytes.sub(cost_bytes);
+                sh.metrics.rejected.incr();
                 return Err(SubmitError::QueueFull);
             }
             q.push_back(Arc::clone(&job));
+            sh.metrics.queue_depth.add(1);
         }
         sh.queue_cv.notify_one();
-        sh.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        sh.metrics.submitted.incr();
         lock(&sh.jobs).insert(id, Arc::clone(&job));
         Ok(QueryHandle { job })
     }
@@ -471,7 +540,7 @@ impl Engine {
     fn retry_after_hint(&self) -> Duration {
         let sh = &self.shared;
         let queued = lock(&sh.queue).len() as u64;
-        let running = sh.counters.running.load(Ordering::Relaxed);
+        let running = sh.metrics.running.get();
         Duration::from_millis((20 * (queued + running + 1)).min(500))
     }
 
@@ -480,30 +549,103 @@ impl Engine {
         lock(&self.shared.jobs).get(&id).map(|job| QueryHandle { job: Arc::clone(job) })
     }
 
-    /// Aggregate counters for the `stats` op.
+    /// Aggregate counters for the `stats` op, including histogram-derived
+    /// latency quantiles (bucket math over the metrics registry).
     pub fn stats(&self) -> EngineStats {
         let sh = &self.shared;
-        let (cache_hits, cache_misses, cache_len) = {
+        let m = &sh.metrics;
+        let (cache_hits, cache_misses, cache_evictions, cache_len) = {
             let c = lock(&sh.cache);
-            (c.hits(), c.misses(), c.len())
+            (c.hits(), c.misses(), c.evictions(), c.len())
         };
+        let qw = m.merged_queue_wait();
+        let rt = m.merged_run_time();
         EngineStats {
             epoch: self.current_epoch(),
             queued: lock(&sh.queue).len(),
-            running: sh.counters.running.load(Ordering::Relaxed),
-            submitted: sh.counters.submitted.load(Ordering::Relaxed),
-            rejected: sh.counters.rejected.load(Ordering::Relaxed),
-            completed: sh.counters.completed.load(Ordering::Relaxed),
-            cancelled: sh.counters.cancelled.load(Ordering::Relaxed),
-            failed: sh.counters.failed.load(Ordering::Relaxed),
-            sheds: sh.counters.sheds.load(Ordering::Relaxed),
-            panics: sh.counters.panics.load(Ordering::Relaxed),
-            retries: sh.counters.retries.load(Ordering::Relaxed),
-            queue_deadline_sheds: sh.counters.queue_deadline_sheds.load(Ordering::Relaxed),
-            inflight_bytes: sh.counters.inflight_bytes.load(Ordering::Relaxed),
+            running: m.running.get(),
+            submitted: m.submitted.get(),
+            rejected: m.rejected.get(),
+            completed: m.retired(retire_index(QueryStatus::Done)),
+            cancelled: m.retired(retire_index(QueryStatus::Cancelled)),
+            failed: m.retired(retire_index(QueryStatus::Failed)),
+            sheds: m.overload_sheds.get(),
+            panics: m.retired(retire_index(QueryStatus::Panicked)),
+            retries: m.retries.get(),
+            queue_deadline_sheds: m.retired(retire_index(QueryStatus::Shed)),
+            inflight_bytes: m.inflight_bytes.get(),
             cache_hits,
             cache_misses,
+            cache_evictions,
             cache_len,
+            queue_wait_p50_ns: qw.p50(),
+            queue_wait_p95_ns: qw.p95(),
+            queue_wait_p99_ns: qw.p99(),
+            queue_wait_max_ns: qw.max,
+            run_p50_ns: rt.p50(),
+            run_p95_ns: rt.p95(),
+            run_p99_ns: rt.p99(),
+            run_max_ns: rt.max,
+        }
+    }
+
+    /// The live metrics registry, for out-of-engine recorders (the wire
+    /// front-end counts its requests/bytes/malformed lines here).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// One consistent-enough sample of every exported metric: registry
+    /// folds, cache counters, fault-plan injection counts, and static
+    /// configuration. Feeds both the `metrics` wire op and the
+    /// Prometheus exposition.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let sh = &self.shared;
+        let m = &sh.metrics;
+        let (cache_hits, cache_misses, cache_evictions, cache_entries) = {
+            let c = lock(&sh.cache);
+            (c.hits(), c.misses(), c.evictions(), c.len() as u64)
+        };
+        let fault_injections = FaultPoint::ALL
+            .iter()
+            .map(|&p| {
+                let fired = sh.config.fault.as_ref().map_or(0, |plan| plan.injected(p));
+                (p.name(), fired)
+            })
+            .collect();
+        MetricsSnapshot {
+            epoch: self.current_epoch().unwrap_or(0),
+            workers: self.workers.len() as u64,
+            queue_capacity: sh.config.queue_capacity as u64,
+            queue_depth: m.queue_depth.get(),
+            running: m.running.get(),
+            inflight_bytes: m.inflight_bytes.get(),
+            memory_budget_bytes: m.memory_budget_bytes.get(),
+            submitted: m.submitted.get(),
+            rejected: m.rejected.get(),
+            overload_sheds: m.overload_sheds.get(),
+            retired: std::array::from_fn(|i| m.retired(i)),
+            retries: m.retries.get(),
+            worker_busy_ns: m.worker_busy_ns.get(),
+            worker_idle_ns: m.worker_idle_ns.get(),
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            cache_entries,
+            fault_injections,
+            queue_wait: Query::KIND_NAMES
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| (k, m.queue_wait_snapshot(i)))
+                .collect(),
+            run_time: Query::KIND_NAMES
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| (k, m.run_time_snapshot(i)))
+                .collect(),
+            wire_requests: m.wire_requests.get(),
+            wire_bytes: m.wire_bytes.get(),
+            wire_malformed: m.wire_malformed.get(),
         }
     }
 
@@ -547,6 +689,7 @@ impl Drop for Engine {
 
 fn worker_loop(sh: &Shared) {
     loop {
+        let idle_start = Instant::now();
         let job = {
             let mut q = lock(&sh.queue);
             loop {
@@ -559,7 +702,10 @@ fn worker_loop(sh: &Shared) {
                 q = sh.queue_cv.wait(q).unwrap_or_else(PoisonError::into_inner);
             }
         };
-        sh.counters.running.fetch_add(1, Ordering::Relaxed);
+        sh.metrics.worker_idle_ns.add(idle_start.elapsed().as_nanos() as u64);
+        sh.metrics.queue_depth.sub(1);
+        sh.metrics.running.add(1);
+        let busy_start = Instant::now();
         // `run_job` contains its own unwind boundary around query
         // execution; this outer one is a backstop against scheduler
         // bugs, so a worker can never die and a waiter can never hang
@@ -567,7 +713,6 @@ fn worker_loop(sh: &Shared) {
         if catch_unwind(AssertUnwindSafe(|| run_job(sh, &job))).is_err()
             && !lock(&job.state).status.is_terminal()
         {
-            sh.counters.panics.fetch_add(1, Ordering::Relaxed);
             let err = QueryError::Panicked {
                 point: "scheduler",
                 msg: "worker recovered from an unexpected scheduler panic".to_string(),
@@ -575,18 +720,22 @@ fn worker_loop(sh: &Shared) {
             let span = base_span(&job, 0);
             finalize(sh, &job, span, QueryStatus::Panicked, None, Some(err));
         }
+        sh.metrics.worker_busy_ns.add(busy_start.elapsed().as_nanos() as u64);
     }
 }
 
 fn base_span(job: &Job, queue_wait_ns: u64) -> QuerySpan {
     QuerySpan {
         id: job.id,
+        trace_id: job.trace_id.clone(),
         query: job.query.name().to_string(),
         epoch: job.snapshot.epoch(),
         status: QueryStatus::Running,
         cache_hit: false,
         queue_wait_ns,
+        queue_wait_bucket: 0,
         run_ns: 0,
+        run_bucket: 0,
         rounds: 0,
         events: 0,
         retries: job.retries.load(Ordering::Relaxed),
@@ -609,6 +758,11 @@ enum Executed {
 fn run_job(sh: &Shared, job: &Arc<Job>) {
     let queue_wait_ns = job.submitted.elapsed().as_nanos() as u64;
     let mut span = base_span(job, queue_wait_ns);
+    // Observe queue wait once per query: a fault-retried job comes back
+    // through here with `retries > 0` and would otherwise double-count.
+    if span.retries == 0 {
+        sh.metrics.observe_queue_wait(job.query.kind_index(), queue_wait_ns);
+    }
 
     // Pre-run checks: don't burn a worker on a query that can no longer
     // produce a useful answer. An explicit cancel is reported as
@@ -616,12 +770,10 @@ fn run_job(sh: &Shared, job: &Arc<Job>) {
     // queue is the engine's fault, reported as `Shed` so clients can
     // tell overload from their own cancellations.
     if job.token.cancel_requested() {
-        sh.counters.cancelled.fetch_add(1, Ordering::Relaxed);
         finalize(sh, job, span, QueryStatus::Cancelled, None, None);
         return;
     }
     if job.token.is_cancelled() {
-        sh.counters.queue_deadline_sheds.fetch_add(1, Ordering::Relaxed);
         finalize(sh, job, span, QueryStatus::Shed, None, None);
         return;
     }
@@ -634,7 +786,7 @@ fn run_job(sh: &Shared, job: &Arc<Job>) {
         opts = opts.fault_plan(plan);
     }
 
-    let mut counter = RoundCounter::default();
+    let mut counter = TeeRecorder::new(sh.config.trace_dir.is_some());
     let start = Instant::now();
     // The unwind boundary: everything a query can make panic — the
     // dispatch fault point, the app itself (including injected faults at
@@ -677,22 +829,13 @@ fn run_job(sh: &Shared, job: &Arc<Job>) {
         }
     }));
     span.run_ns = start.elapsed().as_nanos() as u64;
-    span.rounds = counter.edge_map_rounds;
-    span.events = counter.events;
+    span.rounds = counter.counter.edge_map_rounds;
+    span.events = counter.counter.events;
 
     let (status, result, error) = match exec {
-        Ok(Executed::Success(result)) => {
-            sh.counters.completed.fetch_add(1, Ordering::Relaxed);
-            (QueryStatus::Done, Some(result), None)
-        }
-        Ok(Executed::CancelledRun) => {
-            sh.counters.cancelled.fetch_add(1, Ordering::Relaxed);
-            (QueryStatus::Cancelled, None, None)
-        }
-        Ok(Executed::AppError(msg)) => {
-            sh.counters.failed.fetch_add(1, Ordering::Relaxed);
-            (QueryStatus::Failed, None, Some(QueryError::App(msg)))
-        }
+        Ok(Executed::Success(result)) => (QueryStatus::Done, Some(result), None),
+        Ok(Executed::CancelledRun) => (QueryStatus::Cancelled, None, None),
+        Ok(Executed::AppError(msg)) => (QueryStatus::Failed, None, Some(QueryError::App(msg))),
         #[cfg(feature = "fault-inject")]
         Ok(Executed::DispatchFault(e)) => {
             let attempts = job.retries.fetch_add(1, Ordering::Relaxed) + 1;
@@ -700,14 +843,17 @@ fn run_job(sh: &Shared, job: &Arc<Job>) {
                 // Bounded retry: hand the job back to the queue. The
                 // deadline keeps counting from the original submit, so
                 // a retried job can still be shed at its next dequeue.
-                sh.counters.retries.fetch_add(1, Ordering::Relaxed);
+                sh.metrics.retries.incr();
                 job.set_status(QueryStatus::Queued);
-                lock(&sh.queue).push_back(Arc::clone(job));
+                {
+                    let mut q = lock(&sh.queue);
+                    q.push_back(Arc::clone(job));
+                    sh.metrics.queue_depth.add(1);
+                }
                 sh.queue_cv.notify_one();
-                sh.counters.running.fetch_sub(1, Ordering::Relaxed);
+                sh.metrics.running.sub(1);
                 return;
             }
-            sh.counters.failed.fetch_add(1, Ordering::Relaxed);
             (
                 QueryStatus::Failed,
                 None,
@@ -721,21 +867,35 @@ fn run_job(sh: &Shared, job: &Arc<Job>) {
                     // An injected `Error` at a point with no Result
                     // channel (edgemap.round) arrives by unwinding but
                     // is still a typed transient failure, not a panic.
-                    sh.counters.failed.fetch_add(1, Ordering::Relaxed);
                     (QueryStatus::Failed, None, Some(err))
                 }
-                _ => {
-                    sh.counters.panics.fetch_add(1, Ordering::Relaxed);
-                    (QueryStatus::Panicked, None, Some(err))
-                }
+                _ => (QueryStatus::Panicked, None, Some(err)),
             }
         }
     };
+    // The run executed (possibly to a panic or cancellation) — record
+    // its duration. Retried attempts returned above and pre-run
+    // retirees never reach here, so the histogram sees one observation
+    // per executed attempt that retired.
+    sh.metrics.observe_run_time(job.query.kind_index(), span.run_ns);
+    // The kernel-trace join: whatever rounds this run produced —
+    // including a partial trace from a cancelled or panicked run — land
+    // on disk under the query's trace id.
+    if let Some(stats) = counter.trace.take() {
+        if let Some(dir) = &sh.config.trace_dir {
+            if !stats.rounds.is_empty() {
+                if let Err(e) = ligra::save_jsonl(dir, &format!("query-{}", job.trace_id), &stats) {
+                    eprintln!("ligra-engine: kernel trace {e}");
+                }
+            }
+        }
+    }
     span.retries = job.retries.load(Ordering::Relaxed);
     finalize(sh, job, span, status, result, error);
 }
 
-/// Single exit point for terminal jobs: releases the memory-budget
+/// Single exit point for terminal jobs: counts the terminal outcome,
+/// stamps the span's histogram buckets, releases the memory-budget
 /// charge, records the span, and (gauge before notification) drops the
 /// running count before waking waiters, so a waiter that observes the
 /// terminal status also observes the query as no longer running.
@@ -748,9 +908,11 @@ fn finalize(
     error: Option<QueryError>,
 ) {
     span.status = status;
-    sh.counters.inflight_bytes.fetch_sub(job.cost_bytes, Ordering::Relaxed);
+    fill_span_buckets(&mut span);
+    sh.metrics.retire(retire_index(status));
+    sh.metrics.inflight_bytes.sub(job.cost_bytes);
     lock(&sh.spans).push(span.clone());
-    sh.counters.running.fetch_sub(1, Ordering::Relaxed);
+    sh.metrics.running.sub(1);
     job.finish(status, result, error, span);
 }
 
@@ -937,6 +1099,95 @@ mod tests {
         assert_eq!(stats.inflight_bytes, 0);
         assert_eq!(e.spans().len(), 16);
         assert!(e.workers_alive());
+    }
+
+    #[test]
+    fn trace_ids_are_generated_unique_and_sanitized() {
+        let e = engine(1, 8);
+        e.install_graph(Arc::new(grid3d(4)));
+        let h1 = e.submit(Query::Bfs { source: 0 }, None).unwrap();
+        let h2 = e.submit(Query::Bfs { source: 1 }, None).unwrap();
+        assert_eq!(h1.trace_id().len(), 16, "generated ids are 16 hex chars");
+        assert_ne!(h1.trace_id(), h2.trace_id());
+        h1.wait();
+        assert_eq!(h1.span().unwrap().trace_id, h1.trace_id());
+
+        // Client-supplied ids survive verbatim when clean...
+        let h3 = e.submit_traced(Query::Bfs { source: 2 }, None, Some("req-42_A".into())).unwrap();
+        assert_eq!(h3.trace_id(), "req-42_A");
+        // ...and are stripped of anything unsafe for filenames/JSON.
+        let h4 =
+            e.submit_traced(Query::Bfs { source: 3 }, None, Some("../x\"y\nz".into())).unwrap();
+        assert_eq!(h4.trace_id(), "xyz");
+        // An id that sanitizes away entirely falls back to generated.
+        let h5 = e.submit_traced(Query::Bfs { source: 4 }, None, Some("///".into())).unwrap();
+        assert_eq!(h5.trace_id().len(), 16);
+    }
+
+    #[test]
+    fn trace_dir_joins_span_to_kernel_rows() {
+        let dir = std::env::temp_dir().join(format!(
+            "ligra-trace-test-{}-{:x}",
+            std::process::id(),
+            0x7e57u32
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let e = Engine::new(EngineConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 8,
+            trace_dir: Some(dir.clone()),
+            ..EngineConfig::default()
+        });
+        e.install_graph(Arc::new(grid3d(5)));
+        let h = e.submit_traced(Query::Bfs { source: 0 }, None, Some("join-me".into())).unwrap();
+        assert_eq!(h.wait(), QueryStatus::Done);
+        let span = h.span().unwrap();
+        // The span's trace_id names the on-disk kernel trace...
+        let path = dir.join(format!("query-{}.jsonl", span.trace_id));
+        let text = std::fs::read_to_string(&path).expect("kernel trace written");
+        let stats = ligra::from_json_lines(&text).expect("trace re-imports");
+        // ...and its edgeMap rows agree with the span's round count.
+        let edge_rounds =
+            stats.rounds.iter().filter(|r| r.op == ligra::stats::Op::EdgeMap).count() as u64;
+        assert_eq!(edge_rounds, span.rounds, "span rounds must match kernel trace rows");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_snapshot_tracks_the_lifecycle() {
+        let e = engine(2, 8);
+        e.install_graph(Arc::new(grid3d(5)));
+        for i in 0..4 {
+            let h = e.submit(Query::Bfs { source: i }, None).unwrap();
+            assert_eq!(h.wait(), QueryStatus::Done);
+        }
+        // One repeat = a cache hit (still submitted + retired done).
+        let h = e.submit(Query::Bfs { source: 0 }, None).unwrap();
+        assert_eq!(h.wait(), QueryStatus::Done);
+        let m = e.metrics_snapshot();
+        assert_eq!(m.submitted, 5);
+        assert_eq!(m.retired[0], 5, "all five retired done");
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.queue_depth, 0);
+        assert_eq!(m.running, 0);
+        assert_eq!(m.inflight_bytes, 0);
+        // Four executed runs (the cache hit never ran).
+        let rt = m.merged_run_time();
+        assert_eq!(rt.count, 4);
+        assert!(rt.max > 0);
+        let qw = m.merged_queue_wait();
+        assert_eq!(qw.count, 4, "cache hits skip the queue-wait histogram");
+        // Bucket quantiles agree between stats() and the snapshot.
+        let stats = e.stats();
+        assert_eq!(stats.run_p99_ns, rt.p99());
+        assert_eq!(stats.run_max_ns, rt.max);
+        assert!(m.worker_idle_ns > 0, "workers parked at some point");
+        assert!(m.worker_busy_ns > 0);
+        // Every query kind appears in the per-kind tables, in order.
+        let kinds: Vec<&str> = m.run_time.iter().map(|(k, _)| *k).collect();
+        assert_eq!(kinds, Query::KIND_NAMES);
     }
 
     // ----- fault-injection behaviour (compiled only with the feature) -----

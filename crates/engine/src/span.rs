@@ -8,8 +8,9 @@
 //! from the result cache. Export follows the flat-JSONL convention of
 //! `ligra::trace`: one object per line, string and integer fields only.
 
+use crate::metrics::bucket_index;
 use ligra::stats::{Op, RoundStat};
-use ligra::Recorder;
+use ligra::{Recorder, TraversalStats};
 
 /// Terminal (and transient) states of a submitted query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +71,12 @@ impl std::fmt::Display for QueryStatus {
 pub struct QuerySpan {
     /// Engine-assigned query id.
     pub id: u64,
+    /// Correlation id: client-supplied on the wire or engine-generated.
+    /// The same id names the query's on-disk kernel trace
+    /// (`query-<trace_id>.jsonl` under the trace dir), joining this
+    /// span to its per-round edgeMap rows. Restricted to
+    /// `[A-Za-z0-9_-]` so it embeds raw in JSON and file names.
+    pub trace_id: String,
     /// Query name (`bfs`, `pagerank`, ...).
     pub query: String,
     /// Snapshot epoch the query was bound to.
@@ -80,8 +87,15 @@ pub struct QuerySpan {
     pub cache_hit: bool,
     /// Nanoseconds between admission and a worker picking the query up.
     pub queue_wait_ns: u64,
+    /// Metrics-histogram bucket `queue_wait_ns` falls in
+    /// (`metrics::bucket_index`) — lets span consumers aggregate
+    /// exactly like the engine's own histograms without redoing the
+    /// bucket math.
+    pub queue_wait_bucket: u64,
     /// Nanoseconds of execution (0 for cache hits and pre-run cancels).
     pub run_ns: u64,
+    /// Metrics-histogram bucket `run_ns` falls in.
+    pub run_bucket: u64,
     /// edgeMap rounds executed before completion or cancellation.
     pub rounds: u64,
     /// All recorded telemetry events (edgeMap + vertexMap/filter).
@@ -105,19 +119,31 @@ pub fn spans_to_json_lines(spans: &[QuerySpan]) -> String {
 /// One span as a single flat JSON object (no trailing newline).
 pub fn span_to_json(s: &QuerySpan) -> String {
     format!(
-        "{{\"id\":{},\"query\":\"{}\",\"epoch\":{},\"status\":\"{}\",\"cache_hit\":{},\
-         \"queue_wait_ns\":{},\"run_ns\":{},\"rounds\":{},\"events\":{},\"retries\":{}}}",
+        "{{\"id\":{},\"trace_id\":\"{}\",\"query\":\"{}\",\"epoch\":{},\"status\":\"{}\",\
+         \"cache_hit\":{},\"queue_wait_ns\":{},\"queue_wait_bucket\":{},\"run_ns\":{},\
+         \"run_bucket\":{},\"rounds\":{},\"events\":{},\"retries\":{}}}",
         s.id,
+        s.trace_id,
         s.query,
         s.epoch,
         s.status,
         s.cache_hit,
         s.queue_wait_ns,
+        s.queue_wait_bucket,
         s.run_ns,
+        s.run_bucket,
         s.rounds,
         s.events,
         s.retries
     )
+}
+
+/// Stamps the bucket fields from the span's own `_ns` fields, keeping
+/// them consistent with the engine's histogram bucketing by
+/// construction.
+pub fn fill_span_buckets(s: &mut QuerySpan) {
+    s.queue_wait_bucket = bucket_index(s.queue_wait_ns) as u64;
+    s.run_bucket = bucket_index(s.run_ns) as u64;
 }
 
 /// A [`Recorder`] that counts rounds instead of storing them: the engine
@@ -144,6 +170,43 @@ impl Recorder for RoundCounter {
     }
 }
 
+/// A [`Recorder`] that always keeps the engine's O(1) round counts and
+/// — when the trace join is enabled — also accumulates the full
+/// per-round [`TraversalStats`], so the scheduler can write the
+/// query's kernel trace to disk under its `trace_id` without paying
+/// for full traces on runs nobody asked to trace.
+#[derive(Debug, Default)]
+pub struct TeeRecorder {
+    /// The cheap always-on counts that feed the span.
+    pub counter: RoundCounter,
+    /// Full per-round rows, present only when tracing was requested.
+    pub trace: Option<TraversalStats>,
+}
+
+impl TeeRecorder {
+    /// A recorder that counts rounds; with `trace_rows` it also keeps
+    /// every row for the on-disk kernel-trace join.
+    pub fn new(trace_rows: bool) -> Self {
+        TeeRecorder {
+            counter: RoundCounter::default(),
+            trace: trace_rows.then(TraversalStats::new),
+        }
+    }
+}
+
+impl Recorder for TeeRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, round: RoundStat) {
+        self.counter.record(round);
+        if let Some(t) = &mut self.trace {
+            t.record(round);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,23 +225,47 @@ mod tests {
 
     #[test]
     fn span_json_is_one_flat_line() {
-        let s = QuerySpan {
+        let mut s = QuerySpan {
             id: 7,
+            trace_id: "abc-123".into(),
             query: "bfs".into(),
             epoch: 2,
             status: QueryStatus::Cancelled,
             cache_hit: false,
             queue_wait_ns: 10,
+            queue_wait_bucket: 0,
             run_ns: 20,
+            run_bucket: 0,
             rounds: 3,
             events: 9,
             retries: 1,
         };
+        fill_span_buckets(&mut s);
         let line = span_to_json(&s);
         assert!(!line.contains('\n'));
+        assert!(line.contains("\"trace_id\":\"abc-123\""));
         assert!(line.contains("\"status\":\"cancelled\""));
         assert!(line.contains("\"rounds\":3"));
         assert!(line.contains("\"retries\":1"));
+        // Buckets are derived from the _ns fields by the shared bucket math.
+        assert!(line.contains(&format!("\"queue_wait_bucket\":{}", bucket_index(10))));
+        assert!(line.contains(&format!("\"run_bucket\":{}", bucket_index(20))));
+    }
+
+    #[test]
+    fn tee_recorder_counts_and_optionally_traces() {
+        let g = path(6);
+        let mut plain = TeeRecorder::new(false);
+        let _ = bfs_traced(&g, 0, EdgeMapOptions::new(), &mut plain);
+        assert!(plain.trace.is_none());
+        assert!(plain.counter.edge_map_rounds > 0);
+
+        let mut traced = TeeRecorder::new(true);
+        let _ = bfs_traced(&g, 0, EdgeMapOptions::new(), &mut traced);
+        assert_eq!(traced.counter.edge_map_rounds, plain.counter.edge_map_rounds);
+        let rows = traced.trace.expect("trace rows requested");
+        let edge_rounds = rows.rounds.iter().filter(|r| r.op == Op::EdgeMap).count() as u64;
+        assert_eq!(edge_rounds, traced.counter.edge_map_rounds);
     }
 
     #[test]

@@ -23,8 +23,12 @@
 /// * `apps` — relaxed single-owner dense writes (documented in each app)
 ///   plus acquire/release RMWs (`fetch_or`, `fetch_update`) where an edge
 ///   function claims through its own atomic rather than `parallel`'s.
-/// * `engine` — relaxed stat counters and the release-store/acquire-load
-///   pair on the scheduler shutdown flag.
+/// * `engine` — relaxed stat counters, the release-store/acquire-load
+///   pair on the scheduler shutdown flag, and the metrics module's
+///   striped counters/histograms: per-event increments are relaxed by
+///   design (each snapshot read tolerates mid-flight adds; nothing is
+///   published through them), with the gauge clamp CAS covered by
+///   [`CAS_RELAXED_SUCCESS_FILES`].
 /// * `bench`, `examples`, `tests` — relaxed instrumentation counters only.
 /// * `lint` — no atomics at all.
 pub const ORDERING_WHITELIST: &[(&str, &[&str])] = &[
@@ -76,6 +80,17 @@ pub const CAS_SUCCESS_ALLOWED: &[&str] = &["AcqRel", "Acquire"];
 /// Orderings a CAS failure slot may use: a failed claim only observes,
 /// never publishes.
 pub const CAS_FAILURE_ALLOWED: &[&str] = &["Acquire", "Relaxed"];
+
+/// Files where a CAS success slot may additionally be `Relaxed`. The
+/// claim discipline above assumes the CAS winner publishes data the
+/// loser will read through the claimed cell; the serving-tier metrics
+/// module is the one place that is not true — its gauge `sub` CASes
+/// purely to clamp a standalone counter at zero, every reader tolerates
+/// arbitrary interleaving by design, and no payload hangs off the cell.
+/// Extending this list to a file that hands data through its CAS would
+/// reintroduce the races L2 exists to catch, so it stays per-file, not
+/// per-crate.
+pub const CAS_RELAXED_SUCCESS_FILES: &[&str] = &["crates/engine/src/metrics/mod.rs"];
 
 /// Returns the orderings `crate_name` may use, or `None` for an unknown
 /// crate (which L2 reports as its own violation so the table stays in

@@ -463,7 +463,9 @@ fn rule_l2_cas_discipline(ctx: &FileCtx, out: &mut Vec<Diag>) {
         // slots are (set_order, fetch_order) — same discipline: the write
         // side publishes, the read side observes.
         let (success, failure) = (orderings[0], orderings[1]);
-        if !config::CAS_SUCCESS_ALLOWED.contains(&success) {
+        let relaxed_ok = success == "Relaxed"
+            && config::CAS_RELAXED_SUCCESS_FILES.iter().any(|f| ctx.path.ends_with(f));
+        if !config::CAS_SUCCESS_ALLOWED.contains(&success) && !relaxed_ok {
             ctx.diag(
                 out,
                 RuleId::L2,

@@ -7,20 +7,27 @@
 #   * resubmitting it on the same epoch is a visible cache hit,
 #   * a query with an already-expired deadline (deadline_ms = 0) is shed at
 #     dequeue without executing a single edgeMap round,
-#   * the stats counters agree with all of the above.
+#   * the stats counters agree with all of the above,
+#   * the --metrics-addr Prometheus endpoint serves the pinned families
+#     mid-run, with counters that are monotone across scrapes and agree
+#     with the session the smoke just drove (scrapes land in
+#     $LIGRA_SMOKE_ARTIFACTS for upload).
 #
 # Usage: scripts/serve_smoke.sh [path-to-ligra-serve]
 set -euo pipefail
 
 BIN="${1:-./target/release/ligra-serve}"
 ADDR="${LIGRA_SMOKE_ADDR:-127.0.0.1:17421}"
+MADDR="${LIGRA_SMOKE_METRICS_ADDR:-127.0.0.1:17422}"
+ART="${LIGRA_SMOKE_ARTIFACTS:-target/smoke-artifacts}"
+mkdir -p "$ART"
 
 if [[ ! -x "$BIN" ]]; then
     echo "serve_smoke: $BIN not found (build with: cargo build --release -p ligra-engine)" >&2
     exit 1
 fi
 
-"$BIN" --listen "$ADDR" --workers 2 &
+"$BIN" --listen "$ADDR" --workers 2 --metrics-addr "$MADDR" &
 SERVER_PID=$!
 cleanup() { kill "$SERVER_PID" 2>/dev/null || true; }
 trap cleanup EXIT
@@ -35,6 +42,23 @@ for _ in $(seq 1 100); do
     sleep 0.1
 done
 [[ "$up" == 1 ]] || { echo "serve_smoke: server never came up on $ADDR" >&2; exit 1; }
+
+# Scrape the Prometheus endpoint over raw TCP (no curl in minimal CI
+# images): send an HTTP/1.0 GET, strip the response head, keep the body.
+scrape() { # scrape <out-file>
+    exec 3<>"/dev/tcp/${MADDR%:*}/${MADDR#*:}" \
+        || { echo "serve_smoke: FAIL — metrics endpoint $MADDR unreachable" >&2; exit 1; }
+    printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+    tr -d '\r' <&3 | sed '1,/^$/d' > "$1"
+    exec 3<&- 3>&-
+}
+metric() { # metric <file> <exposition-line-prefix> -> value
+    awk -v p="$2" 'index($0, p) == 1 { print $NF }' "$1"
+}
+
+# First scrape before the session: the endpoint must be live mid-run,
+# not only at shutdown.
+scrape "$ART/metrics-before.txt"
 
 OUT=$("$BIN" --client "$ADDR" <<'EOF'
 {"op":"gen","family":"rmat","log_n":12}
@@ -73,6 +97,42 @@ expect 8 '"rounds":0,'                       "span shows zero rounds"
 expect 9 '"cache_hits":1'                    "stats count the hit"
 expect 9 '"queue_deadline_sheds":1'          "stats count the deadline shed"
 expect 9 '"completed":2'                     "stats count the completions"
+
+# Second scrape, mid-run after the session: the pinned families must all
+# be present and the counters must agree with the session just driven.
+scrape "$ART/metrics-after.txt"
+for fam in ligra_epoch ligra_queue_depth ligra_running_queries \
+    ligra_queries_submitted_total ligra_queries_retired_total \
+    ligra_overload_sheds_total ligra_cache_hits_total \
+    ligra_fault_injections_total ligra_wire_requests_total \
+    ligra_wire_malformed_total ligra_queue_wait_ns ligra_run_time_ns; do
+    if ! grep -q "^# TYPE $fam " "$ART/metrics-after.txt"; then
+        echo "serve_smoke: FAIL — family $fam missing from scrape" >&2
+        exit 1
+    fi
+done
+mexpect() { # mexpect <exposition-line-prefix> <value> <label>
+    got=$(metric "$ART/metrics-after.txt" "$1")
+    if [[ "$got" != "$2" ]]; then
+        echo "serve_smoke: FAIL [$3] — scrape has '$1' = '$got', want $2" >&2
+        exit 1
+    fi
+}
+mexpect 'ligra_queries_submitted_total ' 3          "scrape counts the submits"
+mexpect 'ligra_queries_retired_total{status="done"} ' 2 "scrape counts the completions"
+mexpect 'ligra_queries_retired_total{status="shed"} ' 1 "scrape counts the deadline shed"
+mexpect 'ligra_cache_hits_total ' 1                 "scrape counts the cache hit"
+
+# Counters are monotone: the session strictly grew the wire counters
+# between the two scrapes.
+for ctr in ligra_wire_requests_total ligra_wire_bytes_total; do
+    before=$(metric "$ART/metrics-before.txt" "$ctr ")
+    after=$(metric "$ART/metrics-after.txt" "$ctr ")
+    if (( after <= before )); then
+        echo "serve_smoke: FAIL — $ctr not monotone across scrapes ($before -> $after)" >&2
+        exit 1
+    fi
+done
 
 # Clean shutdown path: the server acknowledges, then exits.
 printf '{"op":"shutdown"}\n' | "$BIN" --client "$ADDR" | grep -q '"shutting-down"'

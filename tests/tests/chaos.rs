@@ -216,3 +216,50 @@ fn periodic_faults_under_load_leave_the_engine_consistent() {
         assert_eq!(stats.inflight_bytes, 0, "seed {seed}");
     }
 }
+
+#[test]
+fn metrics_stay_truthful_under_armed_faults() {
+    // The observability acceptance probe: under a chaos run the metrics
+    // registry must show the faults (injection and panic counters
+    // nonzero), its quantiles must be the bucket math applied to its own
+    // histograms, and the Prometheus rendering must carry the same
+    // numbers a scrape would alert on.
+    let plan = FaultPlan::seeded(5).arm_every(FaultPoint::EdgemapRound, FaultAction::Panic, 5);
+    let engine = engine_with(plan, 2);
+    let handles: Vec<_> =
+        (0..24).filter_map(|i| engine.submit(distinct_query(i % 12), None).ok()).collect();
+    for h in &handles {
+        assert!(h.wait().is_terminal());
+    }
+
+    let snap = engine.metrics_snapshot();
+    let injected: u64 = snap.fault_injections.iter().map(|&(_, n)| n).sum();
+    assert!(injected >= 1, "armed fault never surfaced in the injection counters");
+    let panicked = snap.retired[3]; // RETIRE_STATUSES order: done, cancelled, failed, panicked, shed
+    assert!(panicked >= 1, "contained panics not visible in retired{{status=panicked}}");
+    assert_eq!(snap.retired.iter().sum::<u64>(), handles.len() as u64);
+
+    // stats() quantiles are derived from the same histograms the
+    // snapshot exposes — bucket math must agree exactly.
+    let stats = engine.stats();
+    let run = snap.merged_run_time();
+    assert_eq!(stats.run_p50_ns, run.p50());
+    assert_eq!(stats.run_p99_ns, run.p99());
+    assert_eq!(stats.run_max_ns, run.max);
+    let wait = snap.merged_queue_wait();
+    assert_eq!(stats.queue_wait_p95_ns, wait.p95());
+    // A quantile is a bucket upper bound clamped by the observed max, so
+    // it can never exceed the true maximum.
+    assert!(run.p99() <= run.max);
+
+    // And the scrape tells the same story in the pinned vocabulary.
+    let text = ligra_engine::metrics::render(&snap);
+    assert!(text
+        .lines()
+        .any(|l| l.starts_with("ligra_fault_injections_total{point=\"edgemap.round\"}")
+            && !l.ends_with(" 0")));
+    assert!(
+        text.contains(&format!("ligra_queries_retired_total{{status=\"panicked\"}} {panicked}\n"))
+    );
+    assert!(engine.workers_alive());
+}

@@ -160,3 +160,42 @@ fn concurrent_client_mix_completes_with_consistent_stats() {
     assert!(stats.cache_hits > 0);
     assert_eq!(engine.spans().len(), 48);
 }
+
+#[test]
+fn trace_id_joins_span_to_kernel_trace_on_disk() {
+    // The observability contract end to end: a client-supplied trace_id
+    // flows wire -> span -> on-disk kernel trace, so one id resolves
+    // both the engine-level span and the per-round edgeMap rows it
+    // summarizes.
+    let dir = std::env::temp_dir().join(format!("ligra-join-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        trace_dir: Some(dir.clone()),
+        ..EngineConfig::default()
+    });
+    engine.install_graph(Arc::new(rmat(&RmatOptions::paper(9))));
+    let h = engine.submit_traced(Query::Bfs { source: 0 }, None, Some("it-join-7".into())).unwrap();
+    assert_eq!(h.trace_id(), "it-join-7");
+    assert_eq!(h.wait(), QueryStatus::Done);
+
+    // Resolve the span by trace_id from the exported JSONL...
+    let spans = engine.spans();
+    let span = spans.iter().find(|s| s.trace_id == "it-join-7").expect("span by trace_id");
+    let line = ligra_engine::spans_to_json_lines(&spans);
+    assert!(line.contains("\"trace_id\":\"it-join-7\""));
+
+    // ...then the kernel trace by the same id, and check the join: the
+    // trace's edgeMap rows are exactly the rounds the span counted, and
+    // the rows' work sums are real.
+    let path = dir.join("query-it-join-7.jsonl");
+    let text = std::fs::read_to_string(&path).expect("kernel trace written");
+    let stats = ligra::from_json_lines(&text).expect("kernel trace parses");
+    let edge_rounds = stats.rounds.iter().filter(|r| r.op == ligra::Op::EdgeMap).count() as u64;
+    assert_eq!(edge_rounds, span.rounds, "span round count joins to trace rows");
+    assert_eq!(stats.rounds.len() as u64, span.events);
+    assert!(stats.rounds.iter().all(|r| r.time_ns > 0));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -166,16 +166,114 @@ fn engine_span_jsonl_keys_are_a_closed_vocabulary() {
         keys,
         [
             "id",
+            "trace_id",
             "query",
             "epoch",
             "status",
             "cache_hit",
             "queue_wait_ns",
+            "queue_wait_bucket",
             "run_ns",
+            "run_bucket",
             "rounds",
             "events",
             "retries"
         ],
         "span JSONL schema changed: {line}"
     );
+}
+
+#[test]
+fn prometheus_families_are_a_closed_vocabulary() {
+    // Pin the scrape vocabulary verbatim: dashboards and alert rules key
+    // on exact family names, types, and label keys. Adding, renaming, or
+    // relabeling a family is an observability-contract change and must
+    // update this list, DESIGN.md §12, and the README scrape example.
+    use ligra_engine::metrics::FAMILIES;
+
+    let expected: &[(&str, &str, &[&str])] = &[
+        ("ligra_epoch", "gauge", &[]),
+        ("ligra_workers", "gauge", &[]),
+        ("ligra_queue_capacity", "gauge", &[]),
+        ("ligra_queue_depth", "gauge", &[]),
+        ("ligra_running_queries", "gauge", &[]),
+        ("ligra_inflight_bytes", "gauge", &[]),
+        ("ligra_memory_budget_bytes", "gauge", &[]),
+        ("ligra_cache_entries", "gauge", &[]),
+        ("ligra_queries_submitted_total", "counter", &[]),
+        ("ligra_queries_rejected_total", "counter", &[]),
+        ("ligra_queries_retired_total", "counter", &["status"]),
+        ("ligra_overload_sheds_total", "counter", &[]),
+        ("ligra_dispatch_retries_total", "counter", &[]),
+        ("ligra_worker_busy_ns_total", "counter", &[]),
+        ("ligra_worker_idle_ns_total", "counter", &[]),
+        ("ligra_cache_hits_total", "counter", &[]),
+        ("ligra_cache_misses_total", "counter", &[]),
+        ("ligra_cache_evictions_total", "counter", &[]),
+        ("ligra_fault_injections_total", "counter", &["point"]),
+        ("ligra_wire_requests_total", "counter", &[]),
+        ("ligra_wire_bytes_total", "counter", &[]),
+        ("ligra_wire_malformed_total", "counter", &[]),
+        ("ligra_queue_wait_ns", "histogram", &["query"]),
+        ("ligra_run_time_ns", "histogram", &["query"]),
+    ];
+    let actual: Vec<(&str, &str, &[&str])> =
+        FAMILIES.iter().map(|&(name, typ, labels, _help)| (name, typ, labels)).collect();
+    assert_eq!(actual, expected, "Prometheus family vocabulary changed");
+    for (name, typ, _, help) in FAMILIES {
+        assert!(name.starts_with("ligra_"), "{name}: families share the ligra_ namespace");
+        assert!(matches!(*typ, "gauge" | "counter" | "histogram"), "{name}: bad type {typ}");
+        assert!(!help.is_empty(), "{name}: HELP text is mandatory");
+        assert_eq!(
+            name.ends_with("_total"),
+            *typ == "counter",
+            "{name}: counters and only counters end in _total"
+        );
+    }
+}
+
+#[test]
+fn prometheus_exposition_reflects_engine_activity() {
+    // A scrape taken after real queries must agree with the engine's own
+    // snapshot: counter lines carry the snapshot values, and histogram
+    // _count/_sum match the bucket math the quantiles are derived from.
+    use ligra_engine::metrics::render;
+    use ligra_engine::{Engine, EngineConfig, Query, QueryStatus};
+    use std::sync::Arc;
+
+    let engine = Engine::new(EngineConfig::default());
+    engine.install_graph(Arc::new(grid3d(4)));
+    for source in [0, 1, 2, 0] {
+        let h = engine.submit(Query::Bfs { source }, None).expect("submit");
+        assert_eq!(h.wait(), QueryStatus::Done);
+    }
+
+    let snap = engine.metrics_snapshot();
+    let text = render(&snap);
+    let line = |needle: &str| {
+        text.lines().find(|l| l.starts_with(needle)).unwrap_or_else(|| {
+            panic!("scrape is missing a {needle:?} line:\n{text}");
+        })
+    };
+    assert_eq!(line("ligra_queries_submitted_total "), "ligra_queries_submitted_total 4");
+    assert_eq!(
+        line("ligra_queries_retired_total{status=\"done\"}"),
+        "ligra_queries_retired_total{status=\"done\"} 4"
+    );
+    assert_eq!(line("ligra_cache_hits_total "), "ligra_cache_hits_total 1");
+    let (_, wait) =
+        snap.queue_wait.iter().find(|(kind, _)| *kind == "bfs").expect("bfs queue-wait histogram");
+    assert_eq!(
+        line("ligra_queue_wait_ns_count{query=\"bfs\"}"),
+        format!("ligra_queue_wait_ns_count{{query=\"bfs\"}} {}", wait.count)
+    );
+    assert_eq!(
+        line("ligra_queue_wait_ns_sum{query=\"bfs\"}"),
+        format!("ligra_queue_wait_ns_sum{{query=\"bfs\"}} {}", wait.sum)
+    );
+    // The +Inf bucket is mandatory and cumulative: it equals _count.
+    assert!(text.contains(&format!(
+        "ligra_queue_wait_ns_bucket{{query=\"bfs\",le=\"+Inf\"}} {}\n",
+        wait.count
+    )));
 }
