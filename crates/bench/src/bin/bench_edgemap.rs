@@ -3,16 +3,23 @@
 //! streamed (the `frontier_bytes` telemetry column).
 //!
 //! A BFS round sweep over the paper's rMat input, once per policy
-//! (auto, sparse, dense, dense-forward — set `LIGRA_TRAVERSAL` to
-//! restrict the sweep to one of them). For every
+//! (auto, sparse, dense, dense-forward, partitioned — `--policy NAME`
+//! or `LIGRA_TRAVERSAL` restricts the sweep to one of them). For every
 //! recorded round the binary re-checks the representation contract:
 //! sparse push rounds report exactly `4 * (|U| + |output|)` bytes (the
-//! output vector is exact-size — no sentinel slots), dense rounds report
-//! the packed `n/8`-byte bitset once in and once out. Per-mode medians
-//! and totals go to stdout and to a machine-readable JSON file
-//! (`BENCH_edgemap.json` by default) for CI artifact upload.
+//! output vector is exact-size — no sentinel slots), dense and
+//! partitioned rounds report the packed `n/8`-byte bitset once in and
+//! once out (partitioned rounds additionally report the bin traffic in
+//! the `scatter_bytes` column). Per-mode medians and totals go to stdout
+//! and to a machine-readable JSON file (`BENCH_edgemap.json` by default)
+//! for CI artifact upload.
 //!
-//! Usage: `bench_edgemap [--quick] [--out PATH]`
+//! The `threads` field of the JSON comes from the runtime pool probe
+//! (`pool_is_parallel`), not from configured pool size: a file produced
+//! under the sequential offline rayon stub says `"parallel_pool": false`
+//! and its timings must not be read as parallel numbers.
+//!
+//! Usage: `bench_edgemap [--quick] [--policy NAME] [--out PATH]`
 //!
 //! With `LIGRA_RACE_CHECK=1` (and a binary built with
 //! `--features race-check`) every recorded sweep also runs under the
@@ -25,9 +32,12 @@ use ligra_apps as apps;
 use ligra_graph::generators::rmat;
 use ligra_graph::generators::rmat::RmatOptions;
 
-/// The policies to sweep: all of them, unless `LIGRA_TRAVERSAL` pins one.
-fn policies() -> Vec<Traversal> {
-    if std::env::var_os("LIGRA_TRAVERSAL").is_some() {
+/// The policies to sweep: all of them, unless `--policy` (strongest) or
+/// `LIGRA_TRAVERSAL` pins one.
+fn policies(cli_policy: Option<&str>) -> Vec<Traversal> {
+    if let Some(name) = cli_policy {
+        vec![name.parse().unwrap_or_else(|e| panic!("--policy: {e}"))]
+    } else if std::env::var_os("LIGRA_TRAVERSAL").is_some() {
         vec![ligra_bench::traversal_from_env()]
     } else {
         Traversal::ALL.to_vec()
@@ -41,6 +51,7 @@ struct ModeRow {
     total_edge_map_ns: u64,
     frontier_bytes: u64,
     edges_scanned: u64,
+    scatter_bytes: u64,
 }
 
 fn median(mut xs: Vec<u64>) -> u64 {
@@ -83,7 +94,18 @@ fn sweep(
                 assert_eq!(r.frontier_bytes, 4 * (r.frontier_vertices + r.output_vertices))
             }
             // Packed bitset streamed in and (BFS keeps output on) out.
-            Mode::Dense | Mode::DenseForward => assert_eq!(r.frontier_bytes, 2 * packed),
+            // Partitioned rounds report bin traffic separately in
+            // `scatter_bytes`, checked below.
+            Mode::Dense | Mode::DenseForward | Mode::Partitioned => {
+                assert_eq!(r.frontier_bytes, 2 * packed)
+            }
+        }
+        if r.mode == Mode::Partitioned {
+            assert!(r.partitions > 0, "partitioned round must report its partition count");
+            // 8 bytes per (src, dst) bin entry on an unweighted graph.
+            assert_eq!(r.scatter_bytes, 8 * r.edges_scanned);
+        } else {
+            assert_eq!(r.scatter_bytes, 0, "classic rounds scatter nothing");
         }
     }
 
@@ -94,10 +116,17 @@ fn sweep(
         total_edge_map_ns: rounds.iter().map(|r| r.time_ns).sum(),
         frontier_bytes: rounds.iter().map(|r| r.frontier_bytes).sum(),
         edges_scanned: rounds.iter().map(|r| r.edges_scanned).sum(),
+        scatter_bytes: rounds.iter().map(|r| r.scatter_bytes).sum(),
     }
 }
 
-fn to_json(log_n: u32, g: &ligra_graph::Graph, quick: bool, rows: &[ModeRow]) -> String {
+fn to_json(
+    log_n: u32,
+    g: &ligra_graph::Graph,
+    quick: bool,
+    parallel_pool: bool,
+    rows: &[ModeRow],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!(
@@ -107,18 +136,25 @@ fn to_json(log_n: u32, g: &ligra_graph::Graph, quick: bool, rows: &[ModeRow]) ->
         g.num_edges()
     ));
     s.push_str(&format!("  \"quick\": {quick},\n"));
-    s.push_str(&format!("  \"threads\": {},\n", ligra_parallel::utils::num_threads()));
+    // `threads` is what the probe saw actually running, not the
+    // configured pool size: under the sequential offline stub the
+    // configured size is a lie and the honest thread count is 1.
+    let threads = if parallel_pool { ligra_parallel::utils::num_threads() } else { 1 };
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!("  \"parallel_pool\": {parallel_pool},\n"));
     s.push_str("  \"modes\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"policy\": \"{}\", \"rounds\": {}, \"median_round_ns\": {}, \
-             \"total_edge_map_ns\": {}, \"frontier_bytes\": {}, \"edges_scanned\": {}}}{}\n",
+             \"total_edge_map_ns\": {}, \"frontier_bytes\": {}, \"edges_scanned\": {}, \
+             \"scatter_bytes\": {}}}{}\n",
             r.policy,
             r.rounds,
             r.median_round_ns,
             r.total_edge_map_ns,
             r.frontier_bytes,
             r.edges_scanned,
+            r.scatter_bytes,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -135,6 +171,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_edgemap.json".to_string());
+    let cli_policy = args.iter().position(|a| a == "--policy").and_then(|i| args.get(i + 1));
 
     // Quick mode: ~2^20 edges (CI smoke). Full mode: the paper-shaped
     // rMat at 2^20 vertices.
@@ -147,14 +184,30 @@ fn main() {
         g.num_edges(),
         quick
     );
+
+    // Probe once whether the pool actually fans work out. The offline
+    // sandbox patches in a sequential rayon stand-in whose configured
+    // size is meaningless; numbers produced under it are not parallel
+    // measurements and the JSON says so.
+    let parallel_pool =
+        ligra_parallel::utils::pool_is_parallel(ligra_parallel::utils::num_threads());
+    if !parallel_pool {
+        eprintln!(
+            "bench_edgemap: WARNING — thread pool is sequential (offline rayon stub or a \
+             single-core box); timings below are single-thread numbers and the JSON is \
+             marked \"parallel_pool\": false."
+        );
+    }
+
     println!(
-        "{:<12} {:>7} {:>16} {:>16} {:>16} {:>14}",
+        "{:<12} {:>7} {:>16} {:>16} {:>16} {:>14} {:>14}",
         "policy",
         "rounds",
         "median round ns",
         "edgeMap total ns",
         "frontier bytes",
-        "edges scanned"
+        "edges scanned",
+        "scatter bytes"
     );
 
     // LIGRA_RACE_CHECK=1: certify each sweep under the BFS Claim
@@ -170,19 +223,20 @@ fn main() {
     }
 
     let mut rows = Vec::new();
-    for t in policies() {
+    for t in policies(cli_policy.map(String::as_str)) {
         // Warm the traversal (page-in, pool spin-up) before the recorded run.
         let _ = apps::bfs_with(&g, 0, EdgeMapOptions::new().traversal(t));
         let oracle = race_check.then(|| RaceOracle::new(g.num_vertices(), WinContract::Claim));
         let row = sweep(&g, 0, t.name(), t, oracle.as_ref());
         println!(
-            "{:<12} {:>7} {:>16} {:>16} {:>16} {:>14}",
+            "{:<12} {:>7} {:>16} {:>16} {:>16} {:>14} {:>14}",
             row.policy,
             row.rounds,
             row.median_round_ns,
             row.total_edge_map_ns,
             row.frontier_bytes,
-            row.edges_scanned
+            row.edges_scanned,
+            row.scatter_bytes
         );
         if let Some(o) = &oracle {
             let report = o
@@ -200,8 +254,11 @@ fn main() {
         rows.push(row);
     }
 
-    let json = to_json(log_n, &g, quick, &rows);
+    let json = to_json(log_n, &g, quick, parallel_pool, &rows);
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("\nwrote {out_path}");
-    println!("contract checked: sparse rounds = 4*(|U|+|out|) bytes, dense rounds = 2*(n/8) bytes");
+    println!(
+        "contract checked: sparse rounds = 4*(|U|+|out|) bytes, dense/partitioned rounds = \
+         2*(n/8) bytes, partitioned scatter = 8 bytes/edge"
+    );
 }

@@ -29,6 +29,9 @@ pub enum Mode {
     Dense,
     /// Push over the dense frontier (no transpose needed).
     DenseForward,
+    /// Cache-aware scatter/gather: push updates into per-partition bins,
+    /// then drain each bin with partition-exclusive writes.
+    Partitioned,
 }
 
 impl std::fmt::Display for Mode {
@@ -37,6 +40,7 @@ impl std::fmt::Display for Mode {
             Mode::Sparse => write!(f, "sparse"),
             Mode::Dense => write!(f, "dense"),
             Mode::DenseForward => write!(f, "dense-fwd"),
+            Mode::Partitioned => write!(f, "partitioned"),
         }
     }
 }
@@ -48,6 +52,7 @@ impl std::str::FromStr for Mode {
             "sparse" => Ok(Mode::Sparse),
             "dense" => Ok(Mode::Dense),
             "dense-fwd" => Ok(Mode::DenseForward),
+            "partitioned" => Ok(Mode::Partitioned),
             other => Err(format!("unknown mode {other:?}")),
         }
     }
@@ -169,6 +174,16 @@ pub struct RoundStat {
     /// In-edges *not* read in dense-pull rounds because `cond` failed at or
     /// during the target's scan (the early-exit saving; 0 for push modes).
     pub edges_skipped: u64,
+    /// Cache-fitting vertex partitions the graph was segmented into for a
+    /// partitioned round (0 for the classic traversals).
+    pub partitions: u64,
+    /// Scatter-phase bin fragments stitched during a partitioned round —
+    /// one per (source chunk, destination partition) pair that received at
+    /// least one update (0 for the classic traversals).
+    pub bins_flushed: u64,
+    /// Bytes of `(dst, payload)` update entries the scatter phase wrote
+    /// into partition bins (0 for the classic traversals).
+    pub scatter_bytes: u64,
 }
 
 impl RoundStat {
@@ -196,6 +211,9 @@ impl RoundStat {
             cas_wins: 0,
             edges_scanned: 0,
             edges_skipped: 0,
+            partitions: 0,
+            bins_flushed: 0,
+            scatter_bytes: 0,
         }
     }
 }
@@ -266,19 +284,21 @@ impl TraversalStats {
     }
 
     /// `edgeMap` rounds that ran in each mode:
-    /// `(sparse, dense, dense_forward)`.
-    pub fn mode_counts(&self) -> (usize, usize, usize) {
+    /// `(sparse, dense, dense_forward, partitioned)`.
+    pub fn mode_counts(&self) -> (usize, usize, usize, usize) {
         let mut s = 0;
         let mut d = 0;
         let mut f = 0;
+        let mut p = 0;
         for r in self.edge_map_rounds() {
             match r.mode {
                 Mode::Sparse => s += 1,
                 Mode::Dense => d += 1,
                 Mode::DenseForward => f += 1,
+                Mode::Partitioned => p += 1,
             }
         }
-        (s, d, f)
+        (s, d, f, p)
     }
 
     /// Total edges incident to all frontiers (the work the traversal
@@ -339,6 +359,9 @@ mod tests {
             cas_wins: out,
             edges_scanned: 10,
             edges_skipped: 0,
+            partitions: 0,
+            bins_flushed: 0,
+            scatter_bytes: 0,
         }
     }
 
@@ -348,10 +371,11 @@ mod tests {
         for (mode, out) in [(Mode::Sparse, 2), (Mode::Dense, 100), (Mode::Sparse, 1)] {
             t.rounds.push(round(mode, out));
         }
+        t.rounds.push(round(Mode::Partitioned, 5));
         t.rounds.push(RoundStat::vertex_op(Op::VertexMap, 7, ReprKind::Dense, 7));
-        assert_eq!(t.num_rounds(), 4);
-        assert_eq!(t.mode_counts(), (2, 1, 0), "vertex ops must not count as modes");
-        assert_eq!(t.total_frontier_edges(), 30);
+        assert_eq!(t.num_rounds(), 5);
+        assert_eq!(t.mode_counts(), (2, 1, 0, 1), "vertex ops must not count as modes");
+        assert_eq!(t.total_frontier_edges(), 40);
     }
 
     #[test]
@@ -359,13 +383,14 @@ mod tests {
         assert_eq!(Mode::Sparse.to_string(), "sparse");
         assert_eq!(Mode::Dense.to_string(), "dense");
         assert_eq!(Mode::DenseForward.to_string(), "dense-fwd");
+        assert_eq!(Mode::Partitioned.to_string(), "partitioned");
         assert_eq!(Op::EdgeMap.to_string(), "edge_map");
         assert_eq!(ReprKind::Dense.to_string(), "dense");
     }
 
     #[test]
     fn enum_round_trips_through_strings() {
-        for m in [Mode::Sparse, Mode::Dense, Mode::DenseForward] {
+        for m in [Mode::Sparse, Mode::Dense, Mode::DenseForward, Mode::Partitioned] {
             assert_eq!(m.to_string().parse::<Mode>().unwrap(), m);
         }
         for o in [Op::EdgeMap, Op::VertexMap, Op::VertexFilter] {

@@ -1,6 +1,7 @@
 //! Property-based tests for the framework core: on arbitrary graphs and
-//! frontiers, all three traversals of `edgeMap` must compute the same
-//! relation, and `vertexSubset` conversions must be lossless.
+//! frontiers, every traversal policy of `edgeMap` (including the
+//! partitioned scatter/gather mode) must compute the same relation, and
+//! `vertexSubset` conversions must be lossless.
 //!
 //! Coverage caveat: when the workspace is built with the offline vendored
 //! proptest stand-in (`.cargo/config.toml` patch, registry-less sandboxes
@@ -41,7 +42,7 @@ proptest! {
         expect.sort_unstable();
         expect.dedup();
 
-        for t in [Traversal::Sparse, Traversal::Dense, Traversal::DenseForward, Traversal::Auto] {
+        for t in Traversal::ALL {
             let f = edge_fn(|_s, _d, _w: ()| true, |_| true);
             let mut fr = VertexSubset::from_sparse(n, frontier.clone());
             let out = edge_map_with(
@@ -64,7 +65,7 @@ proptest! {
         // mode, including Auto's heuristic pick.
         let opts = if symmetric { BuildOptions::symmetric() } else { BuildOptions::directed() };
         let g = build_graph(n, &edges, opts);
-        for t in [Traversal::Sparse, Traversal::Dense, Traversal::DenseForward, Traversal::Auto] {
+        for t in Traversal::ALL {
             let f = edge_fn(|_s, _d, _w: ()| true, |d: u32| d.is_multiple_of(modulus));
             let mut sparse_fr = VertexSubset::from_sparse(n, frontier.clone());
             let from_sparse = edge_map_with(
@@ -101,7 +102,7 @@ proptest! {
         expect.sort_unstable();
         expect.dedup();
 
-        for t in [Traversal::Sparse, Traversal::Dense, Traversal::DenseForward] {
+        for t in Traversal::ALL {
             let f = edge_fn(|_s, _d, _w: ()| true, |d: u32| d.is_multiple_of(modulus));
             let mut fr = VertexSubset::from_sparse(n, frontier.clone());
             let out = edge_map_with(

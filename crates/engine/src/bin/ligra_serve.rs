@@ -341,6 +341,9 @@ fn metrics_response(engine: &Engine) -> String {
         .u64("cache_misses", m.cache_misses)
         .u64("cache_evictions", m.cache_evictions)
         .u64("cache_entries", m.cache_entries)
+        .u64("partition_rounds", m.partition_rounds)
+        .u64("partition_bins_flushed", m.partition_bins_flushed)
+        .u64("partition_scatter_bytes", m.partition_scatter_bytes)
         .u64("wire_requests", m.wire_requests)
         .u64("wire_bytes", m.wire_bytes)
         .u64("wire_malformed", m.wire_malformed)

@@ -38,6 +38,9 @@ pub const FAMILIES: &[(&str, &str, &[&str], &str)] = &[
     ("ligra_cache_hits_total", "counter", &[], "Result-cache hits"),
     ("ligra_cache_misses_total", "counter", &[], "Result-cache misses"),
     ("ligra_cache_evictions_total", "counter", &[], "Result-cache LRU evictions"),
+    ("ligra_partition_rounds_total", "counter", &[], "edgeMap rounds run scatter/gather"),
+    ("ligra_partition_bins_flushed_total", "counter", &[], "Scatter bins drained by gather"),
+    ("ligra_partition_scatter_bytes_total", "counter", &[], "Bytes scattered into partition bins"),
     ("ligra_fault_injections_total", "counter", &["point"], "Faults fired by injection point"),
     ("ligra_wire_requests_total", "counter", &[], "Request lines received by the wire reader"),
     ("ligra_wire_bytes_total", "counter", &[], "Bytes read by the wire reader"),
@@ -186,6 +189,27 @@ pub fn render(s: &MetricsSnapshot) -> String {
         "Result-cache LRU evictions",
         s.cache_evictions,
     );
+    scalar(
+        &mut out,
+        "ligra_partition_rounds_total",
+        "counter",
+        "edgeMap rounds run scatter/gather",
+        s.partition_rounds,
+    );
+    scalar(
+        &mut out,
+        "ligra_partition_bins_flushed_total",
+        "counter",
+        "Scatter bins drained by gather",
+        s.partition_bins_flushed,
+    );
+    scalar(
+        &mut out,
+        "ligra_partition_scatter_bytes_total",
+        "counter",
+        "Bytes scattered into partition bins",
+        s.partition_scatter_bytes,
+    );
 
     head(&mut out, "ligra_fault_injections_total", "counter", "Faults fired by injection point");
     labeled(&mut out, "ligra_fault_injections_total", "point", &s.fault_injections);
@@ -251,6 +275,9 @@ mod tests {
             cache_misses: 6,
             cache_evictions: 1,
             cache_entries: 5,
+            partition_rounds: 2,
+            partition_bins_flushed: 16,
+            partition_scatter_bytes: 4_096,
             fault_injections: vec![("graph.load", 0), ("edgemap.round", 7)],
             queue_wait: Query::KIND_NAMES
                 .iter()

@@ -52,6 +52,14 @@ pub struct MetricsRegistry {
     /// Nanoseconds workers spent parked waiting for work.
     pub worker_idle_ns: Counter,
 
+    // --- partitioned-traversal kernel counters ---
+    /// edgeMap rounds that ran the partitioned scatter/gather traversal.
+    pub partition_rounds: Counter,
+    /// Non-empty scatter bins drained by partitioned rounds.
+    pub partition_bins_flushed: Counter,
+    /// Bytes of bin entries scattered by partitioned rounds.
+    pub partition_scatter_bytes: Counter,
+
     // --- latency histograms, per query kind ---
     queue_wait: [Histogram; N_KINDS],
     run_time: [Histogram; N_KINDS],
@@ -171,6 +179,12 @@ pub struct MetricsSnapshot {
     pub cache_evictions: u64,
     /// Result-cache resident entries.
     pub cache_entries: u64,
+    /// Partitioned edgeMap rounds executed.
+    pub partition_rounds: u64,
+    /// Scatter bins flushed by partitioned rounds.
+    pub partition_bins_flushed: u64,
+    /// Bytes scattered into bins by partitioned rounds.
+    pub partition_scatter_bytes: u64,
     /// Faults fired, one `(point name, count)` per fault point (all
     /// zero when no plan is armed).
     pub fault_injections: Vec<(&'static str, u64)>,

@@ -127,6 +127,9 @@ impl<W: Copy + Send + Sync> Adjacency<W> {
 pub struct Graph<W = ()> {
     out: std::sync::Arc<Adjacency<W>>,
     incoming: Option<std::sync::Arc<Adjacency<W>>>,
+    /// Lazily built default-width vertex partitioning for the partitioned
+    /// traversal, shared by all clones made after it materializes.
+    partitions: std::sync::OnceLock<std::sync::Arc<crate::partition::Partitioning>>,
 }
 
 /// A graph whose edges carry `i32` weights (the paper's `intE`).
@@ -135,7 +138,11 @@ pub type WeightedGraph = Graph<i32>;
 impl<W: Copy + Send + Sync> Graph<W> {
     /// Creates a symmetric graph from one CSR (used for both directions).
     pub fn symmetric(adj: Adjacency<W>) -> Self {
-        Graph { out: std::sync::Arc::new(adj), incoming: None }
+        Graph {
+            out: std::sync::Arc::new(adj),
+            incoming: None,
+            partitions: std::sync::OnceLock::new(),
+        }
     }
 
     /// Creates a directed graph from its out-CSR and in-CSR.
@@ -145,7 +152,11 @@ impl<W: Copy + Send + Sync> Graph<W> {
     pub fn directed(out: Adjacency<W>, incoming: Adjacency<W>) -> Self {
         assert_eq!(out.num_vertices(), incoming.num_vertices());
         assert_eq!(out.num_edges(), incoming.num_edges());
-        Graph { out: std::sync::Arc::new(out), incoming: Some(std::sync::Arc::new(incoming)) }
+        Graph {
+            out: std::sync::Arc::new(out),
+            incoming: Some(std::sync::Arc::new(incoming)),
+            partitions: std::sync::OnceLock::new(),
+        }
     }
 
     /// Creates a directed graph from its out-CSR alone, computing the
@@ -160,7 +171,13 @@ impl<W: Copy + Send + Sync> Graph<W> {
     pub fn reversed(&self) -> Self {
         match &self.incoming {
             None => self.clone(),
-            Some(incoming) => Graph { out: incoming.clone(), incoming: Some(self.out.clone()) },
+            // The reversed graph pulls along a different direction, so it
+            // starts with an empty partition cache of its own.
+            Some(incoming) => Graph {
+                out: incoming.clone(),
+                incoming: Some(self.out.clone()),
+                partitions: std::sync::OnceLock::new(),
+            },
         }
     }
 
@@ -238,6 +255,40 @@ impl<W: Copy + Send + Sync> Graph<W> {
             vs.iter().map(|&v| self.out_degree(v) as u64).sum()
         } else {
             vs.par_iter().map(|&v| self.out_degree(v) as u64).sum()
+        }
+    }
+
+    /// The default-width vertex partitioning over this graph's
+    /// in-direction, built on first use and cached (clones made after
+    /// that share it). The width comes from
+    /// [`crate::partition::default_bits`], so `LIGRA_PARTITION_BITS` is
+    /// read once per graph, at first materialization.
+    pub fn partitioning(&self) -> std::sync::Arc<crate::partition::Partitioning> {
+        self.partitions
+            .get_or_init(|| {
+                let bits = crate::partition::default_bits(self.num_vertices());
+                std::sync::Arc::new(crate::partition::Partitioning::of(self.in_adj(), bits))
+            })
+            .clone()
+    }
+
+    /// A partitioning at an explicit width: serves the cached one when
+    /// the widths agree, otherwise builds a throwaway one at `bits`.
+    pub fn partitioning_with(
+        &self,
+        bits: Option<u32>,
+    ) -> std::sync::Arc<crate::partition::Partitioning> {
+        match bits {
+            None => self.partitioning(),
+            Some(b) => {
+                let cached = self.partitioning();
+                if cached.bits() == b.clamp(crate::partition::MIN_BITS, crate::partition::MAX_BITS)
+                {
+                    cached
+                } else {
+                    std::sync::Arc::new(crate::partition::Partitioning::of(self.in_adj(), b))
+                }
+            }
         }
     }
 
@@ -485,6 +536,22 @@ mod tests {
         for v in 0..3u32 {
             assert_eq!(rr.out_neighbors(v), g.out_neighbors(v));
         }
+    }
+
+    #[test]
+    fn partitioning_is_cached_per_direction() {
+        let g = small_directed();
+        let p1 = g.partitioning();
+        assert!(std::sync::Arc::ptr_eq(&p1, &g.partitioning()));
+        assert!(std::sync::Arc::ptr_eq(&p1, &g.partitioning_with(None)));
+        assert_eq!(p1.num_vertices(), 3);
+        assert_eq!(p1.total_in_edges(), 3, "counts come from the in-CSR");
+        let wide = g.partitioning_with(Some(7));
+        assert_eq!(wide.bits(), 7);
+        assert!(!std::sync::Arc::ptr_eq(&p1, &wide));
+        // The reversed graph partitions over the opposite direction.
+        let r = g.reversed();
+        assert_eq!(r.partitioning().total_in_edges(), 3);
     }
 
     #[test]

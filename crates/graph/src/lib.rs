@@ -19,9 +19,11 @@ pub mod csr;
 pub mod generators;
 pub mod io;
 pub mod ops;
+pub mod partition;
 pub mod properties;
 
 pub use builder::{build_graph, build_weighted_graph, BuildOptions};
 pub use csr::{Adjacency, Graph, VertexId, WeightedGraph};
 pub use ops::{induced_subgraph, largest_component, relabel_by_degree};
+pub use partition::Partitioning;
 pub use properties::GraphStats;

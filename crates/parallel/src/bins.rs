@@ -1,0 +1,97 @@
+//! Per-partition propagation bins for scatter/gather traversals.
+//!
+//! The scatter phase of a partitioned traversal runs parallel over source
+//! chunks; each chunk appends update entries into one small `Vec` per
+//! destination partition (its *fragments*), touching no shared state. The
+//! gather phase wants each partition's updates as one contiguous stream in
+//! deterministic (chunk-major, i.e. ascending source) order. [`stitch`]
+//! performs that transposition: per-partition fragment lengths are summed
+//! (the prefix-sum pass of the PR 2 chunk-compaction idiom, here folded
+//! into an exact `with_capacity`), then every partition concatenates its
+//! fragments in chunk order — parallel **across** partitions, sequential
+//! within one, so no synchronization is needed on the write side.
+
+use rayon::prelude::*;
+
+/// Scatter-side fragment matrix: `frags[chunk][partition]` is the slice of
+/// updates chunk `chunk` produced for destination partition `partition`.
+pub type Fragments<T> = Vec<Vec<Vec<T>>>;
+
+/// Allocates one empty fragment row (`num_partitions` empty bins) for a
+/// scatter chunk.
+pub fn fragment_row<T>(num_partitions: usize) -> Vec<Vec<T>> {
+    (0..num_partitions).map(|_| Vec::new()).collect()
+}
+
+/// Transposes chunk-major fragments into one exact-size `Vec` per
+/// partition, concatenated in chunk order. Returns the per-partition
+/// streams and the number of non-empty fragments folded in (the
+/// `bins_flushed` telemetry count).
+///
+/// Every row of `frags` must have the same number of partitions; rows
+/// produced by [`fragment_row`] always do.
+pub fn stitch<T: Copy + Send + Sync>(frags: Fragments<T>) -> (Vec<Vec<T>>, u64) {
+    let num_partitions = frags.first().map_or(0, Vec::len);
+    debug_assert!(frags.iter().all(|row| row.len() == num_partitions));
+    let flushed: u64 =
+        frags.iter().map(|row| row.iter().filter(|bin| !bin.is_empty()).count() as u64).sum();
+    let stitched: Vec<Vec<T>> = (0..num_partitions)
+        .into_par_iter()
+        .map(|p| {
+            let total: usize = frags.iter().map(|row| row[p].len()).sum();
+            let mut out = Vec::with_capacity(total);
+            for row in &frags {
+                out.extend_from_slice(&row[p]);
+            }
+            out
+        })
+        .collect();
+    (stitched, flushed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stitch_concatenates_in_chunk_order() {
+        let mut frags: Fragments<u32> = Vec::new();
+        let mut row0 = fragment_row::<u32>(3);
+        row0[0].extend([1, 2]);
+        row0[2].push(9);
+        frags.push(row0);
+        let mut row1 = fragment_row::<u32>(3);
+        row1[0].push(3);
+        row1[1].push(7);
+        frags.push(row1);
+
+        let (bins, flushed) = stitch(frags);
+        assert_eq!(bins, vec![vec![1, 2, 3], vec![7], vec![9]]);
+        assert_eq!(flushed, 4, "only non-empty fragments count");
+    }
+
+    #[test]
+    fn stitch_of_nothing_is_empty() {
+        let (bins, flushed) = stitch(Fragments::<u64>::new());
+        assert!(bins.is_empty());
+        assert_eq!(flushed, 0);
+        let (bins, flushed) = stitch(vec![fragment_row::<u64>(4)]);
+        assert_eq!(bins.len(), 4);
+        assert!(bins.iter().all(Vec::is_empty));
+        assert_eq!(flushed, 0);
+    }
+
+    #[test]
+    fn stitched_capacity_is_exact() {
+        let mut frags: Fragments<u8> = Vec::new();
+        for c in 0..10u8 {
+            let mut row = fragment_row::<u8>(2);
+            row[(c % 2) as usize].extend(std::iter::repeat_n(c, c as usize));
+            frags.push(row);
+        }
+        let (bins, _) = stitch(frags);
+        for bin in &bins {
+            assert_eq!(bin.capacity(), bin.len());
+        }
+    }
+}

@@ -209,13 +209,17 @@ pub mod iter {
 }
 
 pub mod slice {
-    /// The sorting entry points of rayon's `ParallelSliceMut`.
+    /// The sorting and chunking entry points of rayon's `ParallelSliceMut`.
     pub trait ParallelSliceMut<T> {
         fn par_sort_unstable(&mut self)
         where
             T: Ord;
         fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
         fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F);
+        fn par_chunks_mut(
+            &mut self,
+            chunk_size: usize,
+        ) -> crate::iter::ParIter<std::slice::ChunksMut<'_, T>>;
     }
 
     impl<T> ParallelSliceMut<T> for [T] {
@@ -233,6 +237,13 @@ pub mod slice {
         #[inline]
         fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F) {
             self.sort_unstable_by(f)
+        }
+        #[inline]
+        fn par_chunks_mut(
+            &mut self,
+            chunk_size: usize,
+        ) -> crate::iter::ParIter<std::slice::ChunksMut<'_, T>> {
+            crate::iter::ParIter(self.chunks_mut(chunk_size))
         }
     }
 }
