@@ -42,16 +42,25 @@ pub enum FaultPoint {
     EngineCache,
     /// The JSONL wire read loop in `ligra-serve`.
     WireRead,
+    /// Applying a mutation batch to the live graph (`MutationLog`).
+    MutateApply,
+    /// The background CSR compaction of an overlaid snapshot.
+    MutateCompact,
 }
+
+/// Number of named fault points (array sizes below).
+const NUM_POINTS: usize = 7;
 
 impl FaultPoint {
     /// All fault points, in schedule order.
-    pub const ALL: [FaultPoint; 5] = [
+    pub const ALL: [FaultPoint; NUM_POINTS] = [
         FaultPoint::GraphLoad,
         FaultPoint::EdgemapRound,
         FaultPoint::EngineDispatch,
         FaultPoint::EngineCache,
         FaultPoint::WireRead,
+        FaultPoint::MutateApply,
+        FaultPoint::MutateCompact,
     ];
 
     /// The stable wire/CLI name of this point.
@@ -62,6 +71,8 @@ impl FaultPoint {
             FaultPoint::EngineDispatch => "engine.dispatch",
             FaultPoint::EngineCache => "engine.cache",
             FaultPoint::WireRead => "wire.read",
+            FaultPoint::MutateApply => "mutate.apply",
+            FaultPoint::MutateCompact => "mutate.compact",
         }
     }
 
@@ -77,6 +88,8 @@ impl FaultPoint {
             FaultPoint::EngineDispatch => 2,
             FaultPoint::EngineCache => 3,
             FaultPoint::WireRead => 4,
+            FaultPoint::MutateApply => 5,
+            FaultPoint::MutateCompact => 6,
         }
     }
 }
@@ -162,16 +175,21 @@ struct Arm {
 #[derive(Debug)]
 pub struct FaultPlan {
     seed: u64,
-    arms: [Option<Arm>; 5],
-    hits: [AtomicU64; 5],
-    injected: [AtomicU64; 5],
+    arms: [Option<Arm>; NUM_POINTS],
+    hits: [AtomicU64; NUM_POINTS],
+    injected: [AtomicU64; NUM_POINTS],
 }
 
 impl FaultPlan {
     /// An empty plan (nothing armed) carrying `seed` for later
     /// [`FaultPlan::arm`] calls.
     pub fn seeded(seed: u64) -> Self {
-        FaultPlan { seed, arms: [None; 5], hits: Default::default(), injected: Default::default() }
+        FaultPlan {
+            seed,
+            arms: [None; NUM_POINTS],
+            hits: Default::default(),
+            injected: Default::default(),
+        }
     }
 
     /// The seed this plan derives its schedules from.
@@ -374,6 +392,9 @@ mod tests {
             .expect("specs parse");
         assert_eq!(plan.scheduled_hit(FaultPoint::WireRead), Some(2));
         assert!(plan.scheduled_hit(FaultPoint::EdgemapRound).is_some());
+        let mutate = FaultPlan::seeded(0).arm_spec("mutate.apply:panic:1").expect("mutate spec");
+        assert_eq!(mutate.scheduled_hit(FaultPoint::MutateApply), Some(1));
+        assert!(FaultPlan::seeded(0).arm_spec("mutate.compact:error").is_ok());
         assert!(FaultPlan::seeded(0).arm_spec("nope:error").is_err());
         assert!(FaultPlan::seeded(0).arm_spec("wire.read:explode").is_err());
         assert!(FaultPlan::seeded(0).arm_spec("wire.read:error:x").is_err());

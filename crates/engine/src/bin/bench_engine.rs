@@ -8,16 +8,28 @@
 //! deadline, to stdout and `BENCH_engine.json`.
 //!
 //! ```text
-//! bench_engine [--quick] [--out PATH]
+//! bench_engine [--quick] [--out PATH] [--write-ratio R]
 //! ```
 //!
 //! `LIGRA_SCALE=small|paper` and `LIGRA_TRAVERSAL=...` are honored like
 //! the other bench binaries; `--quick` is the small CI configuration.
+//!
+//! `--write-ratio R` (0.0–1.0, default 0.0) mixes writes into the load:
+//! before each query, a client rolls `R` and on success applies a small
+//! edge-churn batch through one shared [`MutationLog`] — so every write
+//! publishes a new epoch while readers keep hammering the store. The
+//! report then carries, per level, mutation-apply latency percentiles
+//! and how many epochs the level published, plus the end-of-run
+//! compaction count. `--write-ratio 0` is byte-identical to the classic
+//! read-only sweep.
 
 use ligra::Traversal;
-use ligra_engine::metrics::Histogram;
-use ligra_engine::{Engine, EngineConfig, Query, QueryStatus, SubmitError};
+use ligra_engine::metrics::{mix64, Histogram};
+use ligra_engine::{
+    Engine, EngineConfig, MutationConfig, MutationLog, Query, QueryStatus, SubmitError,
+};
 use ligra_graph::generators::{rmat, RmatOptions};
+use ligra_graph::DeltaBatch;
 use ligra_parallel::checked_u32;
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,6 +53,15 @@ struct LevelResult {
     hist_p50_ms: f64,
     hist_p95_ms: f64,
     hist_p99_ms: f64,
+    // Mixed read/write sweep (--write-ratio > 0): applied batches, their
+    // apply-latency distribution, writes shed by admission, and the
+    // epochs this level published. All zero on a read-only run.
+    mutations: u64,
+    writes_shed: u64,
+    mutation_p50_ms: f64,
+    mutation_p95_ms: f64,
+    mutation_max_ms: f64,
+    epochs_published: u64,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -63,8 +84,25 @@ fn pick_query(i: u64, n: u32) -> Query {
     }
 }
 
+/// The per-write mutation: a couple of random arcs churned inside the
+/// existing id space, so readers' sources stay valid. Deterministic in
+/// the stream index.
+fn pick_batch(stream: u64, n: u32) -> DeltaBatch {
+    let pick = |salt: u64| checked_u32(mix64(stream ^ salt) % n as u64);
+    let (u, v) = (pick(0x5eed), pick(0xbeef));
+    let (u, v) = if u == v { (u, (v + 1) % n) } else { (u, v) };
+    if mix64(stream ^ 0xde1).is_multiple_of(4) {
+        DeltaBatch::new().del_edge(u, v)
+    } else {
+        DeltaBatch::new().add_edge(u, v)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_level(
     engine: &Arc<Engine>,
+    log: &Arc<MutationLog>,
+    write_ratio: f64,
     level_idx: usize,
     concurrency: usize,
     per_client: u64,
@@ -74,6 +112,8 @@ fn run_level(
     let rejected = AtomicU64::new(0);
     let cancelled = AtomicU64::new(0);
     let deadline_misses = AtomicU64::new(0);
+    let writes_shed = AtomicU64::new(0);
+    let epoch_at_start = engine.current_epoch().unwrap_or(0);
     // Per-level turnaround histogram (satellite of the metrics PR): the
     // exact sampled percentiles below are ground truth; this one shows
     // what the engine's bucketed histograms would report for the same
@@ -82,23 +122,41 @@ fn run_level(
     let start = Instant::now();
     let mut turnaround_ms: Vec<f64> = Vec::new();
     let mut queue_wait_ms: Vec<f64> = Vec::new();
+    let mut mutation_ms: Vec<f64> = Vec::new();
 
     std::thread::scope(|scope| {
         let mut clients = Vec::new();
         for c in 0..concurrency {
             let engine = Arc::clone(engine);
+            let log = Arc::clone(log);
             let rejected = &rejected;
             let cancelled = &cancelled;
             let deadline_misses = &deadline_misses;
+            let writes_shed = &writes_shed;
             let turnaround_hist = &turnaround_hist;
             clients.push(scope.spawn(move || {
                 let mut turnaround = Vec::with_capacity(per_client as usize);
                 let mut queue_wait = Vec::with_capacity(per_client as usize);
+                let mut mutation = Vec::new();
                 for i in 0..per_client {
                     // Salt the stream per (level, client) so the cache sees
                     // some repeats (Cc, PageRank) without absorbing the
                     // whole sweep.
-                    let q = pick_query((level_idx as u64 * 131 + c as u64) * per_client + i, n);
+                    let stream = (level_idx as u64 * 131 + c as u64) * per_client + i;
+                    if write_ratio > 0.0
+                        && (mix64(stream ^ 0x13a7) % 1_000_000) as f64 / 1e6 < write_ratio
+                    {
+                        let batch = pick_batch(stream, n);
+                        let w0 = Instant::now();
+                        match log.apply(&batch) {
+                            Ok(_) => mutation.push(w0.elapsed().as_secs_f64() * 1e3),
+                            Err(e) if e.is_transient() => {
+                                writes_shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => fatal(&format!("mutation failed: {e}")),
+                        }
+                    }
+                    let q = pick_query(stream, n);
                     let t0 = Instant::now();
                     let h = match engine.submit(q, Some(deadline)) {
                         Ok(h) => h,
@@ -136,19 +194,21 @@ fn run_level(
                         s => fatal(&format!("unexpected terminal status {s}")),
                     }
                 }
-                (turnaround, queue_wait)
+                (turnaround, queue_wait, mutation)
             }));
         }
         for cl in clients {
-            let (t, q) = cl.join().expect("client thread");
+            let (t, q, w) = cl.join().expect("client thread");
             turnaround_ms.extend(t);
             queue_wait_ms.extend(q);
+            mutation_ms.extend(w);
         }
     });
 
     let elapsed_s = start.elapsed().as_secs_f64();
     turnaround_ms.sort_by(|a, b| a.total_cmp(b));
     queue_wait_ms.sort_by(|a, b| a.total_cmp(b));
+    mutation_ms.sort_by(|a, b| a.total_cmp(b));
     let queries = turnaround_ms.len() as u64;
     let hist = turnaround_hist.snapshot();
     LevelResult {
@@ -166,6 +226,12 @@ fn run_level(
         hist_p50_ms: hist.p50() as f64 / 1e6,
         hist_p95_ms: hist.p95() as f64 / 1e6,
         hist_p99_ms: hist.p99() as f64 / 1e6,
+        mutations: mutation_ms.len() as u64,
+        writes_shed: writes_shed.load(Ordering::Relaxed),
+        mutation_p50_ms: percentile(&mutation_ms, 0.50),
+        mutation_p95_ms: percentile(&mutation_ms, 0.95),
+        mutation_max_ms: mutation_ms.last().copied().unwrap_or(0.0),
+        epochs_published: engine.current_epoch().unwrap_or(0).saturating_sub(epoch_at_start),
     }
 }
 
@@ -179,11 +245,21 @@ fn fatal(msg: &str) -> ! {
 fn main() {
     let mut quick = std::env::var("LIGRA_SCALE").is_ok_and(|s| s == "small");
     let mut out_path = String::from("BENCH_engine.json");
+    let mut write_ratio = 0.0f64;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--out" => out_path = it.next().unwrap_or_else(|| fatal("--out needs a value")),
+            "--write-ratio" => {
+                let raw = it.next().unwrap_or_else(|| fatal("--write-ratio needs a value"));
+                write_ratio = raw
+                    .parse()
+                    .unwrap_or_else(|_| fatal(&format!("--write-ratio: cannot parse {raw:?}")));
+                if !(0.0..=1.0).contains(&write_ratio) {
+                    fatal("--write-ratio must be in 0.0..=1.0");
+                }
+            }
             other => fatal(&format!("unknown flag {other:?}")),
         }
     }
@@ -217,6 +293,7 @@ fn main() {
         trace_dir: None,
     }));
     engine.install_graph(Arc::new(g));
+    let log = Arc::new(MutationLog::new(Arc::clone(&engine), MutationConfig::default()));
 
     // Warm-up on a salt no level uses, so level 1 isn't pre-cached.
     for i in 0..8 {
@@ -227,7 +304,7 @@ fn main() {
     let deadline = Duration::from_millis(deadline_ms);
     let mut results = Vec::new();
     for (li, &c) in levels.iter().enumerate() {
-        let r = run_level(&engine, li, c, per_client, deadline, n);
+        let r = run_level(&engine, &log, write_ratio, li, c, per_client, deadline, n);
         eprintln!(
             "  c={:<3} {:>6.1} q/s  p50 {:>7.2} ms  p95 {:>7.2} ms  p99 {:>7.2} ms  \
              queue-wait p95 {:>7.2} ms  rejected {}  deadline-misses {}",
@@ -240,6 +317,18 @@ fn main() {
             r.rejected,
             r.deadline_misses,
         );
+        if r.mutations > 0 {
+            eprintln!(
+                "        writes {:<4} epochs {:<4} apply p50 {:.3} ms  p95 {:.3} ms  \
+                 max {:.3} ms  shed {}",
+                r.mutations,
+                r.epochs_published,
+                r.mutation_p50_ms,
+                r.mutation_p95_ms,
+                r.mutation_max_ms,
+                r.writes_shed,
+            );
+        }
         results.push(r);
     }
 
@@ -249,8 +338,14 @@ fn main() {
         "  \"graph\": {{\"family\": \"rmat\", \"log_n\": {log_n}, \"vertices\": {n}, \
          \"edges\": {m}}},\n  \"workers\": {workers},\n  \"traversal\": \"{traversal}\",\n  \
          \"deadline_ms\": {deadline_ms},\n  \"per_client\": {per_client},\n  \
+         \"write_ratio\": {write_ratio},\n  \"mutation_batches\": {},\n  \
+         \"compactions\": {},\n  \"compaction_failures\": {},\n  \
          \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"levels\": [\n",
-        stats.cache_hits, stats.cache_misses
+        stats.mutation_batches,
+        stats.compactions,
+        stats.compaction_failures,
+        stats.cache_hits,
+        stats.cache_misses
     ));
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
@@ -258,7 +353,10 @@ fn main() {
              \"deadline_misses\": {}, \"elapsed_s\": {:.3}, \"throughput_qps\": {:.2}, \
              \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
              \"queue_wait_p95_ms\": {:.3}, \
-             \"hist_p50_ms\": {:.3}, \"hist_p95_ms\": {:.3}, \"hist_p99_ms\": {:.3}}}{}\n",
+             \"hist_p50_ms\": {:.3}, \"hist_p95_ms\": {:.3}, \"hist_p99_ms\": {:.3}, \
+             \"mutations\": {}, \"writes_shed\": {}, \"mutation_p50_ms\": {:.3}, \
+             \"mutation_p95_ms\": {:.3}, \"mutation_max_ms\": {:.3}, \
+             \"epochs_published\": {}}}{}\n",
             r.concurrency,
             r.queries,
             r.rejected,
@@ -273,6 +371,12 @@ fn main() {
             r.hist_p50_ms,
             r.hist_p95_ms,
             r.hist_p99_ms,
+            r.mutations,
+            r.writes_shed,
+            r.mutation_p50_ms,
+            r.mutation_p95_ms,
+            r.mutation_max_ms,
+            r.epochs_published,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }

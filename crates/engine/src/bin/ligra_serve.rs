@@ -39,15 +39,26 @@
 //! {"op":"cancel","id":3}      {"op":"span","id":3}
 //! {"op":"stats"}              {"op":"trace"}
 //! {"op":"metrics"}            {"op":"shutdown"}
+//! {"op":"mutate","add":"0-1,2-3","del":"4-5","add_vertices":1,"del_vertices":"7,9"}
+//! {"op":"compact"}            {"op":"compact","wait":false}
+//! {"op":"graph-stats"}
 //! ```
+//!
+//! `mutate` applies one delta batch (edge lists are comma-separated
+//! `u-v` pairs) and publishes the result as a new epoch; in-flight
+//! queries finish on the snapshot they started with. `compact` flattens
+//! the accumulated overlay into a clean CSR (synchronously by default;
+//! `"wait":false` kicks it off in the background); overlays past
+//! `--compact-threshold` arcs compact automatically.
 
 use ligra::Traversal;
 use ligra_engine::metrics::{mix64, render};
 use ligra_engine::wire::{read_request_line, MAX_REQUEST_LINE_BYTES};
 use ligra_engine::{
-    error_response, Engine, EngineConfig, FaultPlan, JsonObj, MetricsRegistry, Query, QueryHandle,
-    Request, SubmitError,
+    error_response, Engine, EngineConfig, FaultPlan, JsonObj, MetricsRegistry, MutateError,
+    MutationConfig, MutationLog, Query, QueryHandle, Request, SubmitError,
 };
+use ligra_graph::delta::DeltaBatch;
 use ligra_graph::generators::{
     erdos_renyi, grid3d, random_local, random_weights, rmat, RmatOptions,
 };
@@ -73,6 +84,7 @@ struct Args {
     weighted: bool,
     fault_specs: Vec<String>,
     fault_seed: u64,
+    compact_threshold: Option<u64>,
 }
 
 /// Operator-facing fatal error: report and exit instead of panicking
@@ -86,7 +98,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: ligra-serve [--listen ADDR | --client ADDR] [--metrics-addr ADDR] \
          [--workers N] [--queue N] [--cache N] [--memory-budget BYTES] [--traversal POLICY] \
-         [--graph PATH [--directed] [--weighted]] [--fault SPEC]... [--fault-seed N]"
+         [--graph PATH [--directed] [--weighted]] [--fault SPEC]... [--fault-seed N] \
+         [--compact-threshold ARCS]"
     );
     std::process::exit(2);
 }
@@ -109,6 +122,7 @@ fn parse_args() -> Args {
         weighted: false,
         fault_specs: Vec::new(),
         fault_seed: 1,
+        compact_threshold: MutationConfig::default().compact_threshold,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -133,6 +147,11 @@ fn parse_args() -> Args {
             "--weighted" => args.weighted = true,
             "--fault" => args.fault_specs.push(value("--fault")),
             "--fault-seed" => args.fault_seed = parsed("--fault-seed", &value("--fault-seed")),
+            "--compact-threshold" => {
+                // 0 disables auto-compaction (explicit `compact` still works).
+                let arcs: u64 = parsed("--compact-threshold", &value("--compact-threshold"));
+                args.compact_threshold = (arcs > 0).then_some(arcs);
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -226,6 +245,128 @@ fn graph_response(epoch: u64) -> String {
     JsonObj::new().bool("ok", true).u64("epoch", epoch).finish()
 }
 
+/// Parses a comma-separated `u-v` edge list (the wire format is flat
+/// JSON, so edge lists ride in a string field).
+fn parse_edge_list(s: &str) -> Result<Vec<(u32, u32)>, String> {
+    let mut out = Vec::new();
+    for pair in s.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (u, v) =
+            pair.split_once('-').ok_or_else(|| format!("edge {pair:?}: expected \"u-v\""))?;
+        let parse = |raw: &str| -> Result<u32, String> {
+            raw.trim().parse().map_err(|_| format!("edge {pair:?}: bad vertex id {raw:?}"))
+        };
+        out.push((parse(u)?, parse(v)?));
+    }
+    Ok(out)
+}
+
+/// Parses a comma-separated vertex-id list.
+fn parse_vertex_list(s: &str) -> Result<Vec<u32>, String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|t| t.parse().map_err(|_| format!("bad vertex id {t:?}")))
+        .collect()
+}
+
+fn batch_from(req: &Request) -> Result<DeltaBatch, String> {
+    let mut batch = DeltaBatch::new();
+    batch.add_vertices = req.u64_or("add_vertices", 0)? as usize;
+    if req.get("add").is_some() {
+        batch.add_edges = parse_edge_list(req.str("add")?)?;
+    }
+    if req.get("del").is_some() {
+        batch.del_edges = parse_edge_list(req.str("del")?)?;
+    }
+    if req.get("del_vertices").is_some() {
+        batch.del_vertices = parse_vertex_list(req.str("del_vertices")?)?;
+    }
+    if batch.is_empty() {
+        return Err("empty mutation: provide add, del, add_vertices, or del_vertices".to_string());
+    }
+    Ok(batch)
+}
+
+/// Renders a mutation/compaction failure; transient ones carry
+/// `"transient":true` (and a retry hint when the engine has one) so the
+/// built-in client's backoff loop handles them like overload sheds.
+fn mutate_error_response(e: &MutateError) -> String {
+    let mut obj = JsonObj::new()
+        .bool("ok", false)
+        .str("error", &e.to_string())
+        .bool("transient", e.is_transient());
+    if let MutateError::Overloaded { retry_after } = e {
+        obj = obj.u64("retry_after_ms", u64::try_from(retry_after.as_millis()).unwrap_or(u64::MAX));
+    }
+    obj.finish()
+}
+
+fn mutate_response(log: &Arc<MutationLog>, req: &Request) -> Result<String, String> {
+    let batch = batch_from(req)?;
+    match log.apply(&batch) {
+        Ok(r) => Ok(JsonObj::new()
+            .bool("ok", true)
+            .u64("epoch", r.epoch)
+            .u64("arcs_added", r.arcs_added)
+            .u64("arcs_deleted", r.arcs_deleted)
+            .u64("vertices_added", r.vertices_added)
+            .u64("vertices_deleted", r.vertices_deleted)
+            .u64("overlay_edges", r.overlay_arcs)
+            .u64("overlay_vertices", r.overlay_vertices)
+            .bool("compaction_started", r.compaction_started)
+            .finish()),
+        Err(e) => Ok(mutate_error_response(&e)),
+    }
+}
+
+fn compact_response(log: &Arc<MutationLog>, req: &Request) -> Result<String, String> {
+    if !req.bool_or("wait", true)? {
+        let started = log.compact_async();
+        return Ok(JsonObj::new().bool("ok", true).bool("started", started).finish());
+    }
+    match log.compact() {
+        Ok(r) => Ok(JsonObj::new()
+            .bool("ok", true)
+            .u64("epoch", r.epoch)
+            .u64("compact_ms", u64::try_from(r.duration.as_millis()).unwrap_or(u64::MAX))
+            .u64("edges", r.edges)
+            .u64("reapplied_batches", r.reapplied_batches as u64)
+            .finish()),
+        Err(e) => Ok(mutate_error_response(&e)),
+    }
+}
+
+fn graph_stats_response(engine: &Engine, log: &Arc<MutationLog>) -> String {
+    let status = log.status();
+    let m = engine.metrics();
+    let mut obj = JsonObj::new().bool("ok", true);
+    match engine.current_snapshot() {
+        None => obj = obj.u64("epoch", 0).bool("loaded", false),
+        Some(snap) => {
+            let g = snap.graph();
+            obj = obj
+                .u64("epoch", snap.epoch())
+                .bool("loaded", true)
+                .u64("vertices", g.num_vertices() as u64)
+                .u64("edges", g.num_edges() as u64)
+                .bool("symmetric", g.is_symmetric())
+                .bool("has_overlay", g.has_overlay())
+                .u64("overlay_edges", g.overlay_arcs())
+                .u64("overlay_vertices", g.overlay_vertices());
+        }
+    }
+    obj.u64("pending_batches", status.pending_batches as u64)
+        .bool("compacting", status.compacting)
+        .u64("derived_epoch", status.derived_epoch)
+        .u64("compactions", m.mutation_compactions.get())
+        .u64("compaction_failures", m.mutation_compaction_failures.get())
+        .finish()
+}
+
 fn status_response(h: &QueryHandle) -> JsonObj {
     let status = h.status();
     let mut obj = JsonObj::new()
@@ -304,6 +445,13 @@ fn stats_response(engine: &Engine) -> String {
         .u64("run_p95_ns", s.run_p95_ns)
         .u64("run_p99_ns", s.run_p99_ns)
         .u64("run_max_ns", s.run_max_ns)
+        .u64("mutation_batches", s.mutation_batches)
+        .u64("mutation_edges_added", s.mutation_edges_added)
+        .u64("mutation_edges_deleted", s.mutation_edges_deleted)
+        .u64("overlay_edges", s.overlay_edges)
+        .u64("overlay_vertices", s.overlay_vertices)
+        .u64("compactions", s.compactions)
+        .u64("compaction_failures", s.compaction_failures)
         .u64("workers", engine.workers() as u64)
         .u64("queue_capacity", engine.queue_capacity() as u64)
         .finish()
@@ -344,6 +492,16 @@ fn metrics_response(engine: &Engine) -> String {
         .u64("partition_rounds", m.partition_rounds)
         .u64("partition_bins_flushed", m.partition_bins_flushed)
         .u64("partition_scatter_bytes", m.partition_scatter_bytes)
+        .u64("mutation_batches", m.mutation_batches)
+        .u64("mutation_edges_added", m.mutation_edges_added)
+        .u64("mutation_edges_deleted", m.mutation_edges_deleted)
+        .u64("mutation_overlay_edges", m.mutation_overlay_edges)
+        .u64("mutation_overlay_vertices", m.mutation_overlay_vertices)
+        .u64("mutation_compactions", m.mutation_compactions)
+        .u64("mutation_compaction_failures", m.mutation_compaction_failures)
+        .u64("mutation_compact_count", m.mutation_compact_time.count)
+        .u64("mutation_compact_p50_ns", m.mutation_compact_time.p50())
+        .u64("mutation_compact_max_ns", m.mutation_compact_time.max)
         .u64("wire_requests", m.wire_requests)
         .u64("wire_bytes", m.wire_bytes)
         .u64("wire_malformed", m.wire_malformed)
@@ -377,7 +535,12 @@ fn trace_response(engine: &Engine) -> String {
 }
 
 /// Handles one request line; the bool is "keep serving".
-fn handle_line(engine: &Engine, metrics: &MetricsRegistry, line: &str) -> (String, bool) {
+fn handle_line(
+    engine: &Engine,
+    log: &Arc<MutationLog>,
+    metrics: &MetricsRegistry,
+    line: &str,
+) -> (String, bool) {
     let req = match Request::parse(line) {
         Ok(r) => r,
         Err(e) => {
@@ -458,6 +621,9 @@ fn handle_line(engine: &Engine, metrics: &MetricsRegistry, line: &str) -> (Strin
             Ok(status_response(&h).finish())
         })(),
         "span" => Ok(span_response(engine, req.u64_or("id", 0).unwrap_or(0))),
+        "mutate" => mutate_response(log, &req),
+        "compact" => compact_response(log, &req),
+        "graph-stats" | "graph_stats" => Ok(graph_stats_response(engine, log)),
         "stats" => Ok(stats_response(engine)),
         "metrics" => Ok(metrics_response(engine)),
         "trace" => Ok(trace_response(engine)),
@@ -486,7 +652,12 @@ fn wire_fault(engine: &Engine) -> Option<String> {
     Some(JsonObj::new().bool("ok", false).str("error", &msg).bool("transient", true).finish())
 }
 
-fn serve_stream<R: BufRead, W: Write>(engine: &Engine, mut reader: R, mut writer: W) -> bool {
+fn serve_stream<R: BufRead, W: Write>(
+    engine: &Engine,
+    log: &Arc<MutationLog>,
+    mut reader: R,
+    mut writer: W,
+) -> bool {
     let metrics = engine.metrics();
     loop {
         let line = match read_request_line(&mut reader, MAX_REQUEST_LINE_BYTES) {
@@ -516,7 +687,7 @@ fn serve_stream<R: BufRead, W: Write>(engine: &Engine, mut reader: R, mut writer
             }
             continue;
         }
-        let (resp, keep_going) = handle_line(engine, &metrics, &line);
+        let (resp, keep_going) = handle_line(engine, log, &metrics, &line);
         if write_response(&mut writer, &resp).is_err() {
             break;
         }
@@ -693,6 +864,10 @@ fn main() {
         fault,
         trace_dir,
     }));
+    let log = Arc::new(MutationLog::new(
+        Arc::clone(&engine),
+        MutationConfig { compact_threshold: args.compact_threshold },
+    ));
     if let Some(addr) = &args.metrics_addr {
         spawn_metrics_listener(Arc::clone(&engine), addr);
     }
@@ -706,7 +881,7 @@ fn main() {
         None => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            serve_stream(&engine, stdin.lock(), stdout.lock());
+            serve_stream(&engine, &log, stdin.lock(), stdout.lock());
         }
         Some(addr) => {
             let listener =
@@ -721,9 +896,10 @@ fn main() {
                     Err(_) => continue,
                 };
                 let engine = Arc::clone(&engine);
+                let log = Arc::clone(&log);
                 std::thread::spawn(move || {
                     let reader = BufReader::new(stream.try_clone().expect("clone stream"));
-                    let keep = serve_stream(&engine, reader, BufWriter::new(stream));
+                    let keep = serve_stream(&engine, &log, reader, BufWriter::new(stream));
                     if !keep {
                         // `shutdown` was acknowledged and flushed; end the
                         // whole server, not just this connection.

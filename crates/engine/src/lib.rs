@@ -12,6 +12,9 @@
 //!   per-query deadlines, and cooperative cancellation that yields at
 //!   edgeMap round boundaries via [`ligra::CancelToken`];
 //! * [`cache`] — an LRU of results keyed `(epoch, query)`;
+//! * [`mutate`] — the live-update path ([`MutationLog`]): batched
+//!   edge/vertex deltas applied as cheap overlay graphs, each publishing
+//!   a new epoch, with background compaction back to a flat CSR;
 //! * [`span`] — per-query lifecycle telemetry (queue wait, run time,
 //!   rounds executed before completion or cancellation), carrying a
 //!   `trace_id` that joins engine spans to on-disk kernel traces;
@@ -35,6 +38,7 @@
 pub mod cache;
 pub mod error;
 pub mod metrics;
+pub mod mutate;
 pub mod query;
 pub mod scheduler;
 pub mod snapshot;
@@ -45,6 +49,9 @@ pub use cache::ResultCache;
 pub use error::QueryError;
 pub use ligra::{FaultAction, FaultError, FaultPlan, FaultPoint};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use mutate::{
+    CompactionReport, MutateError, MutationConfig, MutationLog, MutationReport, MutationStatus,
+};
 pub use query::{Query, QueryOutput, PAGERANK_ALPHA};
 pub use scheduler::{Engine, EngineConfig, EngineStats, QueryHandle, SubmitError};
 pub use snapshot::{GraphStore, Snapshot};

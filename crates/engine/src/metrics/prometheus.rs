@@ -41,6 +41,14 @@ pub const FAMILIES: &[(&str, &str, &[&str], &str)] = &[
     ("ligra_partition_rounds_total", "counter", &[], "edgeMap rounds run scatter/gather"),
     ("ligra_partition_bins_flushed_total", "counter", &[], "Scatter bins drained by gather"),
     ("ligra_partition_scatter_bytes_total", "counter", &[], "Bytes scattered into partition bins"),
+    ("ligra_mutation_overlay_edges", "gauge", &[], "Arcs in the serving snapshot's delta overlay"),
+    ("ligra_mutation_overlay_vertices", "gauge", &[], "Vertices touched by the delta overlay"),
+    ("ligra_mutation_batches_applied_total", "counter", &[], "Mutation batches applied"),
+    ("ligra_mutation_edges_added_total", "counter", &[], "Arcs inserted by mutation batches"),
+    ("ligra_mutation_edges_deleted_total", "counter", &[], "Arcs removed by mutation tombstones"),
+    ("ligra_mutation_compactions_total", "counter", &[], "Background CSR compactions installed"),
+    ("ligra_mutation_compaction_failures_total", "counter", &[], "Compactions failed or panicked"),
+    ("ligra_mutation_compaction_ns", "histogram", &[], "Compaction wall clock, nanoseconds"),
     ("ligra_fault_injections_total", "counter", &["point"], "Faults fired by injection point"),
     ("ligra_wire_requests_total", "counter", &[], "Request lines received by the wire reader"),
     ("ligra_wire_bytes_total", "counter", &[], "Bytes read by the wire reader"),
@@ -63,6 +71,21 @@ fn labeled(out: &mut String, name: &str, key: &str, rows: &[(&str, u64)]) {
     for (value, v) in rows {
         let _ = writeln!(out, "{name}{{{key}=\"{value}\"}} {v}");
     }
+}
+
+fn bare_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let mut cum = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 || i > MAX_FINITE_BUCKET {
+            continue;
+        }
+        cum += c;
+        let le = bucket_upper_bound(i);
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
 }
 
 fn histogram(out: &mut String, name: &str, key: &str, rows: &[(&str, HistogramSnapshot)]) {
@@ -211,6 +234,63 @@ pub fn render(s: &MetricsSnapshot) -> String {
         s.partition_scatter_bytes,
     );
 
+    scalar(
+        &mut out,
+        "ligra_mutation_overlay_edges",
+        "gauge",
+        "Arcs in the serving snapshot's delta overlay",
+        s.mutation_overlay_edges,
+    );
+    scalar(
+        &mut out,
+        "ligra_mutation_overlay_vertices",
+        "gauge",
+        "Vertices touched by the delta overlay",
+        s.mutation_overlay_vertices,
+    );
+    scalar(
+        &mut out,
+        "ligra_mutation_batches_applied_total",
+        "counter",
+        "Mutation batches applied",
+        s.mutation_batches,
+    );
+    scalar(
+        &mut out,
+        "ligra_mutation_edges_added_total",
+        "counter",
+        "Arcs inserted by mutation batches",
+        s.mutation_edges_added,
+    );
+    scalar(
+        &mut out,
+        "ligra_mutation_edges_deleted_total",
+        "counter",
+        "Arcs removed by mutation tombstones",
+        s.mutation_edges_deleted,
+    );
+    scalar(
+        &mut out,
+        "ligra_mutation_compactions_total",
+        "counter",
+        "Background CSR compactions installed",
+        s.mutation_compactions,
+    );
+    scalar(
+        &mut out,
+        "ligra_mutation_compaction_failures_total",
+        "counter",
+        "Compactions failed or panicked",
+        s.mutation_compaction_failures,
+    );
+    head(
+        &mut out,
+        "ligra_mutation_compaction_ns",
+        "histogram",
+        "Compaction wall clock, nanoseconds",
+    );
+    bare_histogram(&mut out, "ligra_mutation_compaction_ns", &s.mutation_compact_time);
+
     head(&mut out, "ligra_fault_injections_total", "counter", "Faults fired by injection point");
     labeled(&mut out, "ligra_fault_injections_total", "point", &s.fault_injections);
 
@@ -278,6 +358,14 @@ mod tests {
             partition_rounds: 2,
             partition_bins_flushed: 16,
             partition_scatter_bytes: 4_096,
+            mutation_batches: 3,
+            mutation_edges_added: 12,
+            mutation_edges_deleted: 4,
+            mutation_overlay_edges: 20,
+            mutation_overlay_vertices: 7,
+            mutation_compactions: 1,
+            mutation_compaction_failures: 0,
+            mutation_compact_time: h.clone(),
             fault_injections: vec![("graph.load", 0), ("edgemap.round", 7)],
             queue_wait: Query::KIND_NAMES
                 .iter()
@@ -342,6 +430,9 @@ mod tests {
         // Empty histograms still close with +Inf, sum, count.
         assert!(text.contains("ligra_run_time_ns_bucket{query=\"mis\",le=\"+Inf\"} 0"));
         assert!(text.contains("ligra_run_time_ns_sum{query=\"mis\"} 0"));
+        // The label-free compaction histogram closes the same way.
+        assert!(text.contains("ligra_mutation_compaction_ns_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("ligra_mutation_compaction_ns_count 4"));
     }
 
     #[test]

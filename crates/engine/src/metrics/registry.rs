@@ -60,6 +60,24 @@ pub struct MetricsRegistry {
     /// Bytes of bin entries scattered by partitioned rounds.
     pub partition_scatter_bytes: Counter,
 
+    // --- live mutation subsystem ---
+    /// Mutation batches applied (each publishes an epoch).
+    pub mutation_batches: Counter,
+    /// Arcs inserted by mutation batches (set-semantics no-ops excluded).
+    pub mutation_edges_added: Counter,
+    /// Arc copies removed by mutation tombstones.
+    pub mutation_edges_deleted: Counter,
+    /// Arcs held in the serving snapshot's delta overlay right now.
+    pub mutation_overlay_edges: Gauge,
+    /// Vertices touched by the serving snapshot's overlay right now.
+    pub mutation_overlay_vertices: Gauge,
+    /// Background compactions that installed a clean CSR.
+    pub mutation_compactions: Counter,
+    /// Compactions that failed or panicked without touching the store.
+    pub mutation_compaction_failures: Counter,
+    /// Wall-clock nanoseconds per successful compaction.
+    mutation_compact_time: Histogram,
+
     // --- latency histograms, per query kind ---
     queue_wait: [Histogram; N_KINDS],
     run_time: [Histogram; N_KINDS],
@@ -128,6 +146,17 @@ impl MetricsRegistry {
     pub fn merged_run_time(&self) -> HistogramSnapshot {
         merge_all(&self.run_time)
     }
+
+    /// Records one successful compaction's wall-clock duration.
+    #[inline]
+    pub fn observe_compaction(&self, ns: u64) {
+        self.mutation_compact_time.record(ns);
+    }
+
+    /// Snapshot of the compaction-duration histogram.
+    pub fn compaction_snapshot(&self) -> HistogramSnapshot {
+        self.mutation_compact_time.snapshot()
+    }
 }
 
 fn merge_all(hs: &[Histogram; N_KINDS]) -> HistogramSnapshot {
@@ -185,6 +214,22 @@ pub struct MetricsSnapshot {
     pub partition_bins_flushed: u64,
     /// Bytes scattered into bins by partitioned rounds.
     pub partition_scatter_bytes: u64,
+    /// Mutation batches applied.
+    pub mutation_batches: u64,
+    /// Arcs inserted by mutation batches.
+    pub mutation_edges_added: u64,
+    /// Arc copies removed by mutation tombstones.
+    pub mutation_edges_deleted: u64,
+    /// Arcs in the serving snapshot's delta overlay.
+    pub mutation_overlay_edges: u64,
+    /// Vertices touched by the serving snapshot's overlay.
+    pub mutation_overlay_vertices: u64,
+    /// Successful background compactions.
+    pub mutation_compactions: u64,
+    /// Failed/panicked compactions.
+    pub mutation_compaction_failures: u64,
+    /// Compaction-duration histogram (nanoseconds).
+    pub mutation_compact_time: HistogramSnapshot,
     /// Faults fired, one `(point name, count)` per fault point (all
     /// zero when no plan is armed).
     pub fault_injections: Vec<(&'static str, u64)>,

@@ -59,7 +59,7 @@ const MAX_DISPATCH_RETRIES: u64 = 2;
 /// (queue, cache, job table, span log) is left consistent between
 /// individual operations, so the poison flag carries no information the
 /// scheduler needs.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -197,6 +197,20 @@ pub struct EngineStats {
     pub run_p99_ns: u64,
     /// Largest observed run time (exact).
     pub run_max_ns: u64,
+    /// Mutation batches applied to the live graph.
+    pub mutation_batches: u64,
+    /// Arcs inserted by mutation batches.
+    pub mutation_edges_added: u64,
+    /// Arc copies removed by mutation batches.
+    pub mutation_edges_deleted: u64,
+    /// Arcs currently held in the serving snapshot's delta overlay.
+    pub overlay_edges: u64,
+    /// Vertices currently touched by the serving snapshot's overlay.
+    pub overlay_vertices: u64,
+    /// Background compactions that installed a clean CSR.
+    pub compactions: u64,
+    /// Compactions that failed or panicked (store left untouched).
+    pub compaction_failures: u64,
 }
 
 struct JobState {
@@ -426,6 +440,19 @@ impl Engine {
         self.shared.store.current().map(|s| s.epoch())
     }
 
+    /// The current snapshot, if a graph is installed. The mutation log
+    /// reads the graph it layers deltas over from here, so mutations
+    /// always stack on what queries are being served.
+    pub fn current_snapshot(&self) -> Option<Arc<Snapshot>> {
+        self.shared.store.current()
+    }
+
+    /// The configured memory budget, if any (shared with the mutation
+    /// log's admission check).
+    pub(crate) fn memory_budget(&self) -> Option<u64> {
+        self.shared.config.memory_budget
+    }
+
     /// The fault plan this engine was configured with, if any.
     pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
         self.shared.config.fault.clone()
@@ -537,7 +564,7 @@ impl Engine {
 
     /// Load-proportional backoff hint for [`SubmitError::Overloaded`]:
     /// grows with the number of in-flight queries, capped at 500ms.
-    fn retry_after_hint(&self) -> Duration {
+    pub(crate) fn retry_after_hint(&self) -> Duration {
         let sh = &self.shared;
         let queued = lock(&sh.queue).len() as u64;
         let running = sh.metrics.running.get();
@@ -586,6 +613,13 @@ impl Engine {
             run_p95_ns: rt.p95(),
             run_p99_ns: rt.p99(),
             run_max_ns: rt.max,
+            mutation_batches: m.mutation_batches.get(),
+            mutation_edges_added: m.mutation_edges_added.get(),
+            mutation_edges_deleted: m.mutation_edges_deleted.get(),
+            overlay_edges: m.mutation_overlay_edges.get(),
+            overlay_vertices: m.mutation_overlay_vertices.get(),
+            compactions: m.mutation_compactions.get(),
+            compaction_failures: m.mutation_compaction_failures.get(),
         }
     }
 
@@ -635,6 +669,14 @@ impl Engine {
             partition_rounds: m.partition_rounds.get(),
             partition_bins_flushed: m.partition_bins_flushed.get(),
             partition_scatter_bytes: m.partition_scatter_bytes.get(),
+            mutation_batches: m.mutation_batches.get(),
+            mutation_edges_added: m.mutation_edges_added.get(),
+            mutation_edges_deleted: m.mutation_edges_deleted.get(),
+            mutation_overlay_edges: m.mutation_overlay_edges.get(),
+            mutation_overlay_vertices: m.mutation_overlay_vertices.get(),
+            mutation_compactions: m.mutation_compactions.get(),
+            mutation_compaction_failures: m.mutation_compaction_failures.get(),
+            mutation_compact_time: m.compaction_snapshot(),
             fault_injections,
             queue_wait: Query::KIND_NAMES
                 .iter()

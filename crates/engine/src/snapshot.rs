@@ -7,7 +7,7 @@
 //! cache keys on `(epoch, query)` so stale results can never be served
 //! for a newer graph.
 
-use ligra_graph::{Adjacency, Graph, WeightedGraph};
+use ligra_graph::{Graph, WeightedGraph};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
@@ -83,27 +83,24 @@ impl Snapshot {
     }
 }
 
-fn reweight<A: Copy + Send + Sync, B: Copy + Send + Sync>(
-    adj: &Adjacency<A>,
-    weights: Vec<B>,
-) -> Adjacency<B> {
-    Adjacency::new(adj.offsets().to_vec(), adj.targets().to_vec(), weights)
-}
-
 fn strip_weights(wg: &WeightedGraph) -> Graph {
+    // `stripped` shares the base arrays and preserves any delta overlay,
+    // so the unweighted view of a mutated snapshot costs O(overlay).
     if wg.is_symmetric() {
-        Graph::symmetric(reweight(wg.out_adj(), vec![]))
+        Graph::symmetric(wg.out_adj().stripped())
     } else {
-        Graph::directed(reweight(wg.out_adj(), vec![]), reweight(wg.in_adj(), vec![]))
+        Graph::directed(wg.out_adj().stripped(), wg.in_adj().stripped())
     }
 }
 
 fn unit_weights(g: &Graph) -> WeightedGraph {
-    let out = reweight(g.out_adj(), vec![1i32; g.out_adj().num_edges()]);
+    // `unit_weighted` likewise preserves overlay structure: Bellman-Ford
+    // on a live-mutated snapshot sees the same view as every other query.
+    let out = g.out_adj().unit_weighted();
     if g.is_symmetric() {
         Graph::symmetric(out)
     } else {
-        Graph::directed(out, reweight(g.in_adj(), vec![1i32; g.in_adj().num_edges()]))
+        Graph::directed(out, g.in_adj().unit_weighted())
     }
 }
 

@@ -2,10 +2,51 @@
 
 use ligra_parallel::checked_u32;
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Dense vertex identifier. The paper's `intT`; `u32` supports graphs with
 /// up to ~4.2 billion vertices, matching Ligra's default build.
 pub type VertexId = u32;
+
+/// A live-mutation delta overlay over one direction of a base CSR (built
+/// by [`crate::delta`]). Touched vertices store their *fully merged*
+/// neighbor list in a compact side CSR, so [`Adjacency::neighbors`] still
+/// hands traversal kernels a contiguous slice; untouched vertices read
+/// the base arrays unchanged. Vertices `>= base n` (added after the base
+/// was built) are always touched, which keeps base-offset indexing in
+/// bounds.
+#[derive(Debug)]
+pub(crate) struct Overlay<W> {
+    /// Vertex count of the overlaid view (>= the base CSR's).
+    pub(crate) n: usize,
+    /// Arc count of the overlaid view.
+    pub(crate) m: u64,
+    /// Word-packed touched-vertex bitset over `0..n`.
+    pub(crate) touched: Box<[u64]>,
+    /// Sorted touched vertex ids — the side CSR's row keys.
+    pub(crate) ids: Box<[VertexId]>,
+    /// Side-CSR offsets, length `ids.len() + 1`.
+    pub(crate) offs: Box<[u64]>,
+    /// Concatenated merged neighbor lists of the touched vertices.
+    pub(crate) targets: Box<[VertexId]>,
+    /// Weights parallel to `targets` (empty when `W = ()`).
+    pub(crate) weights: Box<[W]>,
+}
+
+impl<W> Overlay<W> {
+    /// Whether `v` has a side-CSR row (one bitset probe).
+    #[inline]
+    pub(crate) fn is_touched(&self, v: usize) -> bool {
+        (self.touched[v >> 6] >> (v & 63)) & 1 == 1
+    }
+
+    /// The side-CSR range of a touched vertex's merged list.
+    #[inline]
+    fn range(&self, v: VertexId) -> std::ops::Range<usize> {
+        let s = self.ids.binary_search(&v).expect("touched vertex has a side-CSR row");
+        self.offs[s] as usize..self.offs[s + 1] as usize
+    }
+}
 
 /// One direction of adjacency in CSR form, optionally weighted.
 ///
@@ -13,11 +54,20 @@ pub type VertexId = u32;
 /// `targets[offsets[v] .. offsets[v+1]]` and (for weighted graphs) the
 /// corresponding weights occupy the same range of `weights`. For unweighted
 /// graphs `W = ()` and the weight array is a zero-sized placeholder.
+///
+/// The arrays are reference-counted so clones are O(1) — a delta overlay
+/// (see [`crate::delta`]) layers per-vertex edits over the *same* base
+/// arrays without copying them. Per-vertex accessors (`degree`,
+/// `neighbors`, `weights`) and the counts (`num_vertices`, `num_edges`)
+/// see the overlaid view; the whole-array accessors (`offsets`,
+/// `targets`, `weight_slice`, `offset`) expose the base CSR only and must
+/// be guarded by [`Adjacency::has_overlay`] / [`Adjacency::materialized`].
 #[derive(Debug, Clone)]
 pub struct Adjacency<W = ()> {
-    offsets: Box<[u64]>,
-    targets: Box<[VertexId]>,
-    weights: Box<[W]>,
+    offsets: Arc<[u64]>,
+    targets: Arc<[VertexId]>,
+    weights: Arc<[W]>,
+    overlay: Option<Arc<Overlay<W>>>,
 }
 
 impl<W: Copy + Send + Sync> Adjacency<W> {
@@ -43,32 +93,47 @@ impl<W: Copy + Send + Sync> Adjacency<W> {
             assert_eq!(weights.len(), targets.len(), "one weight per edge");
         }
         Adjacency {
-            offsets: offsets.into_boxed_slice(),
-            targets: targets.into_boxed_slice(),
-            weights: weights.into_boxed_slice(),
+            offsets: offsets.into(),
+            targets: targets.into(),
+            weights: weights.into(),
+            overlay: None,
         }
     }
 
-    /// Number of vertices.
+    /// Number of vertices in this direction's view.
     #[inline]
     pub fn num_vertices(&self) -> usize {
-        self.offsets.len() - 1
+        match &self.overlay {
+            Some(o) => o.n,
+            None => self.offsets.len() - 1,
+        }
     }
 
-    /// Number of edges (arcs) stored in this direction.
+    /// Number of edges (arcs) stored in this direction's view.
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.targets.len()
+        match &self.overlay {
+            Some(o) => o.m as usize,
+            None => self.targets.len(),
+        }
     }
 
     /// Degree of `v` in this direction.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
+        if let Some(o) = &self.overlay {
+            if o.is_touched(v as usize) {
+                let r = o.range(v);
+                return r.end - r.start;
+            }
+        }
         let v = v as usize;
         (self.offsets[v + 1] - self.offsets[v]) as usize
     }
 
-    /// Start of `v`'s adjacency range.
+    /// Start of `v`'s adjacency range in the **base** arrays. Base-only:
+    /// meaningless for overlaid vertices — callers walking raw arrays must
+    /// check [`Self::has_overlay`] (or take a [`Self::materialized`] copy).
     #[inline]
     pub fn offset(&self, v: VertexId) -> u64 {
         self.offsets[v as usize]
@@ -77,6 +142,11 @@ impl<W: Copy + Send + Sync> Adjacency<W> {
     /// Neighbor list of `v`.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        if let Some(o) = &self.overlay {
+            if o.is_touched(v as usize) {
+                return &o.targets[o.range(v)];
+            }
+        }
         let v = v as usize;
         &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
     }
@@ -89,28 +159,191 @@ impl<W: Copy + Send + Sync> Adjacency<W> {
         if std::mem::size_of::<W>() == 0 {
             return &[];
         }
+        if let Some(o) = &self.overlay {
+            if o.is_touched(v as usize) {
+                return &o.weights[o.range(v)];
+            }
+        }
         let v = v as usize;
         &self.weights[self.offsets[v] as usize..self.offsets[v + 1] as usize]
     }
 
-    /// The whole offset array (length `n + 1`).
+    /// The whole **base** offset array (length `base n + 1`; ignores any
+    /// overlay — guard with [`Self::has_overlay`]).
     #[inline]
     pub fn offsets(&self) -> &[u64] {
         &self.offsets
     }
 
-    /// The whole target array (length `m`).
+    /// The whole **base** target array (length `base m`; ignores any
+    /// overlay — guard with [`Self::has_overlay`]).
     #[inline]
     pub fn targets(&self) -> &[VertexId] {
         &self.targets
     }
 
-    /// The whole weight array (length `m`, or 0 for unweighted).
+    /// The whole **base** weight array (length `base m`, or 0 for
+    /// unweighted; ignores any overlay — guard with [`Self::has_overlay`]).
     #[inline]
     pub fn weight_slice(&self) -> &[W] {
         &self.weights
     }
+
+    /// Whether this direction carries a delta overlay.
+    #[inline]
+    pub fn has_overlay(&self) -> bool {
+        self.overlay.is_some()
+    }
+
+    /// Arcs stored in the overlay side CSR (0 without an overlay). This is
+    /// the *merged-list* footprint — the memory the overlay costs on top
+    /// of the shared base arrays.
+    #[inline]
+    pub fn overlay_arcs(&self) -> u64 {
+        self.overlay.as_ref().map_or(0, |o| o.targets.len() as u64)
+    }
+
+    /// Touched vertices in the overlay (0 without an overlay).
+    #[inline]
+    pub fn overlay_vertices(&self) -> u64 {
+        self.overlay.as_ref().map_or(0, |o| o.ids.len() as u64)
+    }
+
+    /// The overlay, if any (for [`crate::delta`]'s stacking merge).
+    #[inline]
+    pub(crate) fn overlay(&self) -> Option<&Overlay<W>> {
+        self.overlay.as_deref()
+    }
+
+    /// The same base arrays (shared, O(1)) under a new overlay.
+    pub(crate) fn overlaid(&self, overlay: Overlay<W>) -> Self {
+        debug_assert!(overlay.n.div_ceil(64) <= overlay.touched.len());
+        debug_assert_eq!(overlay.offs.len(), overlay.ids.len() + 1);
+        Adjacency {
+            offsets: Arc::clone(&self.offsets),
+            targets: Arc::clone(&self.targets),
+            weights: Arc::clone(&self.weights),
+            overlay: Some(Arc::new(overlay)),
+        }
+    }
+
+    /// Flattens the overlaid view into a clean CSR with fresh contiguous
+    /// arrays (the compactor's kernel). Without an overlay this is a cheap
+    /// clone of the shared base arrays.
+    pub fn materialized(&self) -> Self {
+        use ligra_parallel::scan::prefix_sums;
+
+        if self.overlay.is_none() {
+            return self.clone();
+        }
+        let n = self.num_vertices();
+        let m = self.num_edges();
+        let weighted = std::mem::size_of::<W>() != 0;
+
+        let degrees: Vec<u64> =
+            (0..n).into_par_iter().map(|v| self.degree(checked_u32(v)) as u64).collect();
+        let (mut offsets, total) = prefix_sums(&degrees);
+        offsets.push(total);
+        debug_assert_eq!(total as usize, m, "overlay arc count must match summed degrees");
+
+        // Copy each merged list into its disjoint output range.
+        let mut targets: Vec<VertexId> = vec![0; m];
+        {
+            let mut pieces: Vec<(VertexId, &mut [VertexId])> = Vec::with_capacity(n);
+            let mut rest: &mut [VertexId] = &mut targets;
+            for v in 0..n {
+                let len = (offsets[v + 1] - offsets[v]) as usize;
+                let (head, tail) = rest.split_at_mut(len);
+                pieces.push((checked_u32(v), head));
+                rest = tail;
+            }
+            pieces.into_par_iter().for_each(|(v, out)| out.copy_from_slice(self.neighbors(v)));
+        }
+
+        let mut weights: Vec<W> = Vec::new();
+        if weighted {
+            weights.reserve_exact(m);
+            let spare = weights.spare_capacity_mut();
+            let ptr = SendPtr(spare.as_mut_ptr());
+            (0..n).into_par_iter().for_each(|v| {
+                let p = ptr;
+                let base = offsets[v] as usize;
+                // SAFETY: per-vertex output ranges come from an exclusive
+                // scan of the degrees, so writes are disjoint and within
+                // the reserved capacity; each slot is written exactly once.
+                for (i, &w) in self.weights(checked_u32(v)).iter().enumerate() {
+                    unsafe { (*p.0.add(base + i)).write(w) };
+                }
+            });
+            // SAFETY: the scan covers all m slots, so every one is
+            // initialized by the loop above.
+            unsafe { weights.set_len(m) };
+        }
+
+        Adjacency::new(offsets, targets, weights)
+    }
+
+    /// The same view with weights dropped (`W = ()`), preserving any
+    /// overlay structure so the stripped twin stays O(overlay)-cheap.
+    pub fn stripped(&self) -> Adjacency<()> {
+        Adjacency {
+            offsets: Arc::clone(&self.offsets),
+            targets: Arc::clone(&self.targets),
+            weights: Arc::from(Vec::new()),
+            overlay: self.overlay.as_ref().map(|o| {
+                Arc::new(Overlay {
+                    n: o.n,
+                    m: o.m,
+                    touched: o.touched.clone(),
+                    ids: o.ids.clone(),
+                    offs: o.offs.clone(),
+                    targets: o.targets.clone(),
+                    weights: Box::new([]),
+                })
+            }),
+        }
+    }
 }
+
+impl Adjacency<()> {
+    /// The same view with every edge given unit weight, preserving any
+    /// overlay structure (the lazily-built weighted twin of an unweighted
+    /// snapshot must not flatten the overlay).
+    pub fn unit_weighted(&self) -> Adjacency<i32> {
+        Adjacency {
+            offsets: Arc::clone(&self.offsets),
+            targets: Arc::clone(&self.targets),
+            weights: vec![1i32; self.targets.len()].into(),
+            overlay: self.overlay.as_ref().map(|o| {
+                Arc::new(Overlay {
+                    n: o.n,
+                    m: o.m,
+                    touched: o.touched.clone(),
+                    ids: o.ids.clone(),
+                    offs: o.offs.clone(),
+                    targets: o.targets.clone(),
+                    weights: vec![1i32; o.targets.len()].into_boxed_slice(),
+                })
+            }),
+        }
+    }
+}
+
+/// A bare pointer that rayon may carry across threads for disjoint-range
+/// scatter writes. Every use site must justify disjointness with its own
+/// SAFETY comment.
+struct SendPtr<T>(*mut T);
+// SAFETY: the wrapper only smuggles the address; use sites guarantee the
+// concurrent writes hit disjoint slots.
+unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: as above — scatter destinations are disjoint.
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
 
 /// A graph in CSR form: out-edges plus, for directed graphs, the transpose.
 ///
@@ -307,16 +540,57 @@ impl<W: Copy + Send + Sync> Graph<W> {
             })
             .reduce(|| (0, 0), |a, b| if b.1 > a.1 || (b.1 == a.1 && b.0 < a.0) { b } else { a })
     }
+
+    /// Whether either direction carries a delta overlay (a live-mutation
+    /// view that has not been compacted yet).
+    #[inline]
+    pub fn has_overlay(&self) -> bool {
+        self.out.has_overlay() || self.incoming.as_ref().is_some_and(|i| i.has_overlay())
+    }
+
+    /// Arcs held in overlay side CSRs across both directions — the memory
+    /// the live view costs on top of the shared base arrays.
+    #[inline]
+    pub fn overlay_arcs(&self) -> u64 {
+        self.out.overlay_arcs() + self.incoming.as_ref().map_or(0, |i| i.overlay_arcs())
+    }
+
+    /// Touched vertices in the out-direction overlay.
+    #[inline]
+    pub fn overlay_vertices(&self) -> u64 {
+        self.out.overlay_vertices()
+    }
+
+    /// Flattens any overlay into clean CSRs (fresh contiguous arrays, no
+    /// overlay, empty partition cache). Results are identical vertex by
+    /// vertex; only the layout changes. Without an overlay this is an
+    /// O(1) clone.
+    pub fn compacted(&self) -> Self {
+        if !self.has_overlay() {
+            return self.clone();
+        }
+        let out = self.out.materialized();
+        match &self.incoming {
+            None => Graph::symmetric(out),
+            Some(inc) => Graph::directed(out, inc.materialized()),
+        }
+    }
 }
 
 /// Computes the transpose of a CSR direction: the in-CSR whose list for
 /// `v` holds every `u` with an arc `u -> v` (sorted), weights carried along.
+///
+/// An overlaid direction is materialized first — the histogram/scatter
+/// below walks the raw base arrays.
 pub fn transpose<W: Copy + Send + Sync>(adj: &Adjacency<W>) -> Adjacency<W> {
     use ligra_parallel::atomics::{as_atomic_u32, as_atomic_u64};
     use ligra_parallel::histogram::histogram_u32;
     use ligra_parallel::scan::prefix_sums;
     use std::sync::atomic::Ordering;
 
+    if adj.has_overlay() {
+        return transpose(&adj.materialized());
+    }
     let n = adj.num_vertices();
     let m = adj.num_edges();
     let weighted = std::mem::size_of::<W>() != 0;
@@ -352,19 +626,6 @@ pub fn transpose<W: Copy + Send + Sync>(adj: &Adjacency<W>) -> Adjacency<W> {
     if weighted {
         weights.reserve_exact(m);
         let spare = weights.spare_capacity_mut();
-        struct SendPtr<T>(*mut T);
-        // SAFETY: bare address into the reserved spare capacity; the
-        // scatter below writes each weight slot exactly once (offsets come
-        // from an exclusive scan), so concurrent writes are disjoint.
-        unsafe impl<T> Send for SendPtr<T> {}
-        // SAFETY: as above — scatter destinations are disjoint.
-        unsafe impl<T> Sync for SendPtr<T> {}
-        impl<T> Clone for SendPtr<T> {
-            fn clone(&self) -> Self {
-                *self
-            }
-        }
-        impl<T> Copy for SendPtr<T> {}
         let ptr = SendPtr(spare.as_mut_ptr());
         let all_weights = adj.weight_slice();
         (0..m).into_par_iter().for_each(|i| {

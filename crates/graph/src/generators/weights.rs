@@ -24,6 +24,15 @@ pub fn pair_weight(u: VertexId, v: VertexId, max_w: i32, seed: u64) -> i32 {
 /// edge get the same weight.
 pub fn random_weights(g: &Graph, max_w: i32, seed: u64) -> WeightedGraph {
     assert!(max_w >= 1);
+    // The raw offset/target copies below assume a contiguous CSR; flatten
+    // any live delta overlay first (cheap clone otherwise).
+    let compacted;
+    let g = if g.has_overlay() {
+        compacted = g.compacted();
+        &compacted
+    } else {
+        g
+    };
     let n = g.num_vertices();
 
     let weigh = |adj: &crate::csr::Adjacency<()>, transposed: bool| {

@@ -266,6 +266,15 @@ where
     W: Write,
     F: Fn(&Graph<Wt>, &mut BufWriter<W>) -> io::Result<()>,
 {
+    // The raw-array walk below needs a contiguous CSR; flatten any live
+    // delta overlay first (cheap clone otherwise).
+    let compacted;
+    let g = if g.has_overlay() {
+        compacted = g.compacted();
+        &compacted
+    } else {
+        g
+    };
     let n = g.num_vertices();
     let m = g.num_edges();
     writeln!(w, "{n}")?;

@@ -16,6 +16,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod generators;
 pub mod io;
 pub mod ops;
@@ -24,6 +25,7 @@ pub mod properties;
 
 pub use builder::{build_graph, build_weighted_graph, BuildOptions};
 pub use csr::{Adjacency, Graph, VertexId, WeightedGraph};
+pub use delta::{apply_batch, apply_normalized, ApplyStats, DeltaBatch, DeltaError};
 pub use ops::{induced_subgraph, largest_component, relabel_by_degree};
 pub use partition::Partitioning;
 pub use properties::GraphStats;

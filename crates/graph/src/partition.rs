@@ -83,6 +83,11 @@ impl Partitioning {
     pub fn of<W: Copy + Send + Sync>(adj: &Adjacency<W>, bits: u32) -> Self {
         let bits = bits.clamp(MIN_BITS, MAX_BITS);
         let n = adj.num_vertices();
+        // An overlaid direction has no contiguous offset array for its
+        // view; fall back to the per-vertex degree path.
+        if adj.has_overlay() {
+            return Self::from_degrees(n, bits, |v| adj.degree(v) as u64);
+        }
         let num = n.div_ceil(1usize << bits).max(1);
         let offsets = adj.offsets();
         let in_edges: Box<[u64]> = (0..num)

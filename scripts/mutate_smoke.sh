@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# Loopback smoke test for the live-mutation subsystem: starts ligra-serve
+# on localhost TCP and drives one JSONL session through the full epoch
+# lifecycle, asserting the acceptance-critical responses:
+#
+#   * `mutate` publishes a new epoch whose BFS answer differs correctly
+#     (grown vertices become reachable, deleted edges disconnect),
+#   * a query submitted before the mutation completes pinned to its
+#     submit-time epoch (its span names the old epoch),
+#   * `compact` flattens the overlay into a clean CSR with identical
+#     query results, visible through `graph-stats`,
+#   * `stats` and the Prometheus endpoint carry the ligra_mutation_*
+#     counters that tell the same story (scrapes land in
+#     $LIGRA_SMOKE_ARTIFACTS for upload).
+#
+# Usage: scripts/mutate_smoke.sh [path-to-ligra-serve]
+set -euo pipefail
+
+BIN="${1:-./target/release/ligra-serve}"
+ADDR="${LIGRA_SMOKE_ADDR:-127.0.0.1:17431}"
+MADDR="${LIGRA_SMOKE_METRICS_ADDR:-127.0.0.1:17432}"
+ART="${LIGRA_SMOKE_ARTIFACTS:-target/smoke-artifacts}"
+mkdir -p "$ART"
+
+if [[ ! -x "$BIN" ]]; then
+    echo "mutate_smoke: $BIN not found (build with: cargo build --release -p ligra-engine)" >&2
+    exit 1
+fi
+
+"$BIN" --listen "$ADDR" --workers 2 --metrics-addr "$MADDR" &
+SERVER_PID=$!
+cleanup() { kill "$SERVER_PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+up=0
+for _ in $(seq 1 100); do
+    if printf '{"op":"ping"}\n' | "$BIN" --client "$ADDR" 2>/dev/null | grep -q '"pong"'; then
+        up=1
+        break
+    fi
+    sleep 0.1
+done
+[[ "$up" == 1 ]] || { echo "mutate_smoke: server never came up on $ADDR" >&2; exit 1; }
+
+# 4x4x4 grid: 64 vertices, all reachable from 0. The session grows it by
+# two vertices, re-verifies BFS on the new epoch, compacts, re-verifies
+# on the clean CSR, then deletes the bridge edge and verifies again.
+OUT=$("$BIN" --client "$ADDR" <<'EOF'
+{"op":"gen","family":"grid3d","side":4}
+{"op":"submit","query":"bfs","source":0}
+{"op":"wait","id":1}
+{"op":"submit","query":"pagerank","max_iters":400}
+{"op":"mutate","add_vertices":2,"add":"0-64,64-65"}
+{"op":"submit","query":"bfs","source":0}
+{"op":"wait","id":3}
+{"op":"wait","id":2}
+{"op":"span","id":2}
+{"op":"graph-stats"}
+{"op":"compact"}
+{"op":"graph-stats"}
+{"op":"submit","query":"bfs","source":0}
+{"op":"wait","id":4}
+{"op":"mutate","del":"0-64"}
+{"op":"submit","query":"bfs","source":0}
+{"op":"wait","id":5}
+{"op":"stats"}
+EOF
+)
+echo "$OUT"
+
+line() { echo "$OUT" | sed -n "${1}p"; }
+expect() { # expect <line-no> <grep-pattern> <label>
+    if ! line "$1" | grep -q "$2"; then
+        echo "mutate_smoke: FAIL [$3] — response line $1 did not match '$2':" >&2
+        line "$1" >&2
+        exit 1
+    fi
+}
+
+expect 1  '"vertices":64'            "gen size"
+expect 3  '"reached":64'             "baseline BFS covers the grid"
+expect 5  '"ok":true'                "mutate accepted"
+expect 5  '"epoch":2'                "mutate publishes a new epoch"
+expect 5  '"vertices_added":2'       "mutate grew the id space"
+expect 5  '"arcs_added":4'           "symmetric insert adds both arcs"
+expect 7  '"reached":66'             "post-mutation BFS reaches the grown vertices"
+expect 8  '"status":"done"'          "pre-mutation query still completes"
+expect 9  '"epoch":1'                "pre-mutation query stayed pinned to its epoch"
+expect 10 '"has_overlay":true'       "graph-stats shows the overlay"
+expect 10 '"pending_batches":1'      "graph-stats counts the pending batch"
+expect 11 '"ok":true'                "compact accepted"
+expect 11 '"reapplied_batches":0'    "nothing landed mid-compaction"
+expect 12 '"has_overlay":false'      "compaction flattened the overlay"
+expect 12 '"compactions":1'          "graph-stats counts the compaction"
+expect 14 '"reached":66'             "compacted CSR answers identically"
+expect 15 '"arcs_deleted":2'         "delete tombstones both arcs"
+expect 17 '"reached":64'             "deleted bridge disconnects the grown vertices"
+expect 18 '"mutation_batches":2'     "stats count the applied batches"
+expect 18 '"compactions":1'          "stats count the compaction"
+
+# The scrape tells the same story in the pinned family vocabulary.
+scrape() {
+    exec 3<>"/dev/tcp/${MADDR%:*}/${MADDR#*:}" \
+        || { echo "mutate_smoke: FAIL — metrics endpoint $MADDR unreachable" >&2; exit 1; }
+    printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+    tr -d '\r' <&3 | sed '1,/^$/d' > "$1"
+    exec 3<&- 3>&-
+}
+metric() { awk -v p="$2" 'index($0, p) == 1 { print $NF }' "$1"; }
+scrape "$ART/metrics-mutate.txt"
+for fam in ligra_mutation_overlay_edges ligra_mutation_overlay_vertices \
+    ligra_mutation_batches_applied_total ligra_mutation_edges_added_total \
+    ligra_mutation_edges_deleted_total ligra_mutation_compactions_total \
+    ligra_mutation_compaction_failures_total ligra_mutation_compaction_ns; do
+    if ! grep -q "^# TYPE $fam " "$ART/metrics-mutate.txt"; then
+        echo "mutate_smoke: FAIL — family $fam missing from scrape" >&2
+        exit 1
+    fi
+done
+mexpect() { # mexpect <exposition-line-prefix> <value> <label>
+    got=$(metric "$ART/metrics-mutate.txt" "$1")
+    if [[ "$got" != "$2" ]]; then
+        echo "mutate_smoke: FAIL [$3] — scrape has '$1' = '$got', want $2" >&2
+        exit 1
+    fi
+}
+mexpect 'ligra_mutation_batches_applied_total ' 2    "scrape counts the batches"
+mexpect 'ligra_mutation_edges_added_total ' 4        "scrape counts the inserted arcs"
+mexpect 'ligra_mutation_edges_deleted_total ' 2      "scrape counts the tombstoned arcs"
+mexpect 'ligra_mutation_compactions_total ' 1        "scrape counts the compaction"
+mexpect 'ligra_mutation_compaction_failures_total ' 0 "no compaction failed"
+mexpect 'ligra_mutation_compaction_ns_count ' 1      "compaction duration was observed"
+
+printf '{"op":"shutdown"}\n' | "$BIN" --client "$ADDR" | grep -q '"shutting-down"'
+for _ in $(seq 1 50); do
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "mutate_smoke: FAIL — server still alive after shutdown op" >&2
+    exit 1
+fi
+trap - EXIT
+
+echo "mutate_smoke: OK"

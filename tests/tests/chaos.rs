@@ -16,10 +16,15 @@
 //!   completes normally.
 #![cfg(feature = "fault-inject")]
 
+use ligra_apps as apps;
 use ligra_engine::{
-    Engine, EngineConfig, FaultAction, FaultPlan, FaultPoint, Query, QueryError, QueryStatus,
+    Engine, EngineConfig, FaultAction, FaultPlan, FaultPoint, MutateError, MutationConfig,
+    MutationLog, Query, QueryError, QueryOutput, QueryStatus,
 };
 use ligra_graph::generators::grid3d;
+use ligra_graph::DeltaBatch;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -262,4 +267,145 @@ fn metrics_stay_truthful_under_armed_faults() {
         text.contains(&format!("ligra_queries_retired_total{{status=\"panicked\"}} {panicked}\n"))
     );
     assert!(engine.workers_alive());
+}
+
+#[test]
+fn writer_vs_readers_keep_snapshot_isolation_under_apply_faults() {
+    // One sequential writer churns the graph through the mutation log
+    // (with `mutate.apply` periodically erroring by injection) while
+    // reader threads run CC queries the whole time. Every reader
+    // observation must match the exact graph its span's epoch named —
+    // never a half-applied batch, never a mix of two epochs — and a
+    // faulted apply must publish nothing.
+    for &seed in &SEEDS[..4] {
+        let plan =
+            FaultPlan::seeded(seed).arm_every(FaultPoint::MutateApply, FaultAction::Error, 3);
+        let engine = engine_with(plan, 2);
+        let log = Arc::new(MutationLog::new(
+            Arc::clone(&engine),
+            MutationConfig { compact_threshold: None },
+        ));
+
+        // The writer records the expected CC labels for every epoch it
+        // publishes (snapshots are immutable, so computing them inline
+        // off the store is race-free).
+        let expected_for = |engine: &Engine| {
+            let snap = engine.current_snapshot().expect("installed");
+            (snap.epoch(), apps::cc(snap.graph().as_ref()).label)
+        };
+        let mut expected: HashMap<u64, Vec<u32>> = HashMap::new();
+        let (e0, labels0) = expected_for(&engine);
+        expected.insert(e0, labels0);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut observations = Vec::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        let Ok(h) = engine.submit(Query::Cc, None) else { continue };
+                        if h.wait() != QueryStatus::Done {
+                            continue;
+                        }
+                        let epoch = h.span().expect("finished query has a span").epoch;
+                        if let Some(QueryOutput::Cc(r)) = h.result().as_deref() {
+                            observations.push((epoch, r.label.clone()));
+                        }
+                    }
+                    observations
+                })
+            })
+            .collect();
+
+        let mut injected = 0u32;
+        for i in 0..30u32 {
+            let batch = DeltaBatch::new()
+                .add_edge(i % 512, (i * 13 + 7) % 512)
+                .del_edge(i % 512, (i + 1) % 512);
+            match log.apply(&batch) {
+                Ok(r) => {
+                    let (epoch, labels) = expected_for(&engine);
+                    assert_eq!(epoch, r.epoch, "seed {seed}: single writer owns installs");
+                    expected.insert(epoch, labels);
+                }
+                Err(e) => {
+                    assert!(
+                        matches!(e, MutateError::Injected { point: "mutate.apply", .. }),
+                        "seed {seed}: unexpected apply failure {e}"
+                    );
+                    injected += 1;
+                }
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+
+        let mut checked = 0usize;
+        for reader in readers {
+            for (epoch, labels) in reader.join().expect("reader thread panicked") {
+                let want = expected.get(&epoch).unwrap_or_else(|| {
+                    panic!("seed {seed}: reader observed unpublished epoch {epoch}")
+                });
+                assert_eq!(
+                    &labels, want,
+                    "seed {seed}: snapshot isolation broken at epoch {epoch}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "seed {seed}: readers observed nothing");
+        assert!(injected >= 1, "seed {seed}: the armed apply fault never fired");
+        assert!(engine.workers_alive(), "seed {seed}");
+    }
+}
+
+#[test]
+fn panicked_compaction_never_poisons_the_store() {
+    for &seed in &SEEDS[..4] {
+        let plan = FaultPlan::seeded(seed).arm_at(FaultPoint::MutateCompact, FaultAction::Panic, 1);
+        let engine = engine_with(plan, 2);
+        let log = Arc::new(MutationLog::new(
+            Arc::clone(&engine),
+            MutationConfig { compact_threshold: None },
+        ));
+        for i in 0..5u32 {
+            log.apply(&DeltaBatch::new().add_edge(i, 511 - i)).expect("apply is unaffected");
+        }
+        let epoch_before = engine.current_epoch();
+        let graph_before = Arc::clone(engine.current_snapshot().expect("snap").graph());
+        let labels_before = apps::cc(graph_before.as_ref()).label;
+
+        // The armed compaction panics; the unwind is contained, the
+        // failure is typed and counted, and the store still serves the
+        // exact pre-compaction snapshot.
+        match log.compact() {
+            Err(MutateError::Panicked { point, .. }) => assert_eq!(point, "mutate.compact"),
+            other => panic!("seed {seed}: expected contained panic, got {other:?}"),
+        }
+        assert_eq!(engine.current_epoch(), epoch_before, "seed {seed}: epoch moved");
+        assert!(
+            Arc::ptr_eq(engine.current_snapshot().expect("snap").graph(), &graph_before),
+            "seed {seed}: store swapped a graph from a failed compaction"
+        );
+        assert_eq!(engine.metrics().mutation_compaction_failures.get(), 1, "seed {seed}");
+        assert!(!log.status().compacting, "seed {seed}: compactor slot leaked");
+
+        // Queries and mutations keep working on the overlaid snapshot...
+        let h = engine.submit(Query::Cc, None).expect("submit after failed compaction");
+        assert_eq!(h.wait(), QueryStatus::Done, "seed {seed}");
+        // ...and the next compaction (the Once-schedule fault is spent)
+        // succeeds with a result identical to the overlaid view.
+        let report = log.compact().expect("second compaction");
+        let clean = Arc::clone(engine.current_snapshot().expect("snap").graph());
+        assert!(!clean.has_overlay(), "seed {seed}");
+        assert_eq!(engine.current_epoch(), Some(report.epoch));
+        assert_eq!(
+            apps::cc(clean.as_ref()).label,
+            labels_before,
+            "seed {seed}: compaction changed results"
+        );
+        assert_eq!(engine.metrics().mutation_compactions.get(), 1, "seed {seed}");
+        assert!(engine.workers_alive(), "seed {seed}");
+    }
 }

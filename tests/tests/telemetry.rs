@@ -276,6 +276,14 @@ fn prometheus_families_are_a_closed_vocabulary() {
         ("ligra_partition_rounds_total", "counter", &[]),
         ("ligra_partition_bins_flushed_total", "counter", &[]),
         ("ligra_partition_scatter_bytes_total", "counter", &[]),
+        ("ligra_mutation_overlay_edges", "gauge", &[]),
+        ("ligra_mutation_overlay_vertices", "gauge", &[]),
+        ("ligra_mutation_batches_applied_total", "counter", &[]),
+        ("ligra_mutation_edges_added_total", "counter", &[]),
+        ("ligra_mutation_edges_deleted_total", "counter", &[]),
+        ("ligra_mutation_compactions_total", "counter", &[]),
+        ("ligra_mutation_compaction_failures_total", "counter", &[]),
+        ("ligra_mutation_compaction_ns", "histogram", &[]),
         ("ligra_fault_injections_total", "counter", &["point"]),
         ("ligra_wire_requests_total", "counter", &[]),
         ("ligra_wire_bytes_total", "counter", &[]),
