@@ -52,6 +52,7 @@
 pub mod cancel;
 pub mod edge_map;
 pub mod fault;
+pub mod lockdep;
 pub mod options;
 pub mod race;
 pub mod stats;
@@ -66,6 +67,7 @@ pub use crate::edge_map::{
     edge_map_sparse, edge_map_traced, edge_map_with,
 };
 pub use crate::fault::{FaultAction, FaultError, FaultPlan, FaultPoint};
+pub use crate::lockdep::{EdgeWitness, LockOracle, LockReport, LockViolation};
 pub use crate::options::{EdgeMapOptions, Traversal};
 pub use crate::race::{OracleReport, RaceOracle, Violation, ViolationKind, WinContract};
 pub use crate::stats::{

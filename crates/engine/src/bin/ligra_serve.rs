@@ -52,6 +52,7 @@
 //! `--compact-threshold` arcs compact automatically.
 
 use ligra::Traversal;
+use ligra_engine::lockdep::tracked_lock;
 use ligra_engine::metrics::{mix64, render};
 use ligra_engine::wire::{read_request_line, MAX_REQUEST_LINE_BYTES};
 use ligra_engine::{
@@ -67,8 +68,46 @@ use ligra_graph::Graph;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Per-process connection book-keeping, reported by the `stats` op.
+/// The mutex is a named lock site (`serve.connections`): under the
+/// `lock-check` feature its acquisitions feed the runtime lock-order
+/// oracle alongside the engine-tier sites, proving the serving loop
+/// never nests it against scheduler or mutation locks.
+#[derive(Default)]
+struct ConnRegistry {
+    counts: Mutex<ConnCounts>,
+}
+
+#[derive(Default, Clone, Copy)]
+struct ConnCounts {
+    active: u64,
+    total: u64,
+}
+
+impl ConnRegistry {
+    /// Registers a connection; returns its 1-based ordinal.
+    fn open(&self) -> u64 {
+        let mut c = tracked_lock(&self.counts, "serve.connections");
+        c.active += 1;
+        c.total += 1;
+        c.total
+    }
+
+    /// Retires a connection.
+    fn close(&self) {
+        let mut c = tracked_lock(&self.counts, "serve.connections");
+        c.active = c.active.saturating_sub(1);
+    }
+
+    /// `(active, total)` right now.
+    fn snapshot(&self) -> (u64, u64) {
+        let c = tracked_lock(&self.counts, "serve.connections");
+        (c.active, c.total)
+    }
+}
 
 struct Args {
     listen: Option<String>,
@@ -416,8 +455,9 @@ fn span_response(engine: &Engine, id: u64) -> String {
     }
 }
 
-fn stats_response(engine: &Engine) -> String {
+fn stats_response(engine: &Engine, conns: &ConnRegistry) -> String {
     let s = engine.stats();
+    let (conn_active, conn_total) = conns.snapshot();
     JsonObj::new()
         .bool("ok", true)
         .u64("epoch", s.epoch.unwrap_or(0))
@@ -454,6 +494,8 @@ fn stats_response(engine: &Engine) -> String {
         .u64("compaction_failures", s.compaction_failures)
         .u64("workers", engine.workers() as u64)
         .u64("queue_capacity", engine.queue_capacity() as u64)
+        .u64("connections_active", conn_active)
+        .u64("connections_total", conn_total)
         .finish()
 }
 
@@ -539,6 +581,7 @@ fn handle_line(
     engine: &Engine,
     log: &Arc<MutationLog>,
     metrics: &MetricsRegistry,
+    conns: &ConnRegistry,
     line: &str,
 ) -> (String, bool) {
     let req = match Request::parse(line) {
@@ -624,7 +667,7 @@ fn handle_line(
         "mutate" => mutate_response(log, &req),
         "compact" => compact_response(log, &req),
         "graph-stats" | "graph_stats" => Ok(graph_stats_response(engine, log)),
-        "stats" => Ok(stats_response(engine)),
+        "stats" => Ok(stats_response(engine, conns)),
         "metrics" => Ok(metrics_response(engine)),
         "trace" => Ok(trace_response(engine)),
         "ping" => Ok(JsonObj::new().bool("ok", true).str("pong", "ligra-serve").finish()),
@@ -655,9 +698,11 @@ fn wire_fault(engine: &Engine) -> Option<String> {
 fn serve_stream<R: BufRead, W: Write>(
     engine: &Engine,
     log: &Arc<MutationLog>,
+    conns: &ConnRegistry,
     mut reader: R,
     mut writer: W,
 ) -> bool {
+    conns.open();
     let metrics = engine.metrics();
     loop {
         let line = match read_request_line(&mut reader, MAX_REQUEST_LINE_BYTES) {
@@ -687,14 +732,16 @@ fn serve_stream<R: BufRead, W: Write>(
             }
             continue;
         }
-        let (resp, keep_going) = handle_line(engine, log, &metrics, &line);
+        let (resp, keep_going) = handle_line(engine, log, &metrics, conns, &line);
         if write_response(&mut writer, &resp).is_err() {
             break;
         }
         if !keep_going {
+            conns.close();
             return false;
         }
     }
+    conns.close();
     true
 }
 
@@ -868,6 +915,7 @@ fn main() {
         Arc::clone(&engine),
         MutationConfig { compact_threshold: args.compact_threshold },
     ));
+    let conns = Arc::new(ConnRegistry::default());
     if let Some(addr) = &args.metrics_addr {
         spawn_metrics_listener(Arc::clone(&engine), addr);
     }
@@ -881,7 +929,7 @@ fn main() {
         None => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            serve_stream(&engine, &log, stdin.lock(), stdout.lock());
+            serve_stream(&engine, &log, &conns, stdin.lock(), stdout.lock());
         }
         Some(addr) => {
             let listener =
@@ -897,9 +945,10 @@ fn main() {
                 };
                 let engine = Arc::clone(&engine);
                 let log = Arc::clone(&log);
+                let conns = Arc::clone(&conns);
                 std::thread::spawn(move || {
                     let reader = BufReader::new(stream.try_clone().expect("clone stream"));
-                    let keep = serve_stream(&engine, &log, reader, BufWriter::new(stream));
+                    let keep = serve_stream(&engine, &log, &conns, reader, BufWriter::new(stream));
                     if !keep {
                         // `shutdown` was acknowledged and flushed; end the
                         // whole server, not just this connection.

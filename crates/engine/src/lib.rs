@@ -21,6 +21,10 @@
 //! * [`metrics`] — the lock-free serving-tier metrics registry
 //!   (striped counters, gauges, log-bucketed latency histograms) and
 //!   its hand-rolled Prometheus text exposition;
+//! * [`lockdep`] — named-site tracked lock guards; with the
+//!   `lock-check` feature every engine-tier acquisition feeds the
+//!   runtime lock-order oracle (`LockOracle`), which aborts on the
+//!   first cycle-closing acquisition with both threads' witness chains;
 //! * [`error`] — typed terminal errors ([`QueryError`]) distinguishing
 //!   validation failures, injected transient faults, and caught panics;
 //! * [`wire`] — the flat-JSONL request/response format spoken by the
@@ -37,6 +41,7 @@
 
 pub mod cache;
 pub mod error;
+pub mod lockdep;
 pub mod metrics;
 pub mod mutate;
 pub mod query;
@@ -48,6 +53,7 @@ pub mod wire;
 pub use cache::ResultCache;
 pub use error::QueryError;
 pub use ligra::{FaultAction, FaultError, FaultPlan, FaultPoint};
+pub use lockdep::{LockOracle, LockReport, LockViolation, TrackedGuard};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use mutate::{
     CompactionReport, MutateError, MutationConfig, MutationLog, MutationReport, MutationStatus,

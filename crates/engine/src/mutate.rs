@@ -211,7 +211,7 @@ impl MutationLog {
 
     /// Current log status.
     pub fn status(&self) -> MutationStatus {
-        let st = lock(&self.state);
+        let st = lock(&self.state, "mutation.state");
         MutationStatus {
             derived_epoch: st.derived_epoch,
             pending_batches: st.pending.len(),
@@ -224,7 +224,7 @@ impl MutationLog {
     /// applies and with compaction installs; queries are never blocked
     /// (they read the store's `RwLock` only for an `Arc` clone).
     pub fn apply(self: &Arc<Self>, batch: &DeltaBatch) -> Result<MutationReport, MutateError> {
-        let mut st = lock(&self.state);
+        let mut st = lock(&self.state, "mutation.state");
         let snap = self.engine.current_snapshot().ok_or(MutateError::NoGraph)?;
         if snap.epoch() != st.derived_epoch {
             // The store moved under us (operator load/gen): re-base.
@@ -248,6 +248,13 @@ impl MutationLog {
             }
         }
 
+        // The dispatch under `state` is the write-serialization contract
+        // itself — applies must be ordered, queries never take this lock
+        // (snapshot reads only clone an Arc under `store.current`), and the
+        // unwind boundary exists so a panicking batch leaves the guard
+        // unpoisoned rather than wedging the log. Off-lock apply is what
+        // `compact()` does for the rebuild; the delta overlay here is O(batch).
+        // lint: allow(L8): unwind isolation for the serialized apply, see above
         let applied = catch_unwind(AssertUnwindSafe(|| -> Result<_, MutateError> {
             #[cfg(feature = "fault-inject")]
             if let Some(plan) = self.engine.fault_plan() {
@@ -303,7 +310,7 @@ impl MutationLog {
     pub fn compact(&self) -> Result<CompactionReport, MutateError> {
         // Claim the compactor slot and capture the lineage.
         let (graph, baked, generation) = {
-            let mut st = lock(&self.state);
+            let mut st = lock(&self.state, "mutation.state");
             if st.compacting {
                 return Err(MutateError::Busy);
             }
@@ -333,7 +340,7 @@ impl MutationLog {
         }));
 
         let m = self.engine.metrics();
-        let mut st = lock(&self.state);
+        let mut st = lock(&self.state, "mutation.state");
         st.compacting = false;
         let clean = match result {
             Err(payload) => {
@@ -383,7 +390,7 @@ impl MutationLog {
     /// when one already appears to be running). The thread's outcome is
     /// visible through the mutation metrics.
     pub fn compact_async(self: &Arc<Self>) -> bool {
-        if lock(&self.state).compacting {
+        if lock(&self.state, "mutation.state").compacting {
             return false;
         }
         let log = Arc::clone(self);

@@ -35,6 +35,7 @@
 
 use crate::cache::ResultCache;
 use crate::error::{classify_panic, QueryError};
+use crate::lockdep::{tracked_lock, TrackedGuard};
 use crate::metrics::{mix64, MetricsRegistry, MetricsSnapshot};
 use crate::query::{Query, QueryOutput};
 use crate::snapshot::{GraphStore, Snapshot};
@@ -45,7 +46,7 @@ use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -54,13 +55,14 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 #[cfg(feature = "fault-inject")]
 const MAX_DISPATCH_RETRIES: u64 = 2;
 
-/// Locks a scheduler mutex, recovering from poisoning. A worker panic is
-/// caught and contained per-query; every structure these mutexes guard
-/// (queue, cache, job table, span log) is left consistent between
-/// individual operations, so the poison flag carries no information the
-/// scheduler needs.
-pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
+/// Locks a scheduler mutex under a named lock site, recovering from
+/// poisoning. A worker panic is caught and contained per-query; every
+/// structure these mutexes guard (queue, cache, job table, span log) is
+/// left consistent between individual operations, so the poison flag
+/// carries no information the scheduler needs. The site name feeds the
+/// runtime lock-order oracle in `lock-check` builds (DESIGN.md §15).
+pub(crate) fn lock<'a, T>(m: &'a Mutex<T>, site: &'static str) -> TrackedGuard<'a, T> {
+    tracked_lock(m, site)
 }
 
 /// Engine tunables.
@@ -239,7 +241,7 @@ struct Job {
 
 impl Job {
     fn set_status(&self, status: QueryStatus) {
-        lock(&self.state).status = status;
+        lock(&self.state, "job.state").status = status;
     }
 
     fn finish(
@@ -249,7 +251,7 @@ impl Job {
         error: Option<QueryError>,
         span: QuerySpan,
     ) {
-        let mut st = lock(&self.state);
+        let mut st = lock(&self.state, "job.state");
         st.status = status;
         st.result = result;
         st.error = error;
@@ -324,7 +326,7 @@ impl QueryHandle {
 
     /// Current status.
     pub fn status(&self) -> QueryStatus {
-        lock(&self.job.state).status
+        lock(&self.job.state, "job.state").status
     }
 
     /// Requests cooperative cancellation; the query yields at its next
@@ -335,9 +337,9 @@ impl QueryHandle {
 
     /// Blocks until the query reaches a terminal state.
     pub fn wait(&self) -> QueryStatus {
-        let mut st = lock(&self.job.state);
+        let mut st = lock(&self.job.state, "job.state");
         while !st.status.is_terminal() {
-            st = self.job.done.wait(st).unwrap_or_else(PoisonError::into_inner);
+            st = st.wait(&self.job.done);
         }
         st.status
     }
@@ -345,11 +347,10 @@ impl QueryHandle {
     /// Blocks up to `timeout`; `None` if still not terminal.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<QueryStatus> {
         let deadline = Instant::now() + timeout;
-        let mut st = lock(&self.job.state);
+        let mut st = lock(&self.job.state, "job.state");
         while !st.status.is_terminal() {
             let left = deadline.checked_duration_since(Instant::now())?;
-            let (guard, res) =
-                self.job.done.wait_timeout(st, left).unwrap_or_else(PoisonError::into_inner);
+            let (guard, res) = st.wait_timeout(&self.job.done, left);
             st = guard;
             if res.timed_out() && !st.status.is_terminal() {
                 return None;
@@ -360,22 +361,22 @@ impl QueryHandle {
 
     /// The result, once `Done`.
     pub fn result(&self) -> Option<Arc<QueryOutput>> {
-        lock(&self.job.state).result.clone()
+        lock(&self.job.state, "job.state").result.clone()
     }
 
     /// The error message, once `Failed` or `Panicked`.
     pub fn error(&self) -> Option<String> {
-        lock(&self.job.state).error.as_ref().map(QueryError::to_string)
+        lock(&self.job.state, "job.state").error.as_ref().map(QueryError::to_string)
     }
 
     /// The typed error, once `Failed` or `Panicked`.
     pub fn query_error(&self) -> Option<QueryError> {
-        lock(&self.job.state).error.clone()
+        lock(&self.job.state, "job.state").error.clone()
     }
 
     /// The lifecycle span, once terminal.
     pub fn span(&self) -> Option<QuerySpan> {
-        lock(&self.job.state).span.clone()
+        lock(&self.job.state, "job.state").span.clone()
     }
 }
 
@@ -494,7 +495,7 @@ impl Engine {
             _ => format!("{:016x}", mix64(sh.trace_nonce ^ id)),
         };
         let key = (snapshot.epoch(), query.clone());
-        let cached = lock(&sh.cache).get(&key);
+        let cached = lock(&sh.cache, "scheduler.cache").get(&key);
         let cost_bytes = query.estimated_run_bytes(&snapshot);
 
         let job = Arc::new(Job {
@@ -524,8 +525,8 @@ impl Engine {
             job.finish(QueryStatus::Done, Some(result), None, span.clone());
             sh.metrics.submitted.incr();
             sh.metrics.retire(retire_index(QueryStatus::Done));
-            lock(&sh.spans).push(span);
-            lock(&sh.jobs).insert(id, Arc::clone(&job));
+            lock(&sh.spans, "scheduler.spans").push(span);
+            lock(&sh.jobs, "scheduler.jobs").insert(id, Arc::clone(&job));
             return Ok(QueryHandle { job });
         }
 
@@ -547,7 +548,7 @@ impl Engine {
         sh.metrics.inflight_bytes.add(cost_bytes);
 
         {
-            let mut q = lock(&sh.queue);
+            let mut q = lock(&sh.queue, "scheduler.queue");
             if q.len() >= sh.config.queue_capacity {
                 sh.metrics.inflight_bytes.sub(cost_bytes);
                 sh.metrics.rejected.incr();
@@ -558,7 +559,7 @@ impl Engine {
         }
         sh.queue_cv.notify_one();
         sh.metrics.submitted.incr();
-        lock(&sh.jobs).insert(id, Arc::clone(&job));
+        lock(&sh.jobs, "scheduler.jobs").insert(id, Arc::clone(&job));
         Ok(QueryHandle { job })
     }
 
@@ -566,14 +567,16 @@ impl Engine {
     /// grows with the number of in-flight queries, capped at 500ms.
     pub(crate) fn retry_after_hint(&self) -> Duration {
         let sh = &self.shared;
-        let queued = lock(&sh.queue).len() as u64;
+        let queued = lock(&sh.queue, "scheduler.queue").len() as u64;
         let running = sh.metrics.running.get();
         Duration::from_millis((20 * (queued + running + 1)).min(500))
     }
 
     /// Looks up a previously submitted query by id.
     pub fn handle(&self, id: u64) -> Option<QueryHandle> {
-        lock(&self.shared.jobs).get(&id).map(|job| QueryHandle { job: Arc::clone(job) })
+        lock(&self.shared.jobs, "scheduler.jobs")
+            .get(&id)
+            .map(|job| QueryHandle { job: Arc::clone(job) })
     }
 
     /// Aggregate counters for the `stats` op, including histogram-derived
@@ -582,14 +585,14 @@ impl Engine {
         let sh = &self.shared;
         let m = &sh.metrics;
         let (cache_hits, cache_misses, cache_evictions, cache_len) = {
-            let c = lock(&sh.cache);
+            let c = lock(&sh.cache, "scheduler.cache");
             (c.hits(), c.misses(), c.evictions(), c.len())
         };
         let qw = m.merged_queue_wait();
         let rt = m.merged_run_time();
         EngineStats {
             epoch: self.current_epoch(),
-            queued: lock(&sh.queue).len(),
+            queued: lock(&sh.queue, "scheduler.queue").len(),
             running: m.running.get(),
             submitted: m.submitted.get(),
             rejected: m.rejected.get(),
@@ -637,7 +640,7 @@ impl Engine {
         let sh = &self.shared;
         let m = &sh.metrics;
         let (cache_hits, cache_misses, cache_evictions, cache_entries) = {
-            let c = lock(&sh.cache);
+            let c = lock(&sh.cache, "scheduler.cache");
             (c.hits(), c.misses(), c.evictions(), c.len() as u64)
         };
         let fault_injections = FaultPoint::ALL
@@ -696,7 +699,7 @@ impl Engine {
 
     /// All spans recorded so far, submission order.
     pub fn spans(&self) -> Vec<QuerySpan> {
-        lock(&self.shared.spans).clone()
+        lock(&self.shared.spans, "scheduler.spans").clone()
     }
 
     /// The span of one query, if it has reached a terminal state.
@@ -736,7 +739,7 @@ fn worker_loop(sh: &Shared) {
     loop {
         let idle_start = Instant::now();
         let job = {
-            let mut q = lock(&sh.queue);
+            let mut q = lock(&sh.queue, "scheduler.queue");
             loop {
                 if let Some(job) = q.pop_front() {
                     break job;
@@ -744,7 +747,7 @@ fn worker_loop(sh: &Shared) {
                 if sh.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                q = sh.queue_cv.wait(q).unwrap_or_else(PoisonError::into_inner);
+                q = q.wait(&sh.queue_cv);
             }
         };
         sh.metrics.worker_idle_ns.add(idle_start.elapsed().as_nanos() as u64);
@@ -756,7 +759,7 @@ fn worker_loop(sh: &Shared) {
         // bugs, so a worker can never die and a waiter can never hang
         // on a job that silently evaporated.
         if catch_unwind(AssertUnwindSafe(|| run_job(sh, &job))).is_err()
-            && !lock(&job.state).status.is_terminal()
+            && !lock(&job.state, "job.state").status.is_terminal()
         {
             let err = QueryError::Panicked {
                 point: "scheduler",
@@ -866,7 +869,7 @@ fn run_job(sh: &Shared, job: &Arc<Job>) {
                     }
                 }
                 if cacheable {
-                    lock(&sh.cache)
+                    lock(&sh.cache, "scheduler.cache")
                         .insert((job.snapshot.epoch(), job.query.clone()), Arc::clone(&result));
                 }
                 Executed::Success(result)
@@ -896,7 +899,7 @@ fn run_job(sh: &Shared, job: &Arc<Job>) {
                 sh.metrics.retries.incr();
                 job.set_status(QueryStatus::Queued);
                 {
-                    let mut q = lock(&sh.queue);
+                    let mut q = lock(&sh.queue, "scheduler.queue");
                     q.push_back(Arc::clone(job));
                     sh.metrics.queue_depth.add(1);
                 }
@@ -961,7 +964,7 @@ fn finalize(
     fill_span_buckets(&mut span);
     sh.metrics.retire(retire_index(status));
     sh.metrics.inflight_bytes.sub(job.cost_bytes);
-    lock(&sh.spans).push(span.clone());
+    lock(&sh.spans, "scheduler.spans").push(span.clone());
     sh.metrics.running.sub(1);
     job.finish(status, result, error, span);
 }

@@ -7,6 +7,7 @@
 //! cache keys on `(epoch, query)` so stale results can never be served
 //! for a newer graph.
 
+use crate::lockdep::{tracked_read, tracked_write};
 use ligra_graph::{Graph, WeightedGraph};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -121,7 +122,9 @@ impl GraphStore {
     fn install(&self, make: impl FnOnce(u64) -> Snapshot) -> u64 {
         let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
         let snap = Arc::new(make(epoch));
-        *self.current.write().expect("snapshot lock poisoned") = Some(snap);
+        // Tracked site (poison-recovering): the store swap is a single
+        // pointer assignment, never left half-done by an unwind.
+        *tracked_write(&self.current, "store.current") = Some(snap);
         epoch
     }
 
@@ -139,7 +142,7 @@ impl GraphStore {
 
     /// The current snapshot, if any graph has been installed.
     pub fn current(&self) -> Option<Arc<Snapshot>> {
-        self.current.read().expect("snapshot lock poisoned").clone()
+        tracked_read(&self.current, "store.current").clone()
     }
 }
 

@@ -92,6 +92,65 @@ pub const CAS_FAILURE_ALLOWED: &[&str] = &["Acquire", "Relaxed"];
 /// per-crate.
 pub const CAS_RELAXED_SUCCESS_FILES: &[&str] = &["crates/engine/src/metrics/mod.rs"];
 
+/// Free functions the lock pass (rules L7/L8) treats as lock
+/// acquisitions: the scheduler's poison-recovering `lock(mutex, site)`
+/// helper and the `lockdep` tracked wrappers. The acquired lock's name is
+/// the last field identifier of the first argument (`lock(&self.state,
+/// …)` → `state`), which keeps the static lock names aligned with the
+/// runtime `LockOracle` site suffixes. Method-style `.lock()` / `.read()`
+/// / `.write()` with empty argument lists are recognized independently.
+pub const LOCK_ACQUIRE_FNS: &[&str] = &["lock", "tracked_lock", "tracked_read", "tracked_write"];
+
+/// Calls the lock pass treats as blocking (rule L8): parking, channel
+/// receives, thread joins, panic-dispatch via `catch_unwind`, and
+/// file/socket I/O. Condvar `wait`/`wait_timeout` are handled separately
+/// (the guard they atomically release is exempt); `join` only counts in
+/// the empty-argument `JoinHandle::join` shape, not `slice.join(", ")`.
+pub const BLOCKING_CALLS: &[&str] = &[
+    "sleep",
+    "recv",
+    "recv_timeout",
+    "recv_deadline",
+    "join",
+    "catch_unwind",
+    "read_line",
+    "read_to_string",
+    "read_to_end",
+    "read_exact",
+    "write_all",
+    "flush",
+    "accept",
+    "connect",
+];
+
+/// Method receivers whose `.lock()` is not a contended mutex: the std
+/// stream handles, where `lock()` takes a per-process reader/writer
+/// handle that nothing in this workspace holds across other locks.
+pub const LOCK_EXEMPT_RECEIVERS: &[&str] = &["stdin", "stdout", "stderr"];
+
+/// Files the lock pass skips entirely because they *implement* the lock
+/// primitives: their internal `m.lock()` shapes would register generic
+/// lock names (`m`, `inner`) that alias every call site. Call sites of
+/// their wrappers are still analyzed everywhere else.
+pub const LOCK_WRAPPER_FILES: &[&str] =
+    &["crates/core/src/lockdep.rs", "crates/engine/src/lockdep.rs"];
+
+/// Call names the lock pass does not resolve through the crate call
+/// graph. These are trait-impl and constructor names so overloaded that
+/// name-based resolution unions every type in the crate (`Engine::new`,
+/// `Histogram::new`, and `VecDeque::new` become one node), fabricating
+/// lock chains no execution takes. The cost is real: a lock acquired
+/// inside a constructor called under another lock goes unseen — which is
+/// why DESIGN.md §15 pairs this pass with the runtime `LockOracle`, whose
+/// edges come from executions, not names.
+pub const CALL_RESOLUTION_EXEMPT: &[&str] =
+    &["new", "default", "clone", "from", "fmt", "to_string", "eq", "hash", "next", "drop"];
+
+/// Functions whose closure argument runs on *another* thread and must
+/// not be scanned as the caller's inline code (a spawned worker inherits
+/// none of the spawner's held locks).
+pub const THREAD_SPAWN_FNS: &[&str] = &["spawn"];
+
 /// Returns the orderings `crate_name` may use, or `None` for an unknown
 /// crate (which L2 reports as its own violation so the table stays in
 /// sync with the workspace).

@@ -3,47 +3,79 @@
 //! A dependency-free static analyzer for the Ligra workspace. It lexes
 //! every `.rs` file with a hand-rolled, comment/string-aware scanner (no
 //! `syn`, so it builds offline before any vendored-stub machinery) and
-//! enforces the five project rules described in [`rules`] and DESIGN.md
-//! §10. Run it as:
+//! enforces the project rules described in [`rules`] and DESIGN.md
+//! §10/§15: the per-file rules L1–L6, the interprocedural lock-discipline
+//! rules L7/L8 ([`lockpass`]), and the stale-waiver warning W1. Run it
+//! as:
 //!
 //! ```text
 //! cargo run -p ligra-lint -- --workspace
 //! ```
 //!
-//! Exit code 0 means the tree is clean; 1 means violations were printed
-//! (one `file:line: error[Lx]: …` per line); 2 means the linter itself
-//! failed (I/O, bad arguments).
+//! Exit code 0 means no errors (W1 warnings are still printed); 1 means
+//! violations were printed (one `file:line: severity[Lx]: …` per line);
+//! 2 means the linter itself failed (I/O, bad arguments).
 
 pub mod config;
 pub mod lexer;
+pub mod lockpass;
 pub mod rules;
 
-pub use rules::{check_file, Diag, FileCtx, FileKind, RuleId, Severity};
+pub use rules::{check_file, check_unused_waivers, Diag, FileCtx, FileKind, RuleId, Severity};
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Lints one source string as if it lived at `path` in `crate_name`.
-/// Fixture tests call this directly; [`lint_workspace`] goes through it
-/// for every real file.
+/// Lints one source string as if it lived at `path` in `crate_name`,
+/// treating the file as a complete one-file crate: the per-file rules,
+/// the lock pass (for library files), and the stale-waiver sweep all
+/// run. Fixture tests call this directly; [`lint_workspace`] runs the
+/// same phases with whole-crate scope.
 pub fn lint_source(path: &str, crate_name: &str, kind: FileKind, src: &str) -> Vec<Diag> {
     let ctx = FileCtx::new(path, crate_name, kind, src);
-    check_file(&ctx)
+    let mut diags = check_file(&ctx);
+    if kind == FileKind::Lib {
+        lockpass::check_crate(&[&ctx], &mut diags);
+    }
+    check_unused_waivers(&ctx, &mut diags);
+    diags.sort_by_key(|d| (d.line, d.rule));
+    diags
 }
 
 /// Walks the workspace rooted at `root` and lints every classified `.rs`
-/// file. Diagnostics come back sorted by (file, line, rule).
+/// file: per-file rules first, then the per-crate lock pass over each
+/// crate's library files (L7/L8 are properties of call paths, not single
+/// files), then the unused-waiver sweep — which must come last, since
+/// only a waiver no rule consumed is stale. Diagnostics come back sorted
+/// by (file, line, rule).
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diag>> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
-    let mut diags = Vec::new();
+    let mut ctxs: Vec<FileCtx> = Vec::new();
     for rel in &files {
         let Some((crate_name, kind)) = classify(rel) else { continue };
         let src = fs::read_to_string(root.join(rel))?;
         let label = rel.to_string_lossy().replace('\\', "/");
-        diags.extend(lint_source(&label, &crate_name, kind, &src));
+        ctxs.push(FileCtx::new(&label, &crate_name, kind, &src));
+    }
+    let mut diags = Vec::new();
+    for ctx in &ctxs {
+        diags.extend(check_file(ctx));
+    }
+    let mut crate_names: Vec<&str> = ctxs.iter().map(|c| c.crate_name.as_str()).collect();
+    crate_names.sort_unstable();
+    crate_names.dedup();
+    for name in crate_names {
+        let group: Vec<&FileCtx> =
+            ctxs.iter().filter(|c| c.crate_name == name && c.kind == FileKind::Lib).collect();
+        if !group.is_empty() {
+            lockpass::check_crate(&group, &mut diags);
+        }
+    }
+    for ctx in &ctxs {
+        check_unused_waivers(ctx, &mut diags);
     }
     diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(diags)

@@ -117,8 +117,10 @@ fn print_help() {
          USAGE: ligra-lint [--workspace] [--json] [FILES…]\n\
          \n\
          Rules: L1 unsafe-needs-SAFETY, L2 ordering whitelist, L3 no bare\n\
-         unwrap, L4 no truncating ID casts, L5 core pub fns documented.\n\
+         unwrap, L4 no truncating ID casts, L5 core pub fns documented,\n\
+         L6 no panic macros in serving code, L7 lock-order inversion,\n\
+         L8 blocking call under a held lock, W1 stale waiver (warning).\n\
          Waive one occurrence with `// lint: allow(L4): reason`.\n\
-         Exit codes: 0 clean, 1 violations, 2 internal error."
+         Exit codes: 0 no errors, 1 violations, 2 internal error."
     );
 }

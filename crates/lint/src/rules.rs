@@ -1,4 +1,4 @@
-//! The five project rules, evaluated over one file's token stream.
+//! The per-file project rules, evaluated over one file's token stream.
 //!
 //! | ID | check |
 //! |----|-------|
@@ -8,12 +8,19 @@
 //! | L4 | no truncating `as u32` / `as VertexId` casts outside `parallel::utils` |
 //! | L5 | every `pub fn` in `core` has a doc comment |
 //! | L6 | no `panic!` / `unreachable!` / `todo!` in the serving crates' non-test code |
+//! | L7 | lock-order inversion across the crate's call graph (see [`crate::lockpass`]) |
+//! | L8 | blocking call reached while a lock guard is live (see [`crate::lockpass`]) |
+//! | W1 | a `// lint: allow(Lx)` waiver that suppresses no finding |
 //!
 //! A rule can be waived on a specific line with
 //! `// lint: allow(L4): why this is sound`, which the scanner records and
 //! applies to the comment's own line and the line below it. Waivers are a
 //! reviewed escape hatch: the reason is part of the comment grammar on
-//! purpose.
+//! purpose — and a waiver that stops suppressing anything is itself
+//! reported (`warning[W1]`), so the escape hatches cannot silently
+//! outlive the code they excused.
+
+use std::cell::Cell;
 
 use crate::config;
 use crate::lexer::{SpannedTok, Tok};
@@ -33,6 +40,12 @@ pub enum RuleId {
     L5,
     /// `panic!`/`unreachable!`/`todo!` in serving-crate non-test code.
     L6,
+    /// Two call paths acquire the same pair of locks in opposite order.
+    L7,
+    /// Blocking call reached while a lock guard is held.
+    L8,
+    /// Stale waiver: a `lint: allow` comment that suppresses nothing.
+    W1,
 }
 
 impl std::fmt::Display for RuleId {
@@ -44,13 +57,17 @@ impl std::fmt::Display for RuleId {
             RuleId::L4 => "L4",
             RuleId::L5 => "L5",
             RuleId::L6 => "L6",
+            RuleId::L7 => "L7",
+            RuleId::L8 => "L8",
+            RuleId::W1 => "W1",
         })
     }
 }
 
-/// Diagnostic severity. Every current rule is an error (the linter gates
-/// CI); the level exists so a future probationary rule can ship as `Warn`
-/// without changing the output format.
+/// Diagnostic severity. The `L*` rules are errors (the linter gates CI);
+/// `W1` ships as `Warn` so the exit code keeps meaning "soundness
+/// violation" — though the workspace self-check test still demands a
+/// fully clean tree, warnings included.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Severity {
     Warn,
@@ -91,6 +108,15 @@ pub enum FileKind {
     Test,
 }
 
+/// One recorded `// lint: allow(Lx)` waiver. `used` flips when the waiver
+/// actually suppresses a diagnostic; waivers still cold after every rule
+/// (including the cross-file lock pass) has run are reported as `W1`.
+struct Allow {
+    line: u32,
+    rule: RuleId,
+    used: Cell<bool>,
+}
+
 /// Everything the rules need about one file.
 pub struct FileCtx {
     /// Workspace-relative path used in diagnostics.
@@ -98,11 +124,11 @@ pub struct FileCtx {
     /// Crate the file belongs to (`core`, `parallel`, …).
     pub crate_name: String,
     pub kind: FileKind,
-    toks: Vec<SpannedTok>,
+    pub(crate) toks: Vec<SpannedTok>,
     /// Closed line ranges covered by `#[cfg(test)]` / `#[test]` items.
     test_regions: Vec<(u32, u32)>,
-    /// `(line, rule)` pairs waived by `// lint: allow(...)` comments.
-    allows: Vec<(u32, RuleId)>,
+    /// Waivers from `// lint: allow(...)` comments, with usage tracking.
+    allows: Vec<Allow>,
 }
 
 impl FileCtx {
@@ -120,18 +146,48 @@ impl FileCtx {
         }
     }
 
-    fn in_test_region(&self, line: u32) -> bool {
+    pub(crate) fn in_test_region(&self, line: u32) -> bool {
         self.kind == FileKind::Test
             || self.test_regions.iter().any(|&(a, b)| a <= line && line <= b)
     }
 
-    fn allowed(&self, line: u32, rule: RuleId) -> bool {
-        self.allows.iter().any(|&(l, r)| r == rule && (l == line || l + 1 == line))
+    /// True when `rule` is waived at `line` (the waiver sits on that line
+    /// or the line above). Consulting a matching waiver marks it used.
+    pub(crate) fn allowed(&self, line: u32, rule: RuleId) -> bool {
+        let mut hit = false;
+        for a in &self.allows {
+            if a.rule == rule && (a.line == line || a.line + 1 == line) {
+                a.used.set(true);
+                hit = true;
+            }
+        }
+        hit
     }
 
-    fn diag(&self, out: &mut Vec<Diag>, rule: RuleId, line: u32, msg: String) {
+    pub(crate) fn diag(&self, out: &mut Vec<Diag>, rule: RuleId, line: u32, msg: String) {
         if !self.allowed(line, rule) {
             out.push(Diag { rule, severity: Severity::Error, file: self.path.clone(), line, msg });
+        }
+    }
+}
+
+/// Emits `warning[W1]` for every waiver in `ctx` that suppressed nothing.
+/// Must run after every other rule — including the cross-file lock pass —
+/// since those are what mark waivers used.
+pub fn check_unused_waivers(ctx: &FileCtx, out: &mut Vec<Diag>) {
+    for a in &ctx.allows {
+        if !a.used.get() {
+            out.push(Diag {
+                rule: RuleId::W1,
+                severity: Severity::Warn,
+                file: ctx.path.clone(),
+                line: a.line,
+                msg: format!(
+                    "stale waiver: `lint: allow({})` suppresses no finding on this or the \
+                     next line — remove it (or fix the drifted code it used to excuse)",
+                    a.rule
+                ),
+            });
         }
     }
 }
@@ -252,16 +308,18 @@ fn matching_brace(toks: &[SpannedTok], open: usize) -> usize {
 }
 
 /// Collects `// lint: allow(L4)` / `// lint: allow(L2, L4): reason`
-/// waivers.
-fn find_allows(toks: &[SpannedTok]) -> Vec<(u32, RuleId)> {
+/// waivers. Only plain (non-doc) comments whose text *starts* with the
+/// waiver grammar count: doc comments and prose that merely mention the
+/// syntax (this file does, several times) are not waivers.
+fn find_allows(toks: &[SpannedTok]) -> Vec<Allow> {
     let mut out = Vec::new();
     for t in toks {
         let text = match &t.tok {
-            Tok::LineComment { text, .. } | Tok::BlockComment { text, .. } => text,
+            Tok::LineComment { doc: false, text } | Tok::BlockComment { doc: false, text } => text,
             _ => continue,
         };
-        let Some(pos) = text.find("lint: allow(") else { continue };
-        let rest = &text[pos + "lint: allow(".len()..];
+        let trimmed = text.trim_start();
+        let Some(rest) = trimmed.strip_prefix("lint: allow(") else { continue };
         let Some(end) = rest.find(')') else { continue };
         for name in rest[..end].split(',') {
             let rule = match name.trim() {
@@ -271,9 +329,11 @@ fn find_allows(toks: &[SpannedTok]) -> Vec<(u32, RuleId)> {
                 "L4" => RuleId::L4,
                 "L5" => RuleId::L5,
                 "L6" => RuleId::L6,
+                "L7" => RuleId::L7,
+                "L8" => RuleId::L8,
                 _ => continue,
             };
-            out.push((t.line, rule));
+            out.push(Allow { line: t.line, rule, used: Cell::new(false) });
         }
     }
     out

@@ -1,0 +1,49 @@
+//! L7 fixture: `ab` and `ba` take the same pair of locks in opposite
+//! order (direct inversion); `outer`/`outer_rev` reproduce the inversion
+//! through one level of calls (`take_d`/`take_c`).
+use std::sync::Mutex;
+
+struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    c: Mutex<u32>,
+    d: Mutex<u32>,
+}
+
+impl S {
+    fn ab(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+
+    fn ba(&self) {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        drop(ga);
+        drop(gb);
+    }
+
+    fn outer(&self) {
+        let gc = self.c.lock();
+        self.take_d();
+        drop(gc);
+    }
+
+    fn take_d(&self) {
+        let gd = self.d.lock();
+        drop(gd);
+    }
+
+    fn outer_rev(&self) {
+        let gd = self.d.lock();
+        self.take_c();
+        drop(gd);
+    }
+
+    fn take_c(&self) {
+        let gc = self.c.lock();
+        drop(gc);
+    }
+}

@@ -1,0 +1,28 @@
+//! L7 compliant twin: both paths (one direct, one through a call) take
+//! the locks in the same order, so the acquisition graph stays acyclic.
+use std::sync::Mutex;
+
+struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl S {
+    fn ab(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+
+    fn ab_via_call(&self) {
+        let ga = self.a.lock();
+        self.take_b();
+        drop(ga);
+    }
+
+    fn take_b(&self) {
+        let gb = self.b.lock();
+        drop(gb);
+    }
+}

@@ -1,0 +1,29 @@
+//! L8 fixture: `sleeps_under_lock` blocks directly while its guard is
+//! live; `blocks_via_call` reaches blocking I/O through a callee.
+use std::sync::Mutex;
+use std::thread;
+use std::time::Duration;
+
+struct S {
+    m: Mutex<u32>,
+    n: Mutex<u32>,
+}
+
+impl S {
+    fn sleeps_under_lock(&self) {
+        let g = self.m.lock();
+        thread::sleep(Duration::from_millis(1));
+        drop(g);
+    }
+
+    fn blocks_via_call(&self) {
+        let g = self.n.lock();
+        self.does_io();
+        drop(g);
+    }
+
+    fn does_io(&self) {
+        let mut s = String::new();
+        let _ = std::io::stdin().read_line(&mut s);
+    }
+}

@@ -1,0 +1,38 @@
+//! L8 compliant twin: the guard is explicitly dropped (or its block
+//! ends) before anything blocks, and a condvar wait is exempt for the
+//! guard it atomically releases — in either spelling.
+use std::sync::{Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+struct S {
+    m: Mutex<u32>,
+    cv: Condvar,
+}
+
+impl S {
+    fn drop_then_sleep(&self) {
+        let g = self.m.lock();
+        drop(g);
+        thread::sleep(Duration::from_millis(1));
+    }
+
+    fn scope_then_sleep(&self) {
+        {
+            let _g = self.m.lock();
+        }
+        thread::sleep(Duration::from_millis(1));
+    }
+
+    fn wait_releases_arg_guard(&self) {
+        let mut g = self.m.lock();
+        g = self.cv.wait(g);
+        drop(g);
+    }
+
+    fn wait_releases_receiver_guard(&self) {
+        let mut g = self.m.lock();
+        g = g.wait(&self.cv);
+        drop(g);
+    }
+}

@@ -1,0 +1,11 @@
+//! W1 fixture: a waiver that suppresses nothing (line 4) is stale; the
+//! used waiver on line 9 stays silent.
+fn stale() -> u32 {
+    // lint: allow(L3): nothing here ever needed this
+    42
+}
+
+fn used(x: Option<u32>) -> u32 {
+    // lint: allow(L3): fixture exercises a consumed waiver
+    x.unwrap()
+}

@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
-# ThreadSanitizer sweep over the edgeMap race-oracle certification suite.
+# Dynamic-analysis sweep: the lockdep certification suite under
+# `--features lock-check`, then the edgeMap race-oracle certification
+# suite under ThreadSanitizer.
 #
 # The race oracle (DESIGN.md §10) checks the *win-contract* half of the
 # concurrency story; TSan checks the *memory-model* half (that every
-# concurrent access the traversals make is properly synchronized). This
-# script runs the certification tests under `-Z sanitizer=thread` so both
-# layers are exercised on the same workloads.
-#
-# TSan needs a nightly toolchain with rust-src (std must be rebuilt with
-# the sanitizer via -Zbuild-std). Offline sandboxes have neither nightly
-# nor registry access, and the vendored rayon stub is sequential anyway —
-# in any of those situations the script reports why and exits 0 so it can
-# sit in CI/dev loops without special-casing.
+# concurrent access the traversals make is properly synchronized); the
+# lock oracle (DESIGN.md §15) checks the *ordering* half — that no
+# interleaving of the engine tier's lock acquisitions can deadlock. The
+# lockdep sweep needs only the stable toolchain and runs everywhere; TSan
+# needs a nightly toolchain with rust-src (std must be rebuilt with the
+# sanitizer via -Zbuild-std). Offline sandboxes have neither nightly nor
+# registry access, and the vendored rayon stub is sequential anyway — in
+# any of those situations the TSan half reports why and exits 0 so the
+# script can sit in CI/dev loops without special-casing.
 #
 # Usage: scripts/sanitize.sh
 set -uo pipefail
@@ -20,6 +22,18 @@ skip() {
     echo "sanitize: SKIP — $1" >&2
     exit 0
 }
+
+# ---- lockdep: engine tier under the runtime lock-order oracle ----------
+echo "sanitize: running lockdep certification (engine + mutation + chaos) under --features lock-check"
+( set -x
+  cargo test -q -p ligra-engine --features lock-check &&
+  cargo test -q -p ligra-integration-tests --features lock-check \
+      --test lockdep --test mutation &&
+  cargo test -q -p ligra-integration-tests --features lock-check,fault-inject \
+      --test chaos
+) || { echo "sanitize: FAIL — lockdep certification" >&2; exit 1; }
+
+# ---- TSan: race-oracle suite under -Z sanitizer=thread -----------------
 
 command -v rustup >/dev/null 2>&1 || skip "rustup not installed"
 

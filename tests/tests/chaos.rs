@@ -409,3 +409,32 @@ fn panicked_compaction_never_poisons_the_store() {
         assert!(engine.workers_alive(), "seed {seed}");
     }
 }
+
+/// Lock-order certification of the chaos path itself: after a faulted
+/// mixed workload (worker panics, contained compaction failures, retry
+/// re-enqueues), the global lock oracle must still hold an acyclic
+/// acquisition graph — fault recovery takes the same locks in the same
+/// order as the happy path. Needs both features: the fault hooks to
+/// drive the workload, the tracked guards to observe it.
+#[cfg(feature = "lock-check")]
+#[test]
+fn chaos_workload_certifies_lock_order() {
+    let plan = FaultPlan::seeded(7).arm_at(FaultPoint::EngineDispatch, FaultAction::Panic, 3);
+    let engine = engine_with(plan, 3);
+    let log = Arc::new(MutationLog::new(Arc::clone(&engine), MutationConfig::default()));
+    for i in 0..8u32 {
+        log.apply(&DeltaBatch::new().add_edge(i, 511 - i)).expect("apply");
+        let h = engine.submit(distinct_query(i), None).expect("submit");
+        assert!(h.wait().is_terminal());
+    }
+    log.compact().expect("compact");
+
+    let report =
+        ligra_engine::LockOracle::global().certify().expect("chaos run certifies lock order");
+    assert!(!report.sites.is_empty(), "tracked guards recorded nothing");
+    assert!(
+        report.edges.contains(&("mutation.state", "store.current")),
+        "expected the apply-path nesting; edges: {:?}",
+        report.edges
+    );
+}

@@ -1,0 +1,194 @@
+//! Lockdep certification (DESIGN.md §15): the runtime lock-order
+//! oracle's detection semantics, exercised deterministically across
+//! threads, plus — under `--features lock-check` — a clean-run
+//! certification of the whole engine tier on the process-global oracle.
+//!
+//! The oracle API itself is always compiled (only the engine's tracked
+//! guards are feature-gated), so the detection tests run in every
+//! configuration.
+
+use ligra::lockdep::LockOracle;
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+/// The canonical two-thread deadlock, sequenced with a barrier so the
+/// interleaving is deterministic: thread 1 establishes `a → b`, then
+/// thread 2 closes the cycle by taking `b` before `a`. The deferred
+/// oracle must record exactly one violation carrying both threads'
+/// evidence — the closer's hold stack and the recorded witness of the
+/// forward edge.
+#[test]
+fn two_thread_inversion_is_caught_with_both_witness_chains() {
+    let oracle = Arc::new(LockOracle::deferred());
+    let barrier = Arc::new(Barrier::new(2));
+
+    let (o1, b1) = (Arc::clone(&oracle), Arc::clone(&barrier));
+    let t1 = thread::Builder::new()
+        .name("lockdep-t1".into())
+        .spawn(move || {
+            o1.acquire("a");
+            o1.acquire("b");
+            o1.release("b");
+            o1.release("a");
+            b1.wait(); // a → b is on record before t2 starts
+        })
+        .expect("spawn t1");
+
+    let (o2, b2) = (Arc::clone(&oracle), Arc::clone(&barrier));
+    let t2 = thread::Builder::new()
+        .name("lockdep-t2".into())
+        .spawn(move || {
+            b2.wait();
+            o2.acquire("b");
+            o2.acquire("a"); // closes b → a against the recorded a → b
+            o2.release("a");
+            o2.release("b");
+        })
+        .expect("spawn t2");
+
+    t1.join().expect("t1");
+    t2.join().expect("t2");
+
+    let report = oracle.report();
+    assert_eq!(report.violations.len(), 1, "exactly one cycle: {report:?}");
+    let v = &report.violations[0];
+    assert_eq!(v.site, "a", "the cycle closes at the second thread's inner acquisition");
+    assert_eq!(v.cycle, vec!["a", "b", "a"]);
+    assert_eq!(v.thread, "lockdep-t2", "reported by the thread that would deadlock");
+    assert_eq!(v.hold_stack, vec!["b"]);
+    let witness = v.witnesses.join("; ");
+    assert!(
+        witness.contains("lockdep-t1"),
+        "the forward edge's witness names the other thread: {witness}"
+    );
+    assert!(oracle.certify().is_err(), "a run that closed a cycle must not certify");
+}
+
+/// The same two threads taking the same two locks in the same order is
+/// the fix for the test above — and must certify.
+#[test]
+fn consistent_two_thread_order_certifies() {
+    let oracle = Arc::new(LockOracle::deferred());
+    let threads: Vec<_> = (0..2)
+        .map(|i| {
+            let o = Arc::clone(&oracle);
+            thread::Builder::new()
+                .name(format!("lockdep-c{i}"))
+                .spawn(move || {
+                    for _ in 0..100 {
+                        o.acquire("a");
+                        o.acquire("b");
+                        o.release("b");
+                        o.release("a");
+                    }
+                })
+                .expect("spawn")
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("join");
+    }
+    let report = oracle.certify().expect("consistent order certifies");
+    assert_eq!(report.edges, vec![("a", "b")]);
+    assert_eq!(report.sites, vec!["a", "b"]);
+}
+
+/// A cycle through three sites and three threads, each thread holding
+/// one lock and reaching for the next — no pair of threads inverts, the
+/// deadlock only exists in the composition.
+#[test]
+fn three_thread_cycle_is_transitive() {
+    let oracle = LockOracle::deferred();
+    // Sequential stand-ins for three threads (the oracle keys hold
+    // stacks by thread, but edges are global; running the three legs on
+    // one thread with explicit release produces the same edge set).
+    for (first, second) in [("a", "b"), ("b", "c")] {
+        oracle.acquire(first);
+        oracle.acquire(second);
+        oracle.release(second);
+        oracle.release(first);
+    }
+    oracle.acquire("c");
+    oracle.acquire("a");
+    oracle.release("a");
+    oracle.release("c");
+    let report = oracle.report();
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(report.violations[0].cycle, vec!["a", "b", "c", "a"]);
+}
+
+/// Engine-tier certification: drive queries (including condvar waits and
+/// cancellations), live mutations, and a compaction through an engine
+/// whose every acquisition reports to the global panic-mode oracle, then
+/// certify: a non-empty acquisition DAG covering the named sites, and
+/// zero cycles. Only meaningful when the tracked guards are armed.
+#[cfg(feature = "lock-check")]
+#[test]
+fn engine_workload_certifies_on_the_global_oracle() {
+    use ligra_engine::{
+        Engine, EngineConfig, LockOracle, MutationConfig, MutationLog, Query, QueryStatus,
+    };
+    use ligra_graph::generators::grid3d;
+    use ligra_graph::DeltaBatch;
+    use std::time::Duration;
+
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 4,
+        queue_capacity: 64,
+        cache_capacity: 8,
+        ..EngineConfig::default()
+    }));
+    engine.install_graph(Arc::new(grid3d(8)));
+    let log = Arc::new(MutationLog::new(
+        Arc::clone(&engine),
+        MutationConfig { compact_threshold: Some(16) },
+    ));
+
+    // Mixed load: queries racing mutations racing background compaction.
+    let writer = {
+        let log = Arc::clone(&log);
+        thread::spawn(move || {
+            for i in 0..20u32 {
+                let _ = log.apply(&DeltaBatch::new().add_edge(i, 511 - i));
+            }
+        })
+    };
+    let handles: Vec<_> = (0..16)
+        .filter_map(|i| engine.submit(Query::Bfs { source: i * 31 % 512 }, None).ok())
+        .collect();
+    for (i, h) in handles.iter().enumerate() {
+        if i % 4 == 0 {
+            h.cancel();
+        }
+        // Exercise both condvar wait paths on the job.state site.
+        if h.wait_timeout(Duration::from_secs(30)).is_none() {
+            assert!(h.wait().is_terminal());
+        }
+    }
+    writer.join().expect("writer");
+    let _ = log.compact();
+    let done = engine.submit(Query::Cc, None).expect("submit").wait();
+    assert_eq!(done, QueryStatus::Done);
+
+    // The global oracle is in panic mode, so reaching this point already
+    // means no worker closed a cycle; certify() double-checks and the
+    // report proves the instrumentation actually saw the engine's locks.
+    let report = LockOracle::global().certify().expect("engine lock order certifies");
+    assert!(!report.sites.is_empty(), "oracle recorded no acquisitions");
+    for site in ["scheduler.queue", "scheduler.cache", "job.state", "store.current"] {
+        assert!(
+            report.sites.contains(&site),
+            "site {site} never acquired; sites: {:?}",
+            report.sites
+        );
+    }
+    assert!(
+        !report.edges.is_empty(),
+        "workload produced no nested acquisitions (expected at least mutation.state → store.current)"
+    );
+    assert!(
+        report.edges.contains(&("mutation.state", "store.current")),
+        "the apply path holds mutation.state across the store install; edges: {:?}",
+        report.edges
+    );
+}

@@ -275,3 +275,26 @@ fn compaction_under_load_preserves_results() {
     assert_eq!(engine.current_epoch(), Some(report.epoch));
     assert_eq!(apps::cc(clean.as_ref()).label, before, "compaction is result-identical");
 }
+
+/// With the tracked guards armed, the mutation suite's own workload
+/// doubles as lock-order evidence: apply and compact hold
+/// `mutation.state` across the store install, and that must be the only
+/// direction the pair is ever taken in.
+#[cfg(feature = "lock-check")]
+#[test]
+fn mutation_workload_certifies_lock_order() {
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    engine.install_graph(Arc::new(random_local(600, 4, 41)));
+    let log = Arc::new(MutationLog::new(Arc::clone(&engine), MutationConfig::default()));
+    for i in 0..12u32 {
+        log.apply(&DeltaBatch::new().add_edge(i, 599 - i)).expect("apply");
+    }
+    log.compact().expect("compact");
+    let h = engine.submit(Query::Cc, None).expect("submit");
+    assert_eq!(h.wait(), QueryStatus::Done);
+
+    let report = ligra_engine::LockOracle::global()
+        .certify()
+        .expect("mutation workload certifies lock order");
+    assert!(report.edges.contains(&("mutation.state", "store.current")), "{:?}", report.edges);
+}
