@@ -46,10 +46,12 @@ pub enum FaultPoint {
     MutateApply,
     /// The background CSR compaction of an overlaid snapshot.
     MutateCompact,
+    /// The router forwarding a request to a backend (`ligra-route`).
+    RouteForward,
 }
 
 /// Number of named fault points (array sizes below).
-const NUM_POINTS: usize = 7;
+const NUM_POINTS: usize = 8;
 
 impl FaultPoint {
     /// All fault points, in schedule order.
@@ -61,6 +63,7 @@ impl FaultPoint {
         FaultPoint::WireRead,
         FaultPoint::MutateApply,
         FaultPoint::MutateCompact,
+        FaultPoint::RouteForward,
     ];
 
     /// The stable wire/CLI name of this point.
@@ -73,6 +76,7 @@ impl FaultPoint {
             FaultPoint::WireRead => "wire.read",
             FaultPoint::MutateApply => "mutate.apply",
             FaultPoint::MutateCompact => "mutate.compact",
+            FaultPoint::RouteForward => "route.forward",
         }
     }
 
@@ -90,6 +94,7 @@ impl FaultPoint {
             FaultPoint::WireRead => 4,
             FaultPoint::MutateApply => 5,
             FaultPoint::MutateCompact => 6,
+            FaultPoint::RouteForward => 7,
         }
     }
 }
@@ -395,6 +400,8 @@ mod tests {
         let mutate = FaultPlan::seeded(0).arm_spec("mutate.apply:panic:1").expect("mutate spec");
         assert_eq!(mutate.scheduled_hit(FaultPoint::MutateApply), Some(1));
         assert!(FaultPlan::seeded(0).arm_spec("mutate.compact:error").is_ok());
+        let route = FaultPlan::seeded(0).arm_spec("route.forward:error:2").expect("route spec");
+        assert_eq!(route.scheduled_hit(FaultPoint::RouteForward), Some(2));
         assert!(FaultPlan::seeded(0).arm_spec("nope:error").is_err());
         assert!(FaultPlan::seeded(0).arm_spec("wire.read:explode").is_err());
         assert!(FaultPlan::seeded(0).arm_spec("wire.read:error:x").is_err());

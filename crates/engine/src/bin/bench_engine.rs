@@ -8,11 +8,19 @@
 //! deadline, to stdout and `BENCH_engine.json`.
 //!
 //! ```text
-//! bench_engine [--quick] [--out PATH] [--write-ratio R]
+//! bench_engine [--quick] [--out PATH] [--write-ratio R] [--router ADDR]
 //! ```
 //!
 //! `LIGRA_SCALE=small|paper` and `LIGRA_TRAVERSAL=...` are honored like
 //! the other bench binaries; `--quick` is the small CI configuration.
+//!
+//! `--router ADDR` switches to the scale-out serving sweep (EXPERIMENTS
+//! A8): instead of an in-process engine, every client opens its own TCP
+//! connection to a running `ligra-route` (or `ligra-serve`) address and
+//! drives submit/wait pairs over the JSONL wire, so the numbers include
+//! routing, replication fan-in, and wire framing. Reads only; the
+//! target fleet is expected to be loaded (`gen` is issued through the
+//! router once at startup). Incompatible with `--write-ratio`.
 //!
 //! `--write-ratio R` (0.0–1.0, default 0.0) mixes writes into the load:
 //! before each query, a client rolls `R` and on success applies a small
@@ -242,15 +250,199 @@ fn fatal(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+// ---- --router mode: closed-loop sweep over the JSONL wire ------------
+
+/// One line-oriented JSONL connection to the serving tier.
+struct WireClient {
+    reader: std::io::BufReader<std::net::TcpStream>,
+}
+
+impl WireClient {
+    fn connect(addr: &str) -> std::io::Result<WireClient> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(WireClient { reader: std::io::BufReader::new(stream) })
+    }
+
+    /// One request/response exchange; the response comes back trimmed.
+    fn call(&mut self, line: &str) -> std::io::Result<String> {
+        use std::io::BufRead;
+        let stream = self.reader.get_mut();
+        stream.write_all(format!("{line}\n").as_bytes())?;
+        let mut resp = String::new();
+        if self.reader.read_line(&mut resp)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        resp.truncate(resp.trim_end().len());
+        Ok(resp)
+    }
+}
+
+fn wire_u64(resp: &str, key: &str) -> Option<u64> {
+    let rest = resp.split_once(&format!("\"{key}\":"))?.1;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+struct WireLevel {
+    concurrency: usize,
+    queries: u64,
+    transient_retries: u64,
+    elapsed_s: f64,
+    throughput_qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+/// Reads-only closed-loop sweep against a live `ligra-route` (or
+/// `ligra-serve`) address: per concurrency level, each client drives
+/// submit/wait pairs over its own TCP connection. Transient sheds are
+/// retried after the hinted backoff and counted; any hard error fails
+/// the run.
+fn run_router_sweep(addr: &str, quick: bool, out_path: &str) {
+    let (log_n, per_client) = if quick { (10u32, 24u64) } else { (12, 96) };
+    let levels: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+
+    let mut setup =
+        WireClient::connect(addr).unwrap_or_else(|e| fatal(&format!("connect {addr}: {e}")));
+    let gen = setup
+        .call(&format!("{{\"op\":\"gen\",\"family\":\"rmat\",\"log_n\":{log_n}}}"))
+        .unwrap_or_else(|e| fatal(&format!("gen via router: {e}")));
+    if !gen.contains("\"ok\":true") {
+        fatal(&format!("gen via router rejected: {gen}"));
+    }
+    let n = wire_u64(&gen, "vertices")
+        .unwrap_or_else(|| fatal(&format!("gen response lacks vertices: {gen}")));
+    eprintln!("bench_engine: router sweep against {addr}, rmat 2^{log_n} ({n} vertices)");
+
+    let mut results = Vec::new();
+    for &concurrency in levels {
+        let transient_retries = AtomicU64::new(0);
+        let start = Instant::now();
+        let mut turnaround_ms: Vec<f64> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut clients = Vec::new();
+            for c in 0..concurrency {
+                let transient_retries = &transient_retries;
+                clients.push(scope.spawn(move || {
+                    let mut conn = WireClient::connect(addr)
+                        .unwrap_or_else(|e| fatal(&format!("client connect {addr}: {e}")));
+                    let mut samples = Vec::with_capacity(per_client as usize);
+                    for i in 0..per_client {
+                        let source = mix64(c as u64 ^ i.wrapping_mul(0x9e37)) % n;
+                        let t0 = Instant::now();
+                        let line =
+                            format!("{{\"op\":\"submit\",\"query\":\"bfs\",\"source\":{source}}}");
+                        let resp = loop {
+                            let r =
+                                conn.call(&line).unwrap_or_else(|e| fatal(&format!("submit: {e}")));
+                            if r.contains("\"transient\":true") {
+                                transient_retries.fetch_add(1, Ordering::Relaxed);
+                                let ms = wire_u64(&r, "retry_after_ms").unwrap_or(20).min(500);
+                                std::thread::sleep(Duration::from_millis(ms));
+                                continue;
+                            }
+                            break r;
+                        };
+                        let id = wire_u64(&resp, "id")
+                            .unwrap_or_else(|| fatal(&format!("submit rejected: {resp}")));
+                        let done = conn
+                            .call(&format!("{{\"op\":\"wait\",\"id\":{id}}}"))
+                            .unwrap_or_else(|e| fatal(&format!("wait: {e}")));
+                        if !done.contains("\"ok\":true") {
+                            fatal(&format!("wait failed: {done}"));
+                        }
+                        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    samples
+                }));
+            }
+            for cl in clients {
+                turnaround_ms.extend(cl.join().expect("client thread"));
+            }
+        });
+        let elapsed_s = start.elapsed().as_secs_f64();
+        turnaround_ms.sort_by(|a, b| a.total_cmp(b));
+        let queries = turnaround_ms.len() as u64;
+        let r = WireLevel {
+            concurrency,
+            queries,
+            transient_retries: transient_retries.load(Ordering::Relaxed),
+            elapsed_s,
+            throughput_qps: queries as f64 / elapsed_s,
+            p50_ms: percentile(&turnaround_ms, 0.50),
+            p95_ms: percentile(&turnaround_ms, 0.95),
+            p99_ms: percentile(&turnaround_ms, 0.99),
+        };
+        eprintln!(
+            "  c={:<3} {:>6.1} q/s  p50 {:>7.2} ms  p95 {:>7.2} ms  p99 {:>7.2} ms  \
+             transient-retries {}",
+            r.concurrency, r.throughput_qps, r.p50_ms, r.p95_ms, r.p99_ms, r.transient_retries,
+        );
+        results.push(r);
+    }
+
+    // Router-side counters for the report; absent (empty) when the
+    // target is a bare ligra-serve rather than a router.
+    let route_stats = setup.call("{\"op\":\"route-stats\"}").unwrap_or_default();
+    let route_stats = if route_stats.contains("\"ok\":true") { route_stats } else { String::new() };
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"router\": \"{addr}\",\n  \"graph\": {{\"family\": \"rmat\", \"log_n\": {log_n}, \
+         \"vertices\": {n}}},\n  \"per_client\": {per_client},\n  \"levels\": [\n"
+    ));
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"concurrency\": {}, \"queries\": {}, \"transient_retries\": {}, \
+             \"elapsed_s\": {:.3}, \"throughput_qps\": {:.2}, \"p50_ms\": {:.3}, \
+             \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+            r.concurrency,
+            r.queries,
+            r.transient_retries,
+            r.elapsed_s,
+            r.throughput_qps,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"route_stats\": {}\n}}\n",
+        if route_stats.is_empty() { "null".to_string() } else { route_stats }
+    ));
+    let mut f = std::fs::File::create(out_path).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write results");
+    eprintln!("bench_engine: wrote {out_path}");
+
+    let first = results.first().expect("at least one level");
+    let best = results.iter().map(|r| r.throughput_qps).fold(0.0f64, f64::max);
+    if best < first.throughput_qps * 0.9 {
+        fatal(&format!(
+            "throughput collapsed under concurrency: best {best:.1} q/s vs single-client {:.1} q/s",
+            first.throughput_qps
+        ));
+    }
+}
+
 fn main() {
     let mut quick = std::env::var("LIGRA_SCALE").is_ok_and(|s| s == "small");
     let mut out_path = String::from("BENCH_engine.json");
     let mut write_ratio = 0.0f64;
+    let mut router: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--out" => out_path = it.next().unwrap_or_else(|| fatal("--out needs a value")),
+            "--router" => {
+                router = Some(it.next().unwrap_or_else(|| fatal("--router needs a value")))
+            }
             "--write-ratio" => {
                 let raw = it.next().unwrap_or_else(|| fatal("--write-ratio needs a value"));
                 write_ratio = raw
@@ -262,6 +454,13 @@ fn main() {
             }
             other => fatal(&format!("unknown flag {other:?}")),
         }
+    }
+    if let Some(addr) = router {
+        if write_ratio > 0.0 {
+            fatal("--router is a reads-only sweep; --write-ratio is not supported");
+        }
+        run_router_sweep(&addr, quick, &out_path);
+        return;
     }
     let traversal: Traversal = std::env::var("LIGRA_TRAVERSAL")
         .ok()

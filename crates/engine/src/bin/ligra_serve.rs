@@ -12,7 +12,13 @@
 //!             [--traversal auto|sparse|dense|dense-forward]
 //!             [--graph PATH [--directed] [--weighted]]
 //!             [--fault SPEC]... [--fault-seed N]
+//!             [--drain-deadline-ms N]
 //! ```
+//!
+//! The `shutdown` op (or SIGTERM on unix) stops the server gracefully:
+//! new connections are refused, in-flight queries drain up to
+//! `--drain-deadline-ms` (default 5000), and the process exits 0 — a
+//! clean stop is distinguishable from a crash by exit code.
 //!
 //! `--metrics-addr` starts a loopback HTTP listener speaking Prometheus
 //! text exposition (format 0.0.4) over the engine's metrics registry —
@@ -52,8 +58,10 @@
 //! `--compact-threshold` arcs compact automatically.
 
 use ligra::Traversal;
+use ligra_engine::backoff::{retry_after_ms, Backoff};
 use ligra_engine::lockdep::tracked_lock;
-use ligra_engine::metrics::{mix64, render};
+use ligra_engine::metrics::render;
+use ligra_engine::route::{drain_until, install_sigterm_latch, sigterm_received};
 use ligra_engine::wire::{read_request_line, MAX_REQUEST_LINE_BYTES};
 use ligra_engine::{
     error_response, Engine, EngineConfig, FaultPlan, JsonObj, MetricsRegistry, MutateError,
@@ -79,6 +87,12 @@ use std::time::Duration;
 #[derive(Default)]
 struct ConnRegistry {
     counts: Mutex<ConnCounts>,
+    /// Highest replicated-write seq (`rseq`) applied. `ligra-route`
+    /// tags every fanned-out write with its journal seq; a repeat (a
+    /// replayed write this replica already applied, e.g. after the
+    /// router timed out on a slow response) is acknowledged without
+    /// re-applying, keeping replicated writes exactly-once per replica.
+    last_rseq: std::sync::atomic::AtomicU64,
 }
 
 #[derive(Default, Clone, Copy)]
@@ -124,6 +138,7 @@ struct Args {
     fault_specs: Vec<String>,
     fault_seed: u64,
     compact_threshold: Option<u64>,
+    drain_deadline: Duration,
 }
 
 /// Operator-facing fatal error: report and exit instead of panicking
@@ -138,7 +153,7 @@ fn usage() -> ! {
         "usage: ligra-serve [--listen ADDR | --client ADDR] [--metrics-addr ADDR] \
          [--workers N] [--queue N] [--cache N] [--memory-budget BYTES] [--traversal POLICY] \
          [--graph PATH [--directed] [--weighted]] [--fault SPEC]... [--fault-seed N] \
-         [--compact-threshold ARCS]"
+         [--compact-threshold ARCS] [--drain-deadline-ms N]"
     );
     std::process::exit(2);
 }
@@ -162,6 +177,7 @@ fn parse_args() -> Args {
         fault_specs: Vec::new(),
         fault_seed: 1,
         compact_threshold: MutationConfig::default().compact_threshold,
+        drain_deadline: Duration::from_millis(5_000),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -191,6 +207,12 @@ fn parse_args() -> Args {
                 let arcs: u64 = parsed("--compact-threshold", &value("--compact-threshold"));
                 args.compact_threshold = (arcs > 0).then_some(arcs);
             }
+            "--drain-deadline-ms" => {
+                args.drain_deadline = Duration::from_millis(parsed(
+                    "--drain-deadline-ms",
+                    &value("--drain-deadline-ms"),
+                ));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -203,6 +225,42 @@ fn parse_args() -> Args {
         usage();
     }
     args
+}
+
+/// Replicated-write dedup: when the request carries an `rseq` tag at
+/// or below the highest successfully applied, answer `duplicate` with
+/// the current epoch instead of re-applying; otherwise run `apply` and
+/// advance the cursor only if it succeeded (a failed write must stay
+/// replayable). Router writes arrive from one serializer thread, so a
+/// plain load/store pair is race-free here.
+fn replicated_write<F>(
+    req: &Request,
+    engine: &Engine,
+    conns: &ConnRegistry,
+    apply: F,
+) -> Result<String, String>
+where
+    F: FnOnce() -> Result<String, String>,
+{
+    use std::sync::atomic::Ordering;
+    let rseq = req.u64_or("rseq", 0).unwrap_or(0);
+    if rseq > 0 && rseq <= conns.last_rseq.load(Ordering::Acquire) {
+        return Ok(JsonObj::new()
+            .bool("ok", true)
+            .u64("epoch", engine.stats().epoch.unwrap_or(0))
+            .bool("duplicate", true)
+            .u64("rseq", rseq)
+            .finish());
+    }
+    let resp = apply();
+    if rseq > 0 {
+        if let Ok(r) = &resp {
+            if r.contains("\"ok\":true") {
+                conns.last_rseq.store(rseq, Ordering::Release);
+            }
+        }
+    }
+    resp
 }
 
 fn load_into(engine: &Engine, path: &str, symmetric: bool, weighted: bool) -> Result<u64, String> {
@@ -599,13 +657,13 @@ fn handle_line(
         }
     };
     let resp = match op {
-        "load" => (|| {
+        "load" => replicated_write(&req, engine, conns, || {
             let path = req.str("path")?;
             let symmetric = req.bool_or("symmetric", true)?;
             let weighted = req.bool_or("weighted", false)?;
             load_into(engine, path, symmetric, weighted).map(graph_response)
-        })(),
-        "gen" => (|| {
+        }),
+        "gen" => replicated_write(&req, engine, conns, || {
             let g = generate(&req)?;
             let (n, m) = (g.num_vertices(), g.num_edges());
             let epoch = if req.bool_or("weighted", false)? {
@@ -621,7 +679,7 @@ fn handle_line(
                 .u64("vertices", n as u64)
                 .u64("edges", m as u64)
                 .finish())
-        })(),
+        }),
         "submit" => (|| {
             let query = query_from(&req)?;
             let deadline = match req.get("deadline_ms") {
@@ -664,8 +722,8 @@ fn handle_line(
             Ok(status_response(&h).finish())
         })(),
         "span" => Ok(span_response(engine, req.u64_or("id", 0).unwrap_or(0))),
-        "mutate" => mutate_response(log, &req),
-        "compact" => compact_response(log, &req),
+        "mutate" => replicated_write(&req, engine, conns, || mutate_response(log, &req)),
+        "compact" => replicated_write(&req, engine, conns, || compact_response(log, &req)),
         "graph-stats" | "graph_stats" => Ok(graph_stats_response(engine, log)),
         "stats" => Ok(stats_response(engine, conns)),
         "metrics" => Ok(metrics_response(engine)),
@@ -803,22 +861,6 @@ fn spawn_metrics_listener(engine: Arc<Engine>, addr: &str) {
 /// (overload sheds, queue-full, injected transient faults).
 const CLIENT_RETRIES: u32 = 3;
 
-/// Jittered exponential backoff: 10·2^attempt ms base, up to +50% jitter
-/// (deterministic in the request/attempt pair), so retrying clients
-/// don't stampede the server in lockstep.
-fn backoff_delay(attempt: u32, salt: u64) -> Duration {
-    let base = 10u64 << attempt.min(6);
-    let jitter = mix64(salt.wrapping_mul(31).wrapping_add(attempt as u64)) % (base / 2 + 1);
-    Duration::from_millis(base + jitter)
-}
-
-/// Pulls `"retry_after_ms":N` out of a flat-JSON response, if present.
-fn retry_after_ms(resp: &str) -> Option<u64> {
-    let rest = resp.split_once("\"retry_after_ms\":")?.1;
-    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
-    digits.parse().ok()
-}
-
 fn run_client(addr: &str) {
     let stream =
         TcpStream::connect(addr).unwrap_or_else(|e| fatal(&format!("connect {addr}: {e}")));
@@ -844,11 +886,11 @@ fn run_client(addr: &str) {
             }
             // Transient shed (overload, queue-full, injected fault):
             // honor the server's retry-after hint when present, else
-            // jittered exponential backoff, up to the retry budget.
+            // the shared jittered exponential backoff schedule
+            // (`ligra_engine::backoff`), up to the retry budget.
             if resp.contains("\"transient\":true") && attempt < CLIENT_RETRIES {
-                let delay = retry_after_ms(&resp)
-                    .map(Duration::from_millis)
-                    .unwrap_or_else(|| backoff_delay(attempt, line_no as u64));
+                let delay = Backoff::serve_client(line_no as u64)
+                    .delay_with_hint(attempt, retry_after_ms(&resp));
                 attempt += 1;
                 eprintln!(
                     "ligra-serve: transient failure, retry {attempt}/{CLIENT_RETRIES} \
@@ -863,6 +905,34 @@ fn run_client(addr: &str) {
         }
     }
 }
+
+/// Graceful stop (DESIGN.md §16): flip the accept-gate, wait for the
+/// scheduler to go quiet (nothing queued, nothing running) up to the
+/// drain deadline, then exit 0 — so chaos scripts can tell a clean
+/// stop from a crash by the exit code alone. Queries still running at
+/// the deadline are abandoned with a warning rather than blocking the
+/// stop forever.
+fn drain_and_exit(engine: &Engine, deadline: Duration) -> ! {
+    SHUTTING_DOWN.store(true, std::sync::atomic::Ordering::Release);
+    eprintln!("ligra-serve: draining in-flight queries (deadline {} ms)", deadline.as_millis());
+    let drained = drain_until(
+        || {
+            let s = engine.stats();
+            s.queued == 0 && s.running == 0
+        },
+        deadline,
+    );
+    if drained {
+        eprintln!("ligra-serve: drained; exiting");
+    } else {
+        eprintln!("ligra-serve: drain deadline hit with queries still in flight; exiting");
+    }
+    std::process::exit(0);
+}
+
+/// Accept-gate for graceful shutdown: once set, newly accepted
+/// connections are dropped unanswered while the drain completes.
+static SHUTTING_DOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 /// Builds the engine's fault plan from `--fault` specs. The flag is
 /// rejected at startup when the hooks are compiled out, so an operator
@@ -925,11 +995,31 @@ fn main() {
         eprintln!("ligra-serve: loaded {path} at epoch {epoch}");
     }
 
+    // SIGTERM gets the same drain-then-exit-0 treatment as the
+    // `shutdown` wire op: a watcher thread polls the async-signal-safe
+    // latch, so chaos scripts can `kill` for a clean stop and `kill
+    // -9` for a crash.
+    install_sigterm_latch();
+    {
+        let engine = Arc::clone(&engine);
+        let deadline = args.drain_deadline;
+        std::thread::spawn(move || loop {
+            if sigterm_received() {
+                eprintln!("ligra-serve: SIGTERM received");
+                drain_and_exit(&engine, deadline);
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+    }
+
     match &args.listen {
         None => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            serve_stream(&engine, &log, &conns, stdin.lock(), stdout.lock());
+            let keep = serve_stream(&engine, &log, &conns, stdin.lock(), stdout.lock());
+            if !keep {
+                drain_and_exit(&engine, args.drain_deadline);
+            }
         }
         Some(addr) => {
             let listener =
@@ -943,16 +1033,22 @@ fn main() {
                     Ok(s) => s,
                     Err(_) => continue,
                 };
+                if SHUTTING_DOWN.load(std::sync::atomic::Ordering::Acquire) {
+                    // Draining: acknowledge nothing, accept no new work.
+                    drop(stream);
+                    continue;
+                }
                 let engine = Arc::clone(&engine);
                 let log = Arc::clone(&log);
                 let conns = Arc::clone(&conns);
+                let deadline = args.drain_deadline;
                 std::thread::spawn(move || {
                     let reader = BufReader::new(stream.try_clone().expect("clone stream"));
                     let keep = serve_stream(&engine, &log, &conns, reader, BufWriter::new(stream));
                     if !keep {
-                        // `shutdown` was acknowledged and flushed; end the
-                        // whole server, not just this connection.
-                        std::process::exit(0);
+                        // `shutdown` was acknowledged and flushed; stop
+                        // accepting, drain in-flight queries, exit 0.
+                        drain_and_exit(&engine, deadline);
                     }
                 });
             }

@@ -28,7 +28,14 @@
 //! * [`error`] — typed terminal errors ([`QueryError`]) distinguishing
 //!   validation failures, injected transient faults, and caught panics;
 //! * [`wire`] — the flat-JSONL request/response format spoken by the
-//!   `ligra-serve` binary.
+//!   `ligra-serve` binary;
+//! * [`backoff`] — the deterministic jittered-exponential retry
+//!   schedule shared by the serve client pump and the router's
+//!   reconnect/probe loops;
+//! * [`route`] — the replicated serving router behind `ligra-route`:
+//!   per-backend Healthy/Degraded/Down state machine, least-outstanding
+//!   read routing with failover, journaled write fan-out with replay,
+//!   and the graceful-shutdown drain helpers (DESIGN.md §16).
 //!
 //! Robustness (DESIGN.md §11): workers isolate query panics with
 //! `catch_unwind` and self-heal; admission sheds on a memory budget
@@ -39,17 +46,20 @@
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod cache;
 pub mod error;
 pub mod lockdep;
 pub mod metrics;
 pub mod mutate;
 pub mod query;
+pub mod route;
 pub mod scheduler;
 pub mod snapshot;
 pub mod span;
 pub mod wire;
 
+pub use backoff::Backoff;
 pub use cache::ResultCache;
 pub use error::QueryError;
 pub use ligra::{FaultAction, FaultError, FaultPlan, FaultPoint};
@@ -59,6 +69,7 @@ pub use mutate::{
     CompactionReport, MutateError, MutationConfig, MutationLog, MutationReport, MutationStatus,
 };
 pub use query::{Query, QueryOutput, PAGERANK_ALPHA};
+pub use route::{BackendState, Router, RouterConfig, RouterMetrics};
 pub use scheduler::{Engine, EngineConfig, EngineStats, QueryHandle, SubmitError};
 pub use snapshot::{GraphStore, Snapshot};
 pub use span::{spans_to_json_lines, QuerySpan, QueryStatus, RoundCounter, TeeRecorder};

@@ -28,7 +28,7 @@ pub mod registry;
 pub use histogram::{
     bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS, MAX_FINITE_BUCKET,
 };
-pub use prometheus::{render, FAMILIES};
+pub use prometheus::{render, render_router, FAMILIES, ROUTE_FAMILIES};
 pub use registry::{MetricsRegistry, MetricsSnapshot};
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};

@@ -323,6 +323,210 @@ pub fn render(s: &MetricsSnapshot) -> String {
     out
 }
 
+/// The router's closed metric vocabulary (`ligra-route
+/// --metrics-addr`), same shape and rules as [`FAMILIES`]; the
+/// `backend` label is the replica's zero-based index in `--backend`
+/// order. Pinned by the same integration suite.
+pub const ROUTE_FAMILIES: &[(&str, &str, &[&str], &str)] = &[
+    ("ligra_route_backends", "gauge", &[], "Configured backend replicas"),
+    (
+        "ligra_route_backend_state",
+        "gauge",
+        &["backend"],
+        "Replica state: 0 = down, 1 = degraded, 2 = healthy",
+    ),
+    (
+        "ligra_route_backend_outstanding",
+        "gauge",
+        &["backend"],
+        "Requests currently in flight to the replica",
+    ),
+    ("ligra_route_requests_total", "counter", &[], "Client request lines the router parsed"),
+    (
+        "ligra_route_forwarded_total",
+        "counter",
+        &["backend"],
+        "Requests successfully exchanged with the replica",
+    ),
+    (
+        "ligra_route_backend_errors_total",
+        "counter",
+        &["backend"],
+        "Forward failures: connect errors, timeouts, torn responses",
+    ),
+    (
+        "ligra_route_retries_total",
+        "counter",
+        &[],
+        "Transient backend responses retried on another replica",
+    ),
+    (
+        "ligra_route_failovers_total",
+        "counter",
+        &[],
+        "Reads rerouted after a replica died mid-request",
+    ),
+    ("ligra_route_sheds_total", "counter", &[], "Requests shed with every replica unavailable"),
+    ("ligra_route_probes_total", "counter", &[], "Health probes attempted"),
+    ("ligra_route_probe_failures_total", "counter", &[], "Health probes failed"),
+    ("ligra_route_journal_entries", "gauge", &[], "Entries resident in the write journal"),
+    (
+        "ligra_route_journal_replayed_total",
+        "counter",
+        &[],
+        "Journal entries replayed to lagging replicas",
+    ),
+    (
+        "ligra_route_wire_malformed_total",
+        "counter",
+        &[],
+        "Client request lines rejected as malformed",
+    ),
+    (
+        "ligra_route_request_ns",
+        "histogram",
+        &["backend"],
+        "Forwarded request round-trip per replica, nanoseconds",
+    ),
+];
+
+/// Renders the router's metrics as Prometheus text exposition: every
+/// family in [`ROUTE_FAMILIES`] exactly once, in table order, with one
+/// labeled row per configured replica.
+pub fn render_router(m: &crate::route::RouterMetrics) -> String {
+    let ids: Vec<String> = (0..m.backends.len()).map(|i| i.to_string()).collect();
+    let per_backend = |f: &dyn Fn(&crate::route::BackendMetrics) -> u64| -> Vec<(&str, u64)> {
+        ids.iter().zip(m.backends.iter()).map(|(id, b)| (id.as_str(), f(b))).collect()
+    };
+    let mut out = String::with_capacity(2048);
+    scalar(
+        &mut out,
+        "ligra_route_backends",
+        "gauge",
+        "Configured backend replicas",
+        m.backends.len() as u64,
+    );
+    head(
+        &mut out,
+        "ligra_route_backend_state",
+        "gauge",
+        "Replica state: 0 = down, 1 = degraded, 2 = healthy",
+    );
+    labeled(&mut out, "ligra_route_backend_state", "backend", &per_backend(&|b| b.state.get()));
+    head(
+        &mut out,
+        "ligra_route_backend_outstanding",
+        "gauge",
+        "Requests currently in flight to the replica",
+    );
+    labeled(
+        &mut out,
+        "ligra_route_backend_outstanding",
+        "backend",
+        &per_backend(&|b| b.outstanding.get()),
+    );
+    scalar(
+        &mut out,
+        "ligra_route_requests_total",
+        "counter",
+        "Client request lines the router parsed",
+        m.requests.get(),
+    );
+    head(
+        &mut out,
+        "ligra_route_forwarded_total",
+        "counter",
+        "Requests successfully exchanged with the replica",
+    );
+    labeled(
+        &mut out,
+        "ligra_route_forwarded_total",
+        "backend",
+        &per_backend(&|b| b.forwarded.get()),
+    );
+    head(
+        &mut out,
+        "ligra_route_backend_errors_total",
+        "counter",
+        "Forward failures: connect errors, timeouts, torn responses",
+    );
+    labeled(
+        &mut out,
+        "ligra_route_backend_errors_total",
+        "backend",
+        &per_backend(&|b| b.errors.get()),
+    );
+    scalar(
+        &mut out,
+        "ligra_route_retries_total",
+        "counter",
+        "Transient backend responses retried on another replica",
+        m.retries.get(),
+    );
+    scalar(
+        &mut out,
+        "ligra_route_failovers_total",
+        "counter",
+        "Reads rerouted after a replica died mid-request",
+        m.failovers.get(),
+    );
+    scalar(
+        &mut out,
+        "ligra_route_sheds_total",
+        "counter",
+        "Requests shed with every replica unavailable",
+        m.sheds.get(),
+    );
+    scalar(
+        &mut out,
+        "ligra_route_probes_total",
+        "counter",
+        "Health probes attempted",
+        m.probes.get(),
+    );
+    scalar(
+        &mut out,
+        "ligra_route_probe_failures_total",
+        "counter",
+        "Health probes failed",
+        m.probe_failures.get(),
+    );
+    scalar(
+        &mut out,
+        "ligra_route_journal_entries",
+        "gauge",
+        "Entries resident in the write journal",
+        m.journal_entries.get(),
+    );
+    scalar(
+        &mut out,
+        "ligra_route_journal_replayed_total",
+        "counter",
+        "Journal entries replayed to lagging replicas",
+        m.journal_replayed.get(),
+    );
+    scalar(
+        &mut out,
+        "ligra_route_wire_malformed_total",
+        "counter",
+        "Client request lines rejected as malformed",
+        m.wire_malformed.get(),
+    );
+    head(
+        &mut out,
+        "ligra_route_request_ns",
+        "histogram",
+        "Forwarded request round-trip per replica, nanoseconds",
+    );
+    let rows: Vec<(&str, HistogramSnapshot)> = ids
+        .iter()
+        .zip(m.backends.iter())
+        .map(|(id, b)| (id.as_str(), b.request_ns.snapshot()))
+        .collect();
+    histogram(&mut out, "ligra_route_request_ns", "backend", &rows);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::histogram::bucket_index;
@@ -433,6 +637,46 @@ mod tests {
         // The label-free compaction histogram closes the same way.
         assert!(text.contains("ligra_mutation_compaction_ns_bucket{le=\"+Inf\"} 4"));
         assert!(text.contains("ligra_mutation_compaction_ns_count 4"));
+    }
+
+    /// Same drift pin for the router vocabulary: `render_router` and
+    /// `ROUTE_FAMILIES` must agree exactly, in order.
+    #[test]
+    fn router_type_lines_match_route_families_in_order() {
+        let m = crate::route::RouterMetrics::with_backends(3);
+        m.backends[0].state.set(2);
+        m.backends[1].request_ns.record(1_000);
+        m.failovers.incr();
+        let text = render_router(&m);
+        let types: Vec<(&str, &str)> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("# TYPE "))
+            .filter_map(|l| l.split_once(' '))
+            .collect();
+        let expected: Vec<(&str, &str)> =
+            ROUTE_FAMILIES.iter().map(|&(n, t, _, _)| (n, t)).collect();
+        assert_eq!(types, expected);
+    }
+
+    #[test]
+    fn router_families_emit_every_backend_row() {
+        let m = crate::route::RouterMetrics::with_backends(3);
+        m.backends[2].forwarded.add(5);
+        let text = render_router(&m);
+        for id in 0..3 {
+            assert!(
+                text.contains(&format!("ligra_route_backend_state{{backend=\"{id}\"}} ")),
+                "missing state row for backend {id}"
+            );
+            assert!(
+                text.contains(&format!(
+                    "ligra_route_request_ns_bucket{{backend=\"{id}\",le=\"+Inf\"}} "
+                )),
+                "missing histogram close for backend {id}"
+            );
+        }
+        assert!(text.contains("ligra_route_forwarded_total{backend=\"2\"} 5"));
+        assert!(text.contains("ligra_route_failovers_total 0"));
     }
 
     #[test]

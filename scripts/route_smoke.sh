@@ -1,0 +1,200 @@
+#!/usr/bin/env bash
+# Loopback smoke test for ligra-route: three ligra-serve replicas behind
+# one router, a mixed read/write workload driven through the router, and
+# a SIGKILL of one replica mid-session. Asserts the acceptance-critical
+# behavior of the scale-out tier (DESIGN.md §16):
+#
+#   * reads and replicated writes succeed through the router while all
+#     replicas are healthy (writes report replicas_ok=3, fleet in sync),
+#   * after one replica is SIGKILLed mid-session, every client response
+#     is still ok or typed transient — no hard errors, no hangs — and
+#     the router records at least one read failover,
+#   * writes during the outage report exactly one missed replica and
+#     keep the journal growing,
+#   * when the replica restarts empty, the router detects the epoch
+#     regression, replays the journal, and the fleet converges back to
+#     epoch parity (route-stats uniform, graph-stats in_sync),
+#   * the --metrics-addr endpoint serves the router family vocabulary
+#     with counters agreeing with the session (scrapes land in
+#     $LIGRA_SMOKE_ARTIFACTS for upload),
+#   * the shutdown op drains the router, which exits 0; the replicas
+#     drain on SIGTERM and exit 0 too.
+#
+# Usage: scripts/route_smoke.sh [path-to-ligra-serve] [path-to-ligra-route]
+set -euo pipefail
+
+SERVE="${1:-./target/release/ligra-serve}"
+ROUTE="${2:-./target/release/ligra-route}"
+B0="${LIGRA_SMOKE_B0:-127.0.0.1:17431}"
+B1="${LIGRA_SMOKE_B1:-127.0.0.1:17432}"
+B2="${LIGRA_SMOKE_B2:-127.0.0.1:17433}"
+RADDR="${LIGRA_SMOKE_ROUTER:-127.0.0.1:17434}"
+MADDR="${LIGRA_SMOKE_METRICS_ADDR:-127.0.0.1:17435}"
+ART="${LIGRA_SMOKE_ARTIFACTS:-target/route-artifacts}"
+mkdir -p "$ART"
+
+for bin in "$SERVE" "$ROUTE"; do
+    if [[ ! -x "$bin" ]]; then
+        echo "route_smoke: $bin not found (build with: cargo build --release -p ligra-engine)" >&2
+        exit 1
+    fi
+done
+
+fail() { echo "route_smoke: FAIL — $*" >&2; exit 1; }
+
+# Replicas disable auto-compaction: epoch parity across the fleet is the
+# convergence criterion, and a replica compacting on its own clock would
+# fork it outside the router's write stream.
+# Backends must stay direct children of this shell (`wait` reaps their
+# exit codes later), so no command-substitution wrappers here; logs go
+# to files so backgrounded children never share our stdout.
+start_backend() { # start_backend <addr> <log-name>; pid in BACKEND_PID
+    "$SERVE" --listen "$1" --workers 2 --compact-threshold 0 \
+        > "$ART/$2.log" 2>&1 &
+    BACKEND_PID=$!
+}
+start_backend "$B0" backend0; PID0=$BACKEND_PID
+start_backend "$B1" backend1; PID1=$BACKEND_PID
+start_backend "$B2" backend2; PID2=$BACKEND_PID
+# A probe interval much longer than client latency keeps the first
+# post-kill read racing the prober deterministically: the client, not
+# the probe, must be the one that discovers the death (a read failover).
+"$ROUTE" --listen "$RADDR" --backend "$B0" --backend "$B1" --backend "$B2" \
+    --metrics-addr "$MADDR" --probe-interval-ms 1000 &
+ROUTER_PID=$!
+PIDS=("$PID0" "$PID1" "$PID2" "$ROUTER_PID")
+cleanup() { for p in "${PIDS[@]}"; do kill -9 "$p" 2>/dev/null || true; done; }
+trap cleanup EXIT
+
+up=0
+for _ in $(seq 1 100); do
+    if printf '{"op":"ping"}\n' | "$SERVE" --client "$RADDR" 2>/dev/null | grep -q '"pong"'; then
+        up=1
+        break
+    fi
+    sleep 0.1
+done
+[[ "$up" == 1 ]] || fail "router never came up on $RADDR"
+
+# The router's first probe round can race the replicas' own startup and
+# leave an early "degraded" mark; wait for the prober to see the whole
+# fleet healthy before asserting on a clean baseline.
+healthy=0
+for _ in $(seq 1 100); do
+    if printf '{"op":"route-stats"}\n' | "$SERVE" --client "$RADDR" 2>/dev/null \
+        | grep -q '"states":"healthy,healthy,healthy"'; then
+        healthy=1
+        break
+    fi
+    sleep 0.1
+done
+[[ "$healthy" == 1 ]] || fail "fleet never reached all-healthy at startup"
+
+# ---- phase 1: healthy fleet ------------------------------------------
+OUT1=$("$SERVE" --client "$RADDR" <<'EOF' | tee "$ART/phase1.jsonl"
+{"op":"gen","family":"rmat","log_n":10}
+{"op":"submit","query":"bfs","source":0}
+{"op":"wait","id":1}
+{"op":"mutate","add":"0-1,1-2"}
+{"op":"submit","query":"bfs","source":0}
+{"op":"wait","id":2}
+{"op":"graph-stats"}
+{"op":"route-stats"}
+EOF
+)
+expect1() { # expect1 <line-no> <grep-pattern> <label>
+    echo "$OUT1" | sed -n "${1}p" | grep -q "$2" \
+        || fail "phase1 [$3]: line $1 did not match '$2': $(echo "$OUT1" | sed -n "${1}p")"
+}
+expect1 1 '"replicas_ok":3'        "gen replicated to all three"
+expect1 3 '"status":"done"'        "bfs completes through the router"
+expect1 4 '"replicas_ok":3'        "mutate replicated to all three"
+expect1 6 '"status":"done"'        "post-mutate bfs completes"
+expect1 7 '"in_sync":true'         "fleet epochs agree"
+expect1 8 '"states":"healthy,healthy,healthy"' "all replicas healthy"
+
+# ---- phase 2: SIGKILL one replica mid-session ------------------------
+# One long-lived client session straddles the kill: the fifo lets us
+# SIGKILL the replica while the session is idle and then fire the next
+# reads within microseconds, before the (slow, 1s) prober can notice —
+# so discovering the death is the client's read failover, not a probe.
+FIFO="$ART/client.fifo"
+rm -f "$FIFO"; mkfifo "$FIFO"
+"$SERVE" --client "$RADDR" < "$FIFO" > "$ART/phase2.jsonl" &
+CLIENT_PID=$!
+exec 9> "$FIFO"
+
+printf '{"op":"submit","query":"bfs","source":0}\n{"op":"wait","id":3}\n' >&9
+sleep 0.5   # let the pre-kill ops finish; the prober sees a healthy fleet
+{ kill -9 "$PID2" && wait "$PID2"; } 2>/dev/null || true
+for _ in $(seq 1 8); do
+    printf '{"op":"submit","query":"bfs","source":0}\n' >&9
+done
+printf '{"op":"mutate","add":"2-3"}\n{"op":"mutate","add":"3-4"}\n{"op":"route-stats"}\n' >&9
+exec 9>&-
+wait "$CLIENT_PID" || fail "client session through the outage exited non-zero"
+
+while IFS= read -r line; do
+    echo "$line" | grep -q '"ok":true' || echo "$line" | grep -q '"transient":true' \
+        || fail "phase2: hard client error during outage: $line"
+done < "$ART/phase2.jsonl"
+STATS2=$(tail -n 1 "$ART/phase2.jsonl")
+echo "$STATS2" | grep -q '"failovers":0' && fail "no read failover recorded: $STATS2"
+grep -q '"replicas_missed":1' "$ART/phase2.jsonl" \
+    || fail "outage writes did not report one missed replica"
+
+# ---- phase 3: restart the replica, journal replay converges ----------
+start_backend "$B2" backend2-restarted; PID2=$BACKEND_PID
+PIDS=("$PID0" "$PID1" "$PID2" "$ROUTER_PID")
+converged=0
+for _ in $(seq 1 150); do
+    RS=$(printf '{"op":"route-stats"}\n' | "$SERVE" --client "$RADDR" 2>/dev/null || true)
+    EPOCHS=$(echo "$RS" | sed -n 's/.*"epochs":"\([^"]*\)".*/\1/p')
+    SEQS=$(echo "$RS" | sed -n 's/.*"applied_seqs":"\([^"]*\)".*/\1/p')
+    uniform() { [[ -n "$1" ]] && [[ "$(tr ',' '\n' <<<"$1" | sort -u | wc -l)" == 1 ]]; }
+    if uniform "$EPOCHS" && uniform "$SEQS" && echo "$RS" | grep -q '"states":"healthy,healthy,healthy"'; then
+        converged=1
+        echo "$RS" > "$ART/route-stats-converged.json"
+        break
+    fi
+    sleep 0.1
+done
+[[ "$converged" == 1 ]] || fail "fleet never reconverged after restart: $RS"
+grep -q '"journal_replayed":0' "$ART/route-stats-converged.json" \
+    && fail "convergence happened without journal replay"
+printf '{"op":"graph-stats"}\n' | "$SERVE" --client "$RADDR" | tee "$ART/graph-stats-final.json" \
+    | grep -q '"in_sync":true' || fail "fleet out of sync after rejoin"
+
+# ---- phase 4: Prometheus scrape --------------------------------------
+exec 3<>"/dev/tcp/${MADDR%:*}/${MADDR#*:}" || fail "metrics endpoint $MADDR unreachable"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+tr -d '\r' <&3 | sed '1,/^$/d' > "$ART/metrics.txt"
+exec 3<&- 3>&-
+for fam in ligra_route_backends ligra_route_backend_state ligra_route_requests_total \
+    ligra_route_forwarded_total ligra_route_failovers_total ligra_route_sheds_total \
+    ligra_route_probes_total ligra_route_journal_replayed_total ligra_route_request_ns; do
+    grep -q "^# TYPE $fam " "$ART/metrics.txt" || fail "family $fam missing from scrape"
+done
+FAILOVERS=$(awk '$1 == "ligra_route_failovers_total" { print $2 }' "$ART/metrics.txt")
+(( FAILOVERS >= 1 )) || fail "scrape shows no failovers ($FAILOVERS)"
+REPLAYED=$(awk '$1 == "ligra_route_journal_replayed_total" { print $2 }' "$ART/metrics.txt")
+(( REPLAYED >= 1 )) || fail "scrape shows no journal replay ($REPLAYED)"
+
+# ---- phase 5: graceful shutdown --------------------------------------
+printf '{"op":"shutdown"}\n' | "$SERVE" --client "$RADDR" | grep -q '"shutting-down"' \
+    || fail "router did not acknowledge shutdown"
+for _ in $(seq 1 50); do
+    kill -0 "$ROUTER_PID" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$ROUTER_PID" 2>/dev/null && fail "router still alive after shutdown op"
+# Replicas drain and exit 0 on SIGTERM.
+kill "$PID0" "$PID1" "$PID2"
+for p in "$PID0" "$PID1" "$PID2"; do
+    code=0; wait "$p" || code=$?
+    [[ "$code" == 0 ]] || fail "replica $p exited $code on SIGTERM"
+done
+PIDS=()
+trap - EXIT
+
+echo "route_smoke: OK"

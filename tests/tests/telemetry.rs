@@ -307,6 +307,49 @@ fn prometheus_families_are_a_closed_vocabulary() {
 }
 
 #[test]
+fn router_prometheus_families_are_a_closed_vocabulary() {
+    // Same contract as above, for the `ligra-route` scrape endpoint
+    // (DESIGN.md §16): the router exports its own family vocabulary,
+    // disjoint from the engine's, with per-backend labels.
+    use ligra_engine::metrics::{FAMILIES, ROUTE_FAMILIES};
+
+    let expected: &[(&str, &str, &[&str])] = &[
+        ("ligra_route_backends", "gauge", &[]),
+        ("ligra_route_backend_state", "gauge", &["backend"]),
+        ("ligra_route_backend_outstanding", "gauge", &["backend"]),
+        ("ligra_route_requests_total", "counter", &[]),
+        ("ligra_route_forwarded_total", "counter", &["backend"]),
+        ("ligra_route_backend_errors_total", "counter", &["backend"]),
+        ("ligra_route_retries_total", "counter", &[]),
+        ("ligra_route_failovers_total", "counter", &[]),
+        ("ligra_route_sheds_total", "counter", &[]),
+        ("ligra_route_probes_total", "counter", &[]),
+        ("ligra_route_probe_failures_total", "counter", &[]),
+        ("ligra_route_journal_entries", "gauge", &[]),
+        ("ligra_route_journal_replayed_total", "counter", &[]),
+        ("ligra_route_wire_malformed_total", "counter", &[]),
+        ("ligra_route_request_ns", "histogram", &["backend"]),
+    ];
+    let actual: Vec<(&str, &str, &[&str])> =
+        ROUTE_FAMILIES.iter().map(|&(name, typ, labels, _help)| (name, typ, labels)).collect();
+    assert_eq!(actual, expected, "router Prometheus family vocabulary changed");
+    for (name, typ, _, help) in ROUTE_FAMILIES {
+        assert!(name.starts_with("ligra_route_"), "{name}: router families share the namespace");
+        assert!(matches!(*typ, "gauge" | "counter" | "histogram"), "{name}: bad type {typ}");
+        assert!(!help.is_empty(), "{name}: HELP text is mandatory");
+        assert_eq!(
+            name.ends_with("_total"),
+            *typ == "counter",
+            "{name}: counters and only counters end in _total"
+        );
+        assert!(
+            !FAMILIES.iter().any(|(n, _, _, _)| n == name),
+            "{name}: router families must not collide with engine families"
+        );
+    }
+}
+
+#[test]
 fn prometheus_exposition_reflects_engine_activity() {
     // A scrape taken after real queries must agree with the engine's own
     // snapshot: counter lines carry the snapshot values, and histogram
